@@ -1,0 +1,129 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/Util.hpp"
+
+namespace rapidgzip::bench {
+
+/**
+ * Shared harness utilities. All benchmarks print paper-style rows so the
+ * EXPERIMENTS.md comparison can be regenerated with
+ *   for b in build/bench/*; do $b; done
+ *
+ * RAPIDGZIP_BENCH_SCALE (float, default 1.0) scales workload sizes, and
+ * RAPIDGZIP_BENCH_REPEATS overrides the repetition count, so the harness can
+ * be run quickly on laptops and at full size on servers.
+ */
+
+[[nodiscard]] inline double
+benchScale()
+{
+    if (const char* scale = std::getenv("RAPIDGZIP_BENCH_SCALE"); scale != nullptr) {
+        return std::max(0.01, std::atof(scale));
+    }
+    return 1.0;
+}
+
+[[nodiscard]] inline std::size_t
+scaledSize(std::size_t bytes)
+{
+    return static_cast<std::size_t>(static_cast<double>(bytes) * benchScale());
+}
+
+[[nodiscard]] inline std::size_t
+benchRepeats(std::size_t defaultRepeats)
+{
+    if (const char* repeats = std::getenv("RAPIDGZIP_BENCH_REPEATS"); repeats != nullptr) {
+        return std::max<std::size_t>(1, static_cast<std::size_t>(std::atoll(repeats)));
+    }
+    return defaultRepeats;
+}
+
+struct Measurement
+{
+    double mean{ 0 };
+    double stddev{ 0 };
+};
+
+/** Run @p work @p repeats times; returns bandwidth statistics in bytes/s. */
+[[nodiscard]] inline Measurement
+measureBandwidth(std::size_t bytesPerRun, std::size_t repeats,
+                 const std::function<void()>& work)
+{
+    std::vector<double> samples;
+    samples.reserve(repeats);
+    for (std::size_t i = 0; i < repeats; ++i) {
+        Stopwatch stopwatch;
+        work();
+        const auto elapsed = stopwatch.elapsed();
+        samples.push_back(static_cast<double>(bytesPerRun) / std::max(elapsed, 1e-9));
+    }
+    Measurement result;
+    for (const auto sample : samples) {
+        result.mean += sample;
+    }
+    result.mean /= static_cast<double>(samples.size());
+    for (const auto sample : samples) {
+        result.stddev += (sample - result.mean) * (sample - result.mean);
+    }
+    result.stddev = samples.size() > 1
+                    ? std::sqrt(result.stddev / static_cast<double>(samples.size() - 1))
+                    : 0.0;
+    return result;
+}
+
+inline void
+printHeader(const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+inline void
+printRow(const std::string& label, const Measurement& bandwidth, const std::string& paperValue = "")
+{
+    std::printf("  %-42s %12.2f ± %-10.2f MB/s", label.c_str(),
+                bandwidth.mean / 1e6, bandwidth.stddev / 1e6);
+    if (!paperValue.empty()) {
+        std::printf("   [paper: %s]", paperValue.c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+}
+
+/** Thread counts swept by the scaling figures (paper sweeps 1..128). */
+[[nodiscard]] inline std::vector<std::size_t>
+threadSweep()
+{
+    if (const char* sweep = std::getenv("RAPIDGZIP_BENCH_THREADS"); sweep != nullptr) {
+        std::vector<std::size_t> result;
+        std::size_t value = 0;
+        for (const char* c = sweep; ; ++c) {
+            if ((*c >= '0') && (*c <= '9')) {
+                value = value * 10 + static_cast<std::size_t>(*c - '0');
+            } else {
+                if (value > 0) {
+                    result.push_back(value);
+                }
+                value = 0;
+                if (*c == '\0') {
+                    break;
+                }
+            }
+        }
+        if (!result.empty()) {
+            return result;
+        }
+    }
+    return { 1, 2, 4, 8, 16 };
+}
+
+}  // namespace rapidgzip::bench

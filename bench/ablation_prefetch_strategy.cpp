@@ -1,0 +1,127 @@
+/**
+ * Ablation: prefetching strategy and cache behaviour (paper §3.2).
+ *
+ * Compares FetchNextFixed, FetchNextAdaptive (the paper's default), and
+ * FetchNextMultiStream on (a) a plain sequential full read and (b) two
+ * interleaved sequential readers over the same file — the concurrent-access
+ * pattern of a ratarmount-style FUSE mount. Reports bandwidth and prefetch
+ * cache efficiency.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/ParallelGzipReader.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "BenchmarkHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+const char*
+name(ChunkFetcherConfiguration::Strategy strategy)
+{
+    switch (strategy) {
+    case ChunkFetcherConfiguration::Strategy::FIXED:        return "FetchNextFixed";
+    case ChunkFetcherConfiguration::Strategy::ADAPTIVE:     return "FetchNextAdaptive";
+    case ChunkFetcherConfiguration::Strategy::MULTI_STREAM: return "FetchNextMultiStream";
+    }
+    return "?";
+}
+
+ChunkFetcherConfiguration
+config(ChunkFetcherConfiguration::Strategy strategy)
+{
+    ChunkFetcherConfiguration result;
+    result.parallelism = 4;
+    result.chunkSizeBytes = 512 * KiB;
+    result.strategy = strategy;
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation: prefetch strategy (paper 3.2)");
+
+    const auto data = workloads::base64Data(bench::scaledSize(32 * MiB), 0xAB6);
+    const auto compressed = compressPigzLike({ data.data(), data.size() }, 6, 256 * 1024);
+    const auto repeats = bench::benchRepeats(3);
+
+    const ChunkFetcherConfiguration::Strategy strategies[] = {
+        ChunkFetcherConfiguration::Strategy::FIXED,
+        ChunkFetcherConfiguration::Strategy::ADAPTIVE,
+        ChunkFetcherConfiguration::Strategy::MULTI_STREAM,
+    };
+
+    std::printf("  --- sequential full read ---\n");
+    for (const auto strategy : strategies) {
+        std::size_t hits = 0;
+        std::size_t dispatched = 0;
+        std::size_t onDemand = 0;
+        const auto bandwidth = bench::measureBandwidth(data.size(), repeats, [&]() {
+            ParallelGzipReader reader(std::make_unique<MemoryFileReader>(compressed),
+                                      config(strategy));
+            (void)reader.decompressAll();
+            hits = reader.fetcherStatistics().prefetchHits;
+            dispatched = reader.fetcherStatistics().prefetchDispatched;
+            onDemand = reader.fetcherStatistics().onDemandDecodes;
+        });
+        std::printf("  %-22s %10.2f ± %-8.2f MB/s   prefetch hits %zu/%zu, on-demand %zu\n",
+                    name(strategy), bandwidth.mean / 1e6, bandwidth.stddev / 1e6,
+                    hits, dispatched, onDemand);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n  --- two interleaved sequential readers (ratarmount pattern) ---\n");
+    for (const auto strategy : strategies) {
+        std::size_t hits = 0;
+        std::size_t dispatched = 0;
+        std::size_t onDemand = 0;
+        const auto bandwidth = bench::measureBandwidth(data.size(), repeats, [&]() {
+            ParallelGzipReader reader(std::make_unique<MemoryFileReader>(compressed),
+                                      config(strategy));
+            reader.setVerifyChecksums(false);  // interleaved access breaks the CRC chain anyway
+
+            /* Alternate 256 KiB reads from the halves of the stream. */
+            std::vector<std::uint8_t> buffer(256 * KiB);
+            std::size_t positionA = 0;
+            std::size_t positionB = data.size() / 2;
+            bool moreA = true;
+            bool moreB = true;
+            while (moreA || moreB) {
+                if (moreA) {
+                    reader.seek(positionA);
+                    const auto n = reader.read(buffer.data(),
+                                               std::min(buffer.size(), data.size() / 2 - positionA));
+                    positionA += n;
+                    moreA = (n > 0) && (positionA < data.size() / 2);
+                }
+                if (moreB) {
+                    reader.seek(positionB);
+                    const auto n = reader.read(buffer.data(),
+                                               std::min(buffer.size(), data.size() - positionB));
+                    positionB += n;
+                    moreB = (n > 0) && (positionB < data.size());
+                }
+            }
+            hits = reader.fetcherStatistics().prefetchHits;
+            dispatched = reader.fetcherStatistics().prefetchDispatched;
+            onDemand = reader.fetcherStatistics().onDemandDecodes;
+        });
+        std::printf("  %-22s %10.2f ± %-8.2f MB/s   prefetch hits %zu/%zu, on-demand %zu\n",
+                    name(strategy), bandwidth.mean / 1e6, bandwidth.stddev / 1e6,
+                    hits, dispatched, onDemand);
+        std::fflush(stdout);
+    }
+
+    std::printf("\n  Expected shape: all strategies tie on sequential reads; the\n"
+                "  multi-stream strategy wins prefetch hits on interleaved access.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * Table 2 reproduction: bandwidths of the individual pipeline components —
+ * the four Dynamic block finder (DBF) implementations, the Non-Compressed
+ * block finder (NBF), marker replacement, writing, and newline counting.
+ *
+ * Paper values (MB/s): DBF zlib 0.12, DBF custom deflate 3.4, pugz finder
+ * 11.3, DBF skip-LUT 18.3, DBF rapidgzip 43.1, NBF 301.8, marker
+ * replacement 1254, write to /dev/shm 3799, count newlines 9550.
+ * (The pugz finder is approximated by the skip-LUT variant; see DESIGN.md.)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+
+#include "blockfinder/DynamicBlockFinderNaive.hpp"
+#include "blockfinder/DynamicBlockFinderRapid.hpp"
+#include "blockfinder/DynamicBlockFinderSkipLUT.hpp"
+#include "blockfinder/DynamicBlockFinderZlib.hpp"
+#include "blockfinder/NonCompressedBlockFinder.hpp"
+#include "deflate/DecodedData.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "BenchmarkHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+template<typename Finder>
+bench::Measurement
+measureFinder(const std::vector<std::uint8_t>& data, std::size_t repeats)
+{
+    return bench::measureBandwidth(data.size(), repeats, [&]() {
+        Finder finder;
+        std::size_t fromBit = 0;
+        while (true) {
+            const auto offset = finder.find({ data.data(), data.size() }, fromBit);
+            if (offset == blockfinder::NOT_FOUND) {
+                break;
+            }
+            fromBit = offset + 1;
+        }
+    });
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printHeader("Table 2: component bandwidths");
+
+    const auto repeats = bench::benchRepeats(3);
+
+    /* Random data, like the paper: the finders search it exhaustively. */
+    const auto small = workloads::randomData(bench::scaledSize(512 * KiB), 0x7AB1E2);
+    const auto medium = workloads::randomData(bench::scaledSize(4 * MiB), 0x7AB1E2);
+    const auto large = workloads::randomData(bench::scaledSize(32 * MiB), 0x7AB1E2);
+
+    /* DBF zlib is ~350x slower than DBF rapidgzip: use a small input. */
+    {
+        const auto tiny = workloads::randomData(bench::scaledSize(96 * KiB), 0x7AB1E2);
+        printRow("DBF zlib", measureFinder<blockfinder::DynamicBlockFinderZlib>(tiny, repeats),
+                 "0.1234 MB/s");
+    }
+    printRow("DBF custom deflate",
+             measureFinder<blockfinder::DynamicBlockFinderNaive>(small, repeats), "3.403 MB/s");
+    printRow("DBF skip-LUT (~pugz finder)",
+             measureFinder<blockfinder::DynamicBlockFinderSkipLUT>(medium, repeats),
+             "18.26 (pugz: 11.3) MB/s");
+    printRow("DBF rapidgzip",
+             measureFinder<blockfinder::DynamicBlockFinderRapid>(medium, repeats), "43.1 MB/s");
+    printRow("NBF", measureFinder<blockfinder::NonCompressedBlockFinder>(large, repeats),
+             "301.8 MB/s");
+
+    /* Marker replacement: resolve a 16-bit buffer with ~10% markers. */
+    {
+        const auto symbolCount = bench::scaledSize(32 * MiB);
+        std::vector<std::uint16_t> symbols(symbolCount);
+        Xorshift64 random(0x7AB1E3);
+        for (auto& symbol : symbols) {
+            const auto value = random();
+            symbol = (value % 10 == 0)
+                     ? static_cast<std::uint16_t>(deflate::MARKER_BASE + (value % 32768))
+                     : static_cast<std::uint16_t>(value & 0xFFU);
+        }
+        const auto window = workloads::randomData(32768, 0x7AB1E4);
+        std::vector<std::uint8_t> output(symbols.size());
+        printRow("Marker replacement",
+                 bench::measureBandwidth(symbols.size(), repeats, [&]() {
+                     deflate::replaceMarkers({ symbols.data(), symbols.size() },
+                                             { window.data(), window.size() },
+                                             output.data());
+                 }),
+                 "1254 MB/s");
+    }
+
+    /* Write to /dev/shm. */
+    {
+        const char* path = "/dev/shm/rapidgzip-bench-write.bin";
+        printRow("Write to /dev/shm",
+                 bench::measureBandwidth(large.size(), repeats, [&]() {
+                     std::ofstream file(path, std::ios::binary | std::ios::trunc);
+                     file.write(reinterpret_cast<const char*>(large.data()),
+                                static_cast<std::streamsize>(large.size()));
+                 }),
+                 "3799 MB/s");
+        std::remove(path);
+    }
+
+    /* Count newlines (the post-processing task the paper uses as a ceiling). */
+    {
+        const auto text = workloads::base64Data(bench::scaledSize(32 * MiB), 0x7AB1E5);
+        volatile std::size_t sink = 0;
+        printRow("Count newlines",
+                 bench::measureBandwidth(text.size(), repeats, [&]() {
+                     std::size_t count = 0;
+                     const auto* p = text.data();
+                     const auto* end = p + text.size();
+                     while ((p = static_cast<const std::uint8_t*>(
+                                 std::memchr(p, '\n', static_cast<std::size_t>(end - p))))
+                            != nullptr) {
+                         ++count;
+                         ++p;
+                     }
+                     sink = sink + count;
+                 }),
+                 "9550 MB/s");
+    }
+
+    std::printf("\n  Expected shape (paper Table 2): each row an order of magnitude-ish\n"
+                "  above the previous: zlib trial << custom parse << skip-LUT < rapid\n"
+                "  << NBF << marker replacement << write << newline counting.\n");
+    return 0;
+}
