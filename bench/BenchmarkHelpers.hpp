@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -25,7 +27,11 @@ namespace rapidgzip::bench {
 [[nodiscard]] inline double
 benchScale()
 {
-    if (const char* scale = std::getenv("RAPIDGZIP_BENCH_SCALE"); scale != nullptr) {
+    /* std::atof on an empty or non-numeric string returns 0.0, which the
+     * clamp below would silently turn into the minimum scale; treat empty
+     * as unset instead. */
+    if (const char* scale = std::getenv("RAPIDGZIP_BENCH_SCALE");
+        (scale != nullptr) && (scale[0] != '\0')) {
         return std::max(0.01, std::atof(scale));
     }
     return 1.0;
@@ -40,8 +46,11 @@ scaledSize(std::size_t bytes)
 [[nodiscard]] inline std::size_t
 benchRepeats(std::size_t defaultRepeats)
 {
-    if (const char* repeats = std::getenv("RAPIDGZIP_BENCH_REPEATS"); repeats != nullptr) {
-        return std::max<std::size_t>(1, static_cast<std::size_t>(std::atoll(repeats)));
+    if (const char* repeats = std::getenv("RAPIDGZIP_BENCH_REPEATS");
+        (repeats != nullptr) && (repeats[0] != '\0')) {
+        /* Guard against negative values: casting a negative long long to
+         * size_t would wrap to an absurd repeat count. */
+        return std::max<long long>(1, std::atoll(repeats));
     }
     return defaultRepeats;
 }

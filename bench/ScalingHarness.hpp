@@ -6,6 +6,8 @@
  * prints bandwidth rows in decompressed bytes per second, like the paper.
  */
 
+#include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>

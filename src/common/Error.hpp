@@ -1,0 +1,57 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rapidgzip {
+
+/**
+ * Base class for all exceptions thrown by the rapidgzip core library.
+ * Benchmarks and callers catch this one type; more specific subclasses
+ * exist so tests can assert on the failing layer.
+ */
+class RapidgzipError : public std::runtime_error
+{
+public:
+    explicit RapidgzipError(const std::string& message) :
+        std::runtime_error(message)
+    {}
+};
+
+/** Input does not look like (or stopped being) a valid gzip stream. */
+class InvalidGzipStreamError : public RapidgzipError
+{
+public:
+    explicit InvalidGzipStreamError(const std::string& message) :
+        RapidgzipError(message)
+    {}
+};
+
+/** The decompressed data failed CRC32 / ISIZE verification. */
+class ChecksumError : public RapidgzipError
+{
+public:
+    explicit ChecksumError(const std::string& message) :
+        RapidgzipError(message)
+    {}
+};
+
+/** Decompressed data violates a decoder restriction, e.g. pugz's ASCII range. */
+class UnsupportedDataError : public RapidgzipError
+{
+public:
+    explicit UnsupportedDataError(const std::string& message) :
+        RapidgzipError(message)
+    {}
+};
+
+/** I/O layer failure (open, read, seek). */
+class FileIoError : public RapidgzipError
+{
+public:
+    explicit FileIoError(const std::string& message) :
+        RapidgzipError(message)
+    {}
+};
+
+}  // namespace rapidgzip

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rapidgzip {
+
+/**
+ * Fixed-size thread pool with a FIFO task queue. Tasks return futures.
+ * Kept deliberately simple: the chunk fetcher bounds its own queue depth
+ * through the prefetch strategy, so no backpressure is needed here.
+ */
+class ThreadPool
+{
+public:
+    explicit ThreadPool( std::size_t threadCount )
+    {
+        if ( threadCount == 0 ) {
+            threadCount = 1;
+        }
+        m_threads.reserve( threadCount );
+        for ( std::size_t i = 0; i < threadCount; ++i ) {
+            m_threads.emplace_back( [this] () { workerLoop(); } );
+        }
+    }
+
+    ~ThreadPool()
+    {
+        {
+            std::lock_guard<std::mutex> lock( m_mutex );
+            m_shuttingDown = true;
+            /* Discard unstarted tasks: their futures (if still referenced)
+             * report broken_promise instead of blocking shutdown on work
+             * nobody will consume. Running tasks complete via join(). */
+            m_tasks.clear();
+        }
+        m_workAvailable.notify_all();
+        for ( auto& thread : m_threads ) {
+            thread.join();
+        }
+    }
+
+    ThreadPool( const ThreadPool& ) = delete;
+    ThreadPool& operator=( const ThreadPool& ) = delete;
+
+    template<typename Functor>
+    [[nodiscard]] std::future<std::invoke_result_t<Functor> >
+    submit( Functor&& functor )
+    {
+        using Result = std::invoke_result_t<Functor>;
+        auto task = std::make_shared<std::packaged_task<Result()> >( std::forward<Functor>( functor ) );
+        auto future = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock( m_mutex );
+            m_tasks.emplace_back( [task = std::move( task )] () { ( *task )(); } );
+        }
+        m_workAvailable.notify_one();
+        return future;
+    }
+
+    [[nodiscard]] std::size_t
+    threadCount() const noexcept
+    {
+        return m_threads.size();
+    }
+
+private:
+    void
+    workerLoop()
+    {
+        while ( true ) {
+            std::function<void()> task;
+            {
+                std::unique_lock<std::mutex> lock( m_mutex );
+                m_workAvailable.wait( lock, [this] () { return m_shuttingDown || !m_tasks.empty(); } );
+                if ( m_tasks.empty() ) {
+                    return;  /* shutting down and drained */
+                }
+                task = std::move( m_tasks.front() );
+                m_tasks.pop_front();
+            }
+            task();
+        }
+    }
+
+    std::mutex m_mutex;
+    std::condition_variable m_workAvailable;
+    std::deque<std::function<void()> > m_tasks;
+    std::vector<std::thread> m_threads;
+    bool m_shuttingDown{ false };
+};
+
+}  // namespace rapidgzip

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+
+#include "Error.hpp"
+
+namespace rapidgzip {
+
+inline constexpr std::size_t KiB = std::size_t( 1 ) << 10U;
+inline constexpr std::size_t MiB = std::size_t( 1 ) << 20U;
+inline constexpr std::size_t GiB = std::size_t( 1 ) << 30U;
+
+template<typename T>
+[[nodiscard]] constexpr T
+ceilDiv( T dividend, T divisor ) noexcept
+{
+    return ( dividend + divisor - 1 ) / divisor;
+}
+
+/** Monotonic wall-clock stopwatch. elapsed() returns seconds as double. */
+class Stopwatch
+{
+public:
+    Stopwatch() noexcept :
+        m_start( std::chrono::steady_clock::now() )
+    {}
+
+    void
+    reset() noexcept
+    {
+        m_start = std::chrono::steady_clock::now();
+    }
+
+    [[nodiscard]] double
+    elapsed() const noexcept
+    {
+        return durationSeconds( m_start, std::chrono::steady_clock::now() );
+    }
+
+    [[nodiscard]] static double
+    durationSeconds( std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to ) noexcept
+    {
+        return std::chrono::duration<double>( to - from ).count();
+    }
+
+private:
+    std::chrono::steady_clock::time_point m_start;
+};
+
+[[nodiscard]] inline std::string
+formatBytes( std::size_t bytes )
+{
+    const char* const units[] = { "B", "KiB", "MiB", "GiB", "TiB" };
+    double value = static_cast<double>( bytes );
+    std::size_t unit = 0;
+    while ( ( value >= 1024.0 ) && ( unit + 1 < sizeof( units ) / sizeof( units[0] ) ) ) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buffer[64];
+    if ( unit == 0 ) {
+        std::snprintf( buffer, sizeof( buffer ), "%zu B", bytes );
+    } else {
+        std::snprintf( buffer, sizeof( buffer ), "%.1f %s", value, units[unit] );
+    }
+    return std::string( buffer );
+}
+
+/**
+ * Small, fast, seedable PRNG (xorshift64*). Deterministic across platforms,
+ * which matters because the synthetic workloads must be reproducible for the
+ * paper-figure comparisons.
+ */
+class Xorshift64
+{
+public:
+    explicit constexpr Xorshift64( std::uint64_t seed ) noexcept :
+        /* Never allow the all-zero state, which is a fixed point. */
+        m_state( seed == 0 ? 0x9E3779B97F4A7C15ULL : seed )
+    {}
+
+    constexpr std::uint64_t
+    operator()() noexcept
+    {
+        m_state ^= m_state >> 12U;
+        m_state ^= m_state << 25U;
+        m_state ^= m_state >> 27U;
+        return m_state * 0x2545F4914F6CDD1DULL;
+    }
+
+    /** Uniformly distributed value in [0, bound). @p bound must be > 0. */
+    constexpr std::size_t
+    below( std::size_t bound ) noexcept
+    {
+        return static_cast<std::size_t>( operator()() % bound );
+    }
+
+private:
+    std::uint64_t m_state;
+};
+
+/**
+ * Non-owning contiguous read-only view, the C++17 stand-in for
+ * std::span<const T>. Brace-constructible from { pointer, size } and
+ * implicitly convertible from any contiguous container with data()/size()
+ * (std::vector, std::array, std::string, and std::span once available).
+ */
+template<typename T>
+class VectorView
+{
+public:
+    constexpr VectorView() noexcept = default;
+
+    constexpr VectorView( const T* data, std::size_t size ) noexcept :
+        m_data( data ),
+        m_size( size )
+    {}
+
+    template<typename Container,
+             typename = std::enable_if_t<
+                 std::is_convertible_v<decltype( std::declval<const Container&>().data() ), const T*> > >
+    constexpr VectorView( const Container& container ) noexcept :
+        m_data( container.data() ),
+        m_size( container.size() )
+    {}
+
+    [[nodiscard]] constexpr const T* data() const noexcept { return m_data; }
+    [[nodiscard]] constexpr std::size_t size() const noexcept { return m_size; }
+    [[nodiscard]] constexpr bool empty() const noexcept { return m_size == 0; }
+    [[nodiscard]] constexpr const T* begin() const noexcept { return m_data; }
+    [[nodiscard]] constexpr const T* end() const noexcept { return m_data + m_size; }
+    [[nodiscard]] constexpr const T& operator[]( std::size_t i ) const noexcept { return m_data[i]; }
+
+    [[nodiscard]] constexpr VectorView
+    subView( std::size_t offset, std::size_t count ) const noexcept
+    {
+        offset = offset > m_size ? m_size : offset;
+        count = count > m_size - offset ? m_size - offset : count;
+        return VectorView( m_data + offset, count );
+    }
+
+private:
+    const T* m_data{ nullptr };
+    std::size_t m_size{ 0 };
+};
+
+using BufferView = VectorView<std::uint8_t>;
+
+}  // namespace rapidgzip

@@ -1,0 +1,301 @@
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "../common/ThreadPool.hpp"
+#include "../common/Util.hpp"
+#include "../io/FileReader.hpp"
+#include "DeflateChunks.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Configuration for the parallel chunk fetcher (paper §3.2). The prefetch
+ * strategy decides which chunks to decode speculatively after each access:
+ *
+ *  - FIXED:        always prefetch the next `parallelism` chunks.
+ *  - ADAPTIVE:     start shallow and double the prefetch depth for every
+ *                  consecutive sequential access (the paper's default) —
+ *                  cheap for random access, full depth for linear scans.
+ *  - MULTI_STREAM: track up to four interleaved sequential access streams
+ *                  (the ratarmount FUSE pattern) and prefetch ahead of each.
+ */
+struct ChunkFetcherConfiguration
+{
+    enum class Strategy
+    {
+        FIXED,
+        ADAPTIVE,
+        MULTI_STREAM,
+    };
+
+    std::size_t parallelism{ std::max<std::size_t>( 1, std::thread::hardware_concurrency() ) };
+    std::size_t chunkSizeBytes{ 4 * MiB };
+    Strategy strategy{ Strategy::ADAPTIVE };
+    /** Decoded chunks kept in the cache; 0 = derive from parallelism. */
+    std::size_t cacheChunkCount{ 0 };
+};
+
+struct FetcherStatistics
+{
+    std::size_t prefetchDispatched{ 0 };  /**< speculative chunk decodes submitted */
+    std::size_t prefetchHits{ 0 };        /**< accesses served by a speculative decode */
+    std::size_t onDemandDecodes{ 0 };     /**< accesses that had to decode synchronously */
+    std::size_t cacheHits{ 0 };           /**< repeat accesses to an already-counted chunk */
+};
+
+/**
+ * Decodes chunks of a chunked Deflate stream on a thread pool, caches the
+ * results, and prefetches according to the configured strategy. All public
+ * methods are thread-compatible with the single-owner usage pattern of
+ * ParallelGzipReader (one consumer thread; decoding is what parallelizes).
+ */
+class ChunkFetcher
+{
+public:
+    using ChunkDataPtr = std::shared_ptr<const DecodedChunk>;
+
+    ChunkFetcher( std::shared_ptr<const FileReader> file,
+                  std::vector<ChunkBoundary> chunks,
+                  const ChunkFetcherConfiguration& configuration ) :
+        m_file( std::move( file ) ),
+        m_chunks( std::move( chunks ) ),
+        m_configuration( configuration ),
+        m_cacheCapacity( configuration.cacheChunkCount > 0
+                         ? configuration.cacheChunkCount
+                         : std::max<std::size_t>( 2 * configuration.parallelism + 4, 8 ) ),
+        m_threadPool( std::max<std::size_t>( 1, configuration.parallelism ) )
+    {}
+
+    [[nodiscard]] std::size_t
+    chunkCount() const noexcept
+    {
+        return m_chunks.size();
+    }
+
+    [[nodiscard]] const FetcherStatistics&
+    statistics() const noexcept
+    {
+        return m_statistics;
+    }
+
+    /** Blocking chunk access; dispatches strategy-driven prefetches. */
+    [[nodiscard]] ChunkDataPtr
+    get( std::size_t index )
+    {
+        std::shared_future<ChunkDataPtr> future;
+        {
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            ++m_accessClock;
+
+            if ( const auto match = m_cache.find( index ); match != m_cache.end() ) {
+                match->second.lastUse = m_accessClock;
+                if ( match->second.prefetched && !match->second.counted ) {
+                    ++m_statistics.prefetchHits;
+                    match->second.counted = true;
+                } else {
+                    ++m_statistics.cacheHits;
+                }
+                future = match->second.future;
+            } else {
+                ++m_statistics.onDemandDecodes;
+                future = insertDecodeTask( index, /* prefetched */ false );
+            }
+
+            dispatchPrefetches( index );
+            evictStaleEntries( index );
+        }
+        return future.get();
+    }
+
+    /**
+     * Cache-populating decode that bypasses the prefetch strategy and the
+     * statistics — used by the offset-discovery sweep so its work is not
+     * thrown away and does not skew the strategy ablations. Errors surface
+     * on future.get().
+     */
+    [[nodiscard]] std::shared_future<ChunkDataPtr>
+    fetchQuietly( std::size_t index )
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        ++m_accessClock;
+        if ( const auto match = m_cache.find( index ); match != m_cache.end() ) {
+            match->second.lastUse = m_accessClock;
+            return match->second.future;
+        }
+        auto future = insertDecodeTask( index, /* prefetched */ false );
+        evictStaleEntries( index );
+        return future;
+    }
+
+private:
+    struct CacheEntry
+    {
+        std::shared_future<ChunkDataPtr> future;
+        std::uint64_t lastUse{ 0 };
+        bool prefetched{ false };
+        bool counted{ false };
+    };
+
+    /** Caller must hold m_mutex. */
+    std::shared_future<ChunkDataPtr>
+    insertDecodeTask( std::size_t index, bool prefetched )
+    {
+        const auto boundary = m_chunks[index];
+        auto future = m_threadPool.submit( [file = m_file, boundary] () -> ChunkDataPtr {
+            return std::make_shared<const DecodedChunk>(
+                decodeRawDeflateChunk( *file, boundary.compressedBegin, boundary.compressedEnd ) );
+        } ).share();
+        CacheEntry entry;
+        entry.future = future;
+        entry.lastUse = m_accessClock;
+        entry.prefetched = prefetched;
+        m_cache.emplace( index, std::move( entry ) );
+        return future;
+    }
+
+    /** Caller must hold m_mutex. */
+    void
+    prefetch( std::size_t index )
+    {
+        if ( ( index >= m_chunks.size() ) || ( m_cache.find( index ) != m_cache.end() ) ) {
+            return;
+        }
+        ++m_statistics.prefetchDispatched;
+        (void)insertDecodeTask( index, /* prefetched */ true );
+    }
+
+    /** Caller must hold m_mutex. */
+    void
+    dispatchPrefetches( std::size_t accessedIndex )
+    {
+        const auto parallelism = std::max<std::size_t>( 1, m_configuration.parallelism );
+        switch ( m_configuration.strategy ) {
+        case ChunkFetcherConfiguration::Strategy::FIXED:
+            for ( std::size_t i = 1; i <= parallelism; ++i ) {
+                prefetch( accessedIndex + i );
+            }
+            break;
+
+        case ChunkFetcherConfiguration::Strategy::ADAPTIVE:
+        {
+            /* Repeated accesses to the same chunk (byte-wise read() loops)
+             * neither grow nor reset the sequential streak. */
+            if ( ( m_lastAccess != SIZE_MAX ) && ( accessedIndex == m_lastAccess + 1 ) ) {
+                ++m_sequentialStreak;
+            } else if ( accessedIndex != m_lastAccess ) {
+                m_sequentialStreak = 0;
+            }
+            m_lastAccess = accessedIndex;
+            const auto depth = std::min<std::size_t>(
+                parallelism,
+                std::size_t( 1 ) << std::min<std::size_t>( m_sequentialStreak, 16 ) );
+            for ( std::size_t i = 1; i <= depth; ++i ) {
+                prefetch( accessedIndex + i );
+            }
+            break;
+        }
+
+        case ChunkFetcherConfiguration::Strategy::MULTI_STREAM:
+        {
+            constexpr std::size_t MAX_STREAMS = 4;
+            auto stream = std::find_if( m_streams.begin(), m_streams.end(),
+                                        [accessedIndex] ( const AccessStream& s ) {
+                                            return s.nextExpected == accessedIndex
+                                                   || s.nextExpected == accessedIndex + 1;
+                                        } );
+            if ( stream == m_streams.end() ) {
+                if ( m_streams.size() >= MAX_STREAMS ) {
+                    stream = std::min_element( m_streams.begin(), m_streams.end(),
+                                               [] ( const AccessStream& a, const AccessStream& b ) {
+                                                   return a.lastUse < b.lastUse;
+                                               } );
+                } else {
+                    m_streams.push_back( {} );
+                    stream = std::prev( m_streams.end() );
+                }
+                stream->streak = 0;
+            } else if ( stream->nextExpected == accessedIndex ) {
+                /* True sequential advance; repeated accesses to the same
+                 * chunk (byte-wise read() loops) leave the streak alone. */
+                ++stream->streak;
+            }
+            stream->nextExpected = accessedIndex + 1;
+            stream->lastUse = m_accessClock;
+
+            /* Budget splits across streams; each ramps up with its streak
+             * like ADAPTIVE so a stray one-off access stays cheap. */
+            const auto perStreamBudget =
+                std::max<std::size_t>( 1, parallelism / std::max<std::size_t>( 1, m_streams.size() ) );
+            for ( const auto& s : m_streams ) {
+                const auto depth = std::min( perStreamBudget, s.streak + 1 );
+                for ( std::size_t i = 0; i < depth; ++i ) {
+                    prefetch( s.nextExpected + i );
+                }
+            }
+            break;
+        }
+        }
+    }
+
+    /** Caller must hold m_mutex. Never evicts in-flight decodes or @p keepIndex. */
+    void
+    evictStaleEntries( std::size_t keepIndex )
+    {
+        while ( m_cache.size() > m_cacheCapacity ) {
+            auto victim = m_cache.end();
+            for ( auto it = m_cache.begin(); it != m_cache.end(); ++it ) {
+                if ( it->first == keepIndex ) {
+                    continue;
+                }
+                if ( it->second.future.wait_for( std::chrono::seconds( 0 ) )
+                     != std::future_status::ready ) {
+                    continue;
+                }
+                if ( ( victim == m_cache.end() ) || ( it->second.lastUse < victim->second.lastUse ) ) {
+                    victim = it;
+                }
+            }
+            if ( victim == m_cache.end() ) {
+                break;  /* everything else is still decoding */
+            }
+            m_cache.erase( victim );
+        }
+    }
+
+    struct AccessStream
+    {
+        std::size_t nextExpected{ 0 };
+        std::size_t streak{ 0 };
+        std::uint64_t lastUse{ 0 };
+    };
+
+    std::shared_ptr<const FileReader> m_file;
+    std::vector<ChunkBoundary> m_chunks;
+    ChunkFetcherConfiguration m_configuration;
+    std::size_t m_cacheCapacity;
+
+    std::mutex m_mutex;
+    std::map<std::size_t, CacheEntry> m_cache;
+    FetcherStatistics m_statistics;
+    std::uint64_t m_accessClock{ 0 };
+
+    std::size_t m_lastAccess{ SIZE_MAX };
+    std::size_t m_sequentialStreak{ 0 };
+    std::vector<AccessStream> m_streams;
+
+    /* Pool last: its destructor runs first, joining workers that capture m_file. */
+    ThreadPool m_threadPool;
+};
+
+}  // namespace rapidgzip

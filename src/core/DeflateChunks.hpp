@@ -1,0 +1,280 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "../gzip/GzipHeader.hpp"
+#include "../gzip/ZlibHelpers.hpp"
+#include "../io/FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Shared machinery for chunked parallel gzip decompression: locating
+ * full-flush restart points (the pigz/Z_FULL_FLUSH `00 00 FF FF` sync
+ * marker), partitioning the stream into chunks, and raw-Deflate-decoding a
+ * chunk that starts at such a restart point. Used by ParallelGzipReader and
+ * the pugz-like baseline.
+ *
+ * A full flush both byte-aligns the stream (empty stored block) and resets
+ * the LZ77 window, so a chunk starting right after the marker decodes
+ * standalone with an empty window. Chunks that need window propagation
+ * (arbitrary block offsets) arrive with the two-stage decoder in a later
+ * PR.
+ */
+
+inline constexpr std::size_t FULL_FLUSH_MARKER_SIZE = 4;
+
+/** Marker *end* offsets (chunk start candidates) in [searchBegin, searchEnd). */
+[[nodiscard]] inline std::vector<std::size_t>
+findFullFlushMarkers( const FileReader& file, std::size_t searchBegin, std::size_t searchEnd )
+{
+    static constexpr std::uint8_t MARKER[FULL_FLUSH_MARKER_SIZE] = { 0x00, 0x00, 0xFF, 0xFF };
+    constexpr std::size_t BLOCK = 4 * MiB;
+
+    std::vector<std::size_t> result;
+    searchEnd = std::min( searchEnd, file.size() );
+    if ( ( searchBegin >= searchEnd ) || ( searchEnd - searchBegin < FULL_FLUSH_MARKER_SIZE ) ) {
+        return result;
+    }
+
+    std::vector<std::uint8_t> buffer( BLOCK + FULL_FLUSH_MARKER_SIZE - 1 );
+    for ( std::size_t offset = searchBegin; offset < searchEnd; offset += BLOCK ) {
+        /* Overlap blocks by marker-size - 1 bytes so straddling matches are found. */
+        const auto toRead = std::min( buffer.size(), searchEnd - offset );
+        const auto got = file.pread( buffer.data(), toRead, offset );
+        if ( got < FULL_FLUSH_MARKER_SIZE ) {
+            break;
+        }
+        const auto* const begin = buffer.data();
+        const auto* const end = begin + got;
+        for ( const auto* p = begin; ( p = std::search( p, end, MARKER, MARKER + FULL_FLUSH_MARKER_SIZE ) ) != end; ++p ) {
+            result.push_back( offset + static_cast<std::size_t>( p - begin ) + FULL_FLUSH_MARKER_SIZE );
+        }
+    }
+
+    /* The overlap can report a marker twice; offsets are sorted per block. */
+    std::sort( result.begin(), result.end() );
+    result.erase( std::unique( result.begin(), result.end() ), result.end() );
+    return result;
+}
+
+struct ChunkBoundary
+{
+    std::size_t compressedBegin{ 0 };  /**< first byte of the chunk's Deflate data */
+    std::size_t compressedEnd{ 0 };    /**< one past the last byte this chunk may consume */
+};
+
+/**
+ * Cheap validation that @p offset really is a Deflate restart point: raw
+ * inflate a small probe window and check zlib does not reject it. False
+ * sync-marker matches inside compressed data (probability ~2^-32 per byte)
+ * virtually never survive this; the ones that would are caught later by the
+ * checksum verification and its serial fallback.
+ */
+[[nodiscard]] inline bool
+probeRawDeflatePoint( const FileReader& file, std::size_t offset )
+{
+    constexpr std::size_t PROBE_INPUT = 16 * KiB;
+    constexpr std::size_t PROBE_OUTPUT = 8 * KiB;
+
+    std::vector<std::uint8_t> input( std::min( PROBE_INPUT, file.size() - std::min( offset, file.size() ) ) );
+    const auto got = file.pread( input.data(), input.size(), offset );
+    if ( got == 0 ) {
+        return false;
+    }
+
+    z_stream stream{};
+    if ( inflateInit2( &stream, RAW_DEFLATE_WINDOW_BITS ) != Z_OK ) {
+        throw RapidgzipError( "inflateInit2 failed" );
+    }
+    stream.next_in = input.data();
+    stream.avail_in = static_cast<uInt>( got );
+    std::uint8_t output[PROBE_OUTPUT];
+    stream.next_out = output;
+    stream.avail_out = sizeof( output );
+    const auto code = inflate( &stream, Z_NO_FLUSH );
+    inflateEnd( &stream );
+    return ( code == Z_OK ) || ( code == Z_STREAM_END ) || ( code == Z_BUF_ERROR );
+}
+
+/**
+ * Partition [firstDeflateByte, compressedEnd) into chunks of at least
+ * @p chunkSizeBytes compressed bytes, cutting only at validated restart
+ * candidates. Candidates are marker-end offsets from findFullFlushMarkers().
+ */
+[[nodiscard]] inline std::vector<ChunkBoundary>
+buildChunkTable( const FileReader& file,
+                 const std::vector<std::size_t>& restartCandidates,
+                 std::size_t firstDeflateByte,
+                 std::size_t compressedEnd,
+                 std::size_t chunkSizeBytes )
+{
+    std::vector<ChunkBoundary> chunks;
+    std::size_t currentBegin = firstDeflateByte;
+    for ( const auto candidate : restartCandidates ) {
+        if ( ( candidate <= currentBegin ) || ( candidate >= compressedEnd ) ) {
+            continue;
+        }
+        if ( candidate - currentBegin < std::max<std::size_t>( chunkSizeBytes, 1 ) ) {
+            continue;  /* merge flush intervals until the chunk is big enough */
+        }
+        if ( !probeRawDeflatePoint( file, candidate ) ) {
+            continue;  /* false marker match — keep the bytes in the current chunk */
+        }
+        chunks.push_back( { currentBegin, candidate } );
+        currentBegin = candidate;
+    }
+    if ( currentBegin < compressedEnd || chunks.empty() ) {
+        chunks.push_back( { currentBegin, compressedEnd } );
+    }
+    return chunks;
+}
+
+struct DecodedChunk
+{
+    std::vector<std::uint8_t> data;
+    std::uint32_t crc32{ 0 };          /**< CRC32 of data (zlib polynomial) */
+    std::size_t memberRestarts{ 0 };   /**< gzip member transitions crossed inside the chunk */
+    bool reachedStreamEnd{ false };
+    /** Absolute file offset just past the final Deflate byte when
+     * reachedStreamEnd — where the gzip footer begins. Trailing bytes
+     * beyond footer + padding are ignored, mirroring `gzip -d`. */
+    std::size_t deflateEndOffset{ 0 };
+};
+
+namespace detail {
+
+/** Owns a raw-inflate z_stream; inflateEnd runs on every exit path. */
+class RawInflateStream
+{
+public:
+    RawInflateStream()
+    {
+        if ( inflateInit2( &m_stream, RAW_DEFLATE_WINDOW_BITS ) != Z_OK ) {
+            throw RapidgzipError( "inflateInit2 failed" );
+        }
+    }
+
+    ~RawInflateStream()
+    {
+        inflateEnd( &m_stream );
+    }
+
+    RawInflateStream( const RawInflateStream& ) = delete;
+    RawInflateStream& operator=( const RawInflateStream& ) = delete;
+
+    [[nodiscard]] z_stream& get() noexcept { return m_stream; }
+
+private:
+    z_stream m_stream{};
+};
+
+}  // namespace detail
+
+/**
+ * Raw-Deflate-decode the chunk [begin, end). @p begin must be a restart
+ * point (empty window). Handles gzip member transitions that fall inside
+ * the chunk (trailer + next member's header + fresh Deflate stream).
+ * Throws InvalidGzipStreamError if zlib rejects the data.
+ */
+[[nodiscard]] inline DecodedChunk
+decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t end )
+{
+    end = std::min( end, file.size() );
+    DecodedChunk result;
+    if ( begin >= end ) {
+        return result;
+    }
+
+    std::vector<std::uint8_t> input( end - begin );
+    if ( file.pread( input.data(), input.size(), begin ) != input.size() ) {
+        throw FileIoError( "Short read of compressed chunk" );
+    }
+
+    detail::RawInflateStream inflater;
+    auto& stream = inflater.get();
+    detail::ZlibInputFeeder feeder( input.data(), input.size() );
+
+    result.crc32 = static_cast<std::uint32_t>( ::crc32( 0L, Z_NULL, 0 ) );
+    std::vector<std::uint8_t> buffer( 256 * 1024 );
+    while ( true ) {
+        feeder.feed( stream );
+        stream.next_out = buffer.data();
+        stream.avail_out = static_cast<uInt>( buffer.size() );
+        const auto code = inflate( &stream, Z_NO_FLUSH );
+        const auto produced = buffer.size() - stream.avail_out;
+        if ( produced > 0 ) {
+            result.crc32 = static_cast<std::uint32_t>(
+                ::crc32( result.crc32, buffer.data(), static_cast<uInt>( produced ) ) );
+            result.data.insert( result.data.end(), buffer.data(), buffer.data() + produced );
+        }
+
+        if ( code == Z_STREAM_END ) {
+            result.reachedStreamEnd = true;
+            const auto consumed = feeder.consumed( stream );
+            result.deflateEndOffset = begin + consumed;
+            /* A further gzip member may start inside this chunk. */
+            const auto remaining = input.size() - consumed;
+            if ( remaining > GZIP_FOOTER_SIZE + 2 ) {
+                const BufferView rest( input.data() + consumed + GZIP_FOOTER_SIZE,
+                                       remaining - GZIP_FOOTER_SIZE );
+                if ( ( rest[0] == GZIP_MAGIC_1 ) && ( rest[1] == GZIP_MAGIC_2 ) ) {
+                    /* parseGzipHeader throws on a header truncated by the
+                     * chunk end; propagate — the caller's merge/serial
+                     * fallback handles it, and RAII frees the stream. */
+                    const auto deflateStart = parseGzipHeader( rest );
+                    if ( inflateReset( &stream ) != Z_OK ) {
+                        throw InvalidGzipStreamError( "inflateReset failed between members" );
+                    }
+                    feeder.seekTo( stream, consumed + GZIP_FOOTER_SIZE + deflateStart );
+                    ++result.memberRestarts;
+                    result.reachedStreamEnd = false;
+                    continue;
+                }
+            }
+            break;
+        }
+        if ( ( code != Z_OK ) && ( code != Z_BUF_ERROR ) ) {
+            throw InvalidGzipStreamError( "Chunk at offset " + std::to_string( begin )
+                                          + " failed to decode (zlib code "
+                                          + std::to_string( code ) + ")" );
+        }
+        if ( feeder.exhausted( stream ) ) {
+            break;  /* chunk exhausted; the next chunk continues the stream */
+        }
+        if ( ( code == Z_BUF_ERROR ) && ( stream.avail_out != 0 ) && ( stream.avail_in != 0 ) ) {
+            break;  /* no forward progress possible (trailing partial marker bytes) */
+        }
+    }
+    return result;
+}
+
+/**
+ * One-stop chunk discovery for a gzip stream: parse the leading member
+ * header, locate full-flush restart candidates, and partition the stream.
+ * Shared by ParallelGzipReader and the pugz-like baseline so the measured
+ * implementation and its baseline can never diverge on chunking.
+ */
+[[nodiscard]] inline std::vector<ChunkBoundary>
+discoverChunks( const FileReader& file, std::size_t chunkSizeBytes )
+{
+    const auto fileSize = file.size();
+    std::vector<std::uint8_t> headerBytes( std::min<std::size_t>( fileSize, 64 * KiB ) );
+    if ( file.pread( headerBytes.data(), headerBytes.size(), 0 ) != headerBytes.size() ) {
+        throw FileIoError( "Short read of gzip header" );
+    }
+    const auto firstDeflateByte = parseGzipHeader( { headerBytes.data(), headerBytes.size() } );
+
+    const auto candidates = findFullFlushMarkers( file, firstDeflateByte, fileSize );
+    return buildChunkTable( file, candidates, firstDeflateByte, fileSize, chunkSizeBytes );
+}
+
+}  // namespace rapidgzip

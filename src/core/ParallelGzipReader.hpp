@@ -1,0 +1,452 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "../gzip/GzipHeader.hpp"
+#include "../gzip/GzipIndex.hpp"
+#include "../gzip/GzipReader.hpp"
+#include "../io/SharedFileReader.hpp"
+#include "ChunkFetcher.hpp"
+#include "DeflateChunks.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Parallel gzip decompressor over chunked streams (pigz-style full-flush
+ * members, concatenated members, BGZF once its writer lands). Architecture
+ * per the paper: a SharedFileReader feeds per-chunk raw-Deflate decodes on
+ * a thread pool; a strategy-driven prefetcher keeps the pool busy ahead of
+ * the consumer; decoded chunks land in a bounded cache serving random
+ * access reads.
+ *
+ * Correctness is layered: chunk boundaries are validated restart points; a
+ * full decompressAll() cross-checks the combined CRC32 and ISIZE against
+ * the gzip footer (setVerifyChecksums(false) disables this); any failure in
+ * the parallel path falls back to a serial zlib decode, which is the
+ * authority.
+ *
+ * Thread model: one consumer thread drives this object; the parallelism
+ * lives in the chunk decoding underneath.
+ */
+class ParallelGzipReader
+{
+public:
+    explicit ParallelGzipReader( std::unique_ptr<FileReader> fileReader,
+                                 ChunkFetcherConfiguration configuration = {} ) :
+        m_file( ensureSharedFileReader( std::move( fileReader ) ) ),
+        m_configuration( configuration )
+    {}
+
+    /* --- whole-stream interface ------------------------------------- */
+
+    /**
+     * Decompress the whole stream in parallel, returning the number of
+     * uncompressed bytes. Output is verified (unless disabled) and then
+     * discarded; use read() to obtain the bytes.
+     *
+     * A chunk that fails to decode had a false restart boundary: it is
+     * merged away and the sweep restarted, still parallel. Only silent
+     * corruption (checksum mismatch) or a completely undecodable stream
+     * escalates to the serial zlib decode, which is the authority and
+     * throws if the file itself is broken.
+     */
+    [[nodiscard]] std::size_t
+    decompressAll()
+    {
+        if ( m_parallelResultUntrusted ) {
+            return serialDecompressCount();
+        }
+        ensureFetcher();
+        while ( true ) {
+            std::size_t total = 0;
+            std::size_t memberRestarts = 0;
+            bool lastChunkEndedStream = false;
+            std::size_t footerOffset = 0;
+            bool crcComputable = true;
+            auto combinedCrc = ::crc32( 0L, Z_NULL, 0 );
+            std::vector<std::size_t> sizes( m_fetcher->chunkCount() );
+            std::size_t failedChunk = SIZE_MAX;
+
+            for ( std::size_t i = 0; i < m_fetcher->chunkCount(); ++i ) {
+                ChunkFetcher::ChunkDataPtr chunk;
+                try {
+                    chunk = m_fetcher->get( i );
+                } catch ( const RapidgzipError& ) {
+                    failedChunk = i;
+                    break;
+                }
+                sizes[i] = chunk->data.size();
+                total += chunk->data.size();
+                memberRestarts += chunk->memberRestarts;
+                lastChunkEndedStream = chunk->reachedStreamEnd;
+                footerOffset = chunk->deflateEndOffset;
+                if ( m_verifyChecksums && crcComputable ) {
+                    /* crc32_combine takes a z_off_t length; on builds where
+                     * that is 32-bit, huge chunks cannot be combined —
+                     * degrade to size-only verification, never a false
+                     * mismatch. */
+                    if ( ( sizeof( z_off_t ) >= sizeof( std::size_t ) )
+                         || ( chunk->data.size()
+                              <= static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
+                        combinedCrc = ::crc32_combine( combinedCrc, chunk->crc32,
+                                                       static_cast<z_off_t>( chunk->data.size() ) );
+                    } else {
+                        crcComputable = false;
+                    }
+                }
+            }
+
+            if ( failedChunk != SIZE_MAX ) {
+                if ( !mergeFalseBoundary( failedChunk ) ) {
+                    return serialDecompressCount();
+                }
+                continue;
+            }
+
+            if ( !lastChunkEndedStream ) {
+                throw InvalidGzipStreamError(
+                    "Gzip stream ended before the final Deflate block — truncated file" );
+            }
+
+            recordChunkSizes( sizes );
+            if ( m_verifyChecksums ) {
+                try {
+                    verifyAgainstFooter( combinedCrc, crcComputable, total, memberRestarts,
+                                         footerOffset );
+                } catch ( const ChecksumError& ) {
+                    /* The parallel chunking produced wrong bytes (e.g. a
+                     * false restart point that decoded "cleanly"): poison
+                     * the chunked state so read()/seek() cannot serve the
+                     * corrupt data, and let the serial decode answer. */
+                    m_parallelResultUntrusted = true;
+                    m_offsetsKnown = false;
+                    m_chunkTableKnown = false;
+                    m_fetcher.reset();
+                    return serialDecompressCount();
+                }
+            }
+            return total;
+        }
+    }
+
+    /* --- random access interface ------------------------------------ */
+
+    /** Total uncompressed size (triggers chunk size discovery if unknown). */
+    [[nodiscard]] std::size_t
+    size()
+    {
+        ensureOffsetsKnown();
+        return m_uncompressedOffsets.back();
+    }
+
+    void
+    seek( std::size_t uncompressedOffset )
+    {
+        m_position = uncompressedOffset;
+    }
+
+    [[nodiscard]] std::size_t
+    tell() const noexcept
+    {
+        return m_position;
+    }
+
+    /** Read up to @p size bytes at the current position. Returns bytes read. */
+    [[nodiscard]] std::size_t
+    read( std::uint8_t* buffer, std::size_t size )
+    {
+        ensureOffsetsKnown();
+        const auto totalSize = m_uncompressedOffsets.back();
+
+        std::size_t produced = 0;
+        while ( ( produced < size ) && ( m_position < totalSize ) ) {
+            const auto next = std::upper_bound( m_uncompressedOffsets.begin(),
+                                                m_uncompressedOffsets.end(), m_position );
+            const auto chunkIndex = static_cast<std::size_t>(
+                std::distance( m_uncompressedOffsets.begin(), next ) ) - 1U;
+            const auto chunk = m_fetcher->get( chunkIndex );
+            const auto claimedSpan = m_uncompressedOffsets[chunkIndex + 1]
+                                     - m_uncompressedOffsets[chunkIndex];
+            if ( chunk->data.size() != claimedSpan ) {
+                /* Only possible when an imported index misstates a chunk's
+                 * uncompressed span — never with discovered offsets. Both
+                 * directions are corruption: overstated spans would read
+                 * out of bounds, understated ones would return bytes from
+                 * the wrong stream position. */
+                throw RapidgzipError( "Chunk size disagrees with the gzip index — "
+                                      "stale or corrupt index" );
+            }
+            const auto offsetInChunk = m_position - m_uncompressedOffsets[chunkIndex];
+            const auto toCopy = std::min( size - produced, chunk->data.size() - offsetInChunk );
+            std::memcpy( buffer + produced, chunk->data.data() + offsetInChunk, toCopy );
+            produced += toCopy;
+            m_position += toCopy;
+        }
+        return produced;
+    }
+
+    /* --- index interface --------------------------------------------- */
+
+    [[nodiscard]] GzipIndex
+    exportIndex()
+    {
+        ensureOffsetsKnown();
+        GzipIndex index;
+        index.compressedSizeBytes = m_file->size();
+        index.uncompressedSizeBytes = m_uncompressedOffsets.back();
+        index.checkpoints.reserve( m_chunks.size() );
+        for ( std::size_t i = 0; i < m_chunks.size(); ++i ) {
+            index.checkpoints.push_back( { m_chunks[i].compressedBegin,
+                                           m_uncompressedOffsets[i] } );
+        }
+        return index;
+    }
+
+    /** Adopt chunk boundaries and offsets from @p index, skipping discovery. */
+    void
+    importIndex( const GzipIndex& index )
+    {
+        if ( index.empty() ) {
+            throw RapidgzipError( "Cannot import an empty gzip index" );
+        }
+        if ( index.compressedSizeBytes != m_file->size() ) {
+            throw RapidgzipError( "Gzip index does not match this file's size" );
+        }
+        if ( index.checkpoints.front().uncompressedOffset != 0 ) {
+            throw RapidgzipError( "Gzip index must start at uncompressed offset 0" );
+        }
+        for ( std::size_t i = 0; i < index.checkpoints.size(); ++i ) {
+            const auto& checkpoint = index.checkpoints[i];
+            if ( ( checkpoint.compressedOffset >= m_file->size() )
+                 || ( ( i > 0 )
+                      && ( ( checkpoint.compressedOffset
+                             <= index.checkpoints[i - 1].compressedOffset )
+                           || ( checkpoint.uncompressedOffset
+                                < index.checkpoints[i - 1].uncompressedOffset ) ) )
+                 || ( checkpoint.uncompressedOffset > index.uncompressedSizeBytes ) ) {
+                throw RapidgzipError( "Gzip index checkpoints are inconsistent" );
+            }
+        }
+
+        m_chunks.clear();
+        m_chunks.reserve( index.checkpoints.size() );
+        m_uncompressedOffsets.clear();
+        m_uncompressedOffsets.reserve( index.checkpoints.size() + 1 );
+        for ( std::size_t i = 0; i < index.checkpoints.size(); ++i ) {
+            const auto end = i + 1 < index.checkpoints.size()
+                             ? index.checkpoints[i + 1].compressedOffset
+                             : m_file->size();
+            m_chunks.push_back( { index.checkpoints[i].compressedOffset, end } );
+            m_uncompressedOffsets.push_back( index.checkpoints[i].uncompressedOffset );
+        }
+        m_uncompressedOffsets.push_back( index.uncompressedSizeBytes );
+
+        m_chunkTableKnown = true;
+        m_offsetsKnown = true;
+        /* A trustworthy index supersedes whatever chunking failed before. */
+        m_parallelResultUntrusted = false;
+        m_fetcher.reset();  /* rebuild lazily on the imported table */
+    }
+
+    /* --- configuration / introspection -------------------------------- */
+
+    void
+    setVerifyChecksums( bool verify ) noexcept
+    {
+        m_verifyChecksums = verify;
+    }
+
+    [[nodiscard]] const FetcherStatistics&
+    fetcherStatistics() const noexcept
+    {
+        static const FetcherStatistics empty{};
+        return m_fetcher ? m_fetcher->statistics() : empty;
+    }
+
+    [[nodiscard]] std::size_t
+    chunkCount()
+    {
+        ensureChunkTable();
+        return m_chunks.size();
+    }
+
+private:
+    void
+    ensureChunkTable()
+    {
+        if ( m_chunkTableKnown ) {
+            return;
+        }
+        m_chunks = discoverChunks( *m_file, m_configuration.chunkSizeBytes );
+        m_chunkTableKnown = true;
+    }
+
+    void
+    ensureFetcher()
+    {
+        ensureChunkTable();
+        if ( !m_fetcher ) {
+            m_fetcher = std::make_unique<ChunkFetcher>(
+                std::shared_ptr<const FileReader>( m_file->clone().release() ),
+                m_chunks, m_configuration );
+        }
+    }
+
+    /**
+     * Discover every chunk's uncompressed size with one parallel sweep.
+     * Decodes go through the fetcher's cache (without touching the prefetch
+     * statistics), so the tail of the sweep stays resident for subsequent
+     * reads; batching bounds memory to ~2 cache capacities. A chunk that
+     * fails to decode had a false boundary: merge it away and retry —
+     * into its predecessor (bad start) or, when chunk 0 fails, into its
+     * successor (boundary truncating a member header near the chunk end).
+     */
+    void
+    ensureOffsetsKnown()
+    {
+        if ( m_parallelResultUntrusted ) {
+            throw ChecksumError( "Parallel chunking failed footer verification for this "
+                                 "stream; use the serial GzipReader for it" );
+        }
+        if ( m_offsetsKnown ) {
+            ensureFetcher();
+            return;
+        }
+        ensureFetcher();
+
+        while ( true ) {
+            std::vector<std::size_t> sizes( m_chunks.size() );
+            std::size_t failedChunk = SIZE_MAX;
+            bool lastChunkEndedStream = false;
+            const auto batchSize = std::max<std::size_t>( 2 * m_configuration.parallelism, 8 );
+            for ( std::size_t batch = 0; batch < m_chunks.size() && failedChunk == SIZE_MAX;
+                  batch += batchSize ) {
+                const auto batchEnd = std::min( batch + batchSize, m_chunks.size() );
+                std::vector<std::shared_future<ChunkFetcher::ChunkDataPtr> > futures;
+                for ( std::size_t i = batch; i < batchEnd; ++i ) {
+                    futures.push_back( m_fetcher->fetchQuietly( i ) );
+                }
+                for ( std::size_t i = batch; i < batchEnd; ++i ) {
+                    try {
+                        const auto chunk = futures[i - batch].get();
+                        sizes[i] = chunk->data.size();
+                        lastChunkEndedStream = chunk->reachedStreamEnd;
+                    } catch ( const RapidgzipError& ) {
+                        failedChunk = i;
+                        break;
+                    }
+                }
+            }
+
+            if ( failedChunk == SIZE_MAX ) {
+                if ( !lastChunkEndedStream ) {
+                    throw InvalidGzipStreamError(
+                        "Gzip stream ended before the final Deflate block — truncated file" );
+                }
+                recordChunkSizes( sizes );
+                return;
+            }
+            if ( !mergeFalseBoundary( failedChunk ) ) {
+                throw InvalidGzipStreamError( "The gzip stream is undecodable" );
+            }
+        }
+    }
+
+    /**
+     * Remove the chunk boundary exposed as false by @p failedChunk failing
+     * to decode: merge into the predecessor (bad chunk start) or, for chunk
+     * 0, into the successor (boundary truncating a member header near the
+     * chunk end). Rebuilds the fetcher on the new table. Returns false when
+     * a single full-stream chunk remains — nothing left to merge.
+     */
+    [[nodiscard]] bool
+    mergeFalseBoundary( std::size_t failedChunk )
+    {
+        if ( m_chunks.size() <= 1 ) {
+            return false;
+        }
+        const auto mergeInto = failedChunk == 0 ? std::size_t( 0 ) : failedChunk - 1;
+        const auto mergeFrom = failedChunk == 0 ? std::size_t( 1 ) : failedChunk;
+        m_chunks[mergeInto].compressedEnd = m_chunks[mergeFrom].compressedEnd;
+        m_chunks.erase( m_chunks.begin() + static_cast<std::ptrdiff_t>( mergeFrom ) );
+        m_offsetsKnown = false;
+        m_fetcher = std::make_unique<ChunkFetcher>(
+            std::shared_ptr<const FileReader>( m_file->clone().release() ),
+            m_chunks, m_configuration );
+        return true;
+    }
+
+    void
+    recordChunkSizes( const std::vector<std::size_t>& sizes )
+    {
+        m_uncompressedOffsets.assign( 1, 0 );
+        m_uncompressedOffsets.reserve( sizes.size() + 1 );
+        for ( const auto size : sizes ) {
+            m_uncompressedOffsets.push_back( m_uncompressedOffsets.back() + size );
+        }
+        m_offsetsKnown = true;
+    }
+
+    void
+    verifyAgainstFooter( uLong combinedCrc, bool crcComputable, std::size_t totalSize,
+                         std::size_t memberRestarts, std::size_t footerOffset ) const
+    {
+        /* Concatenated members each carry their own footer; per-member
+         * verification needs member boundaries, which the chunk sweep does
+         * not track yet. Verify the single-member case only. */
+        if ( memberRestarts > 0 ) {
+            return;
+        }
+        /* The footer sits right after the final Deflate byte — NOT at the
+         * end of the file, which may carry padding or trailing garbage
+         * that `gzip -d` also ignores. */
+        std::uint8_t footerBytes[GZIP_FOOTER_SIZE];
+        const auto fileSize = m_file->size();
+        if ( ( footerOffset + GZIP_FOOTER_SIZE > fileSize )
+             || ( m_file->pread( footerBytes, GZIP_FOOTER_SIZE, footerOffset )
+                  != GZIP_FOOTER_SIZE ) ) {
+            throw InvalidGzipStreamError( "Cannot read gzip footer" );
+        }
+        const auto footer = parseGzipFooter( { footerBytes, GZIP_FOOTER_SIZE }, GZIP_FOOTER_SIZE );
+        if ( ( crcComputable && ( static_cast<std::uint32_t>( combinedCrc ) != footer.crc32 ) )
+             || ( static_cast<std::uint32_t>( totalSize ) != footer.uncompressedSizeModulo32 ) ) {
+            throw ChecksumError( "Parallel decode does not match the gzip footer" );
+        }
+    }
+
+    [[nodiscard]] std::size_t
+    serialDecompressCount()
+    {
+        GzipReader reader( m_file->clone() );
+        return reader.decompressAll();
+    }
+
+    std::unique_ptr<SharedFileReader> m_file;
+    ChunkFetcherConfiguration m_configuration;
+
+    std::vector<ChunkBoundary> m_chunks;
+    std::vector<std::size_t> m_uncompressedOffsets;  /**< size chunks+1 once known */
+    bool m_chunkTableKnown{ false };
+    bool m_offsetsKnown{ false };
+
+    std::unique_ptr<ChunkFetcher> m_fetcher;
+    std::size_t m_position{ 0 };
+    bool m_verifyChecksums{ true };
+    /** Set when the parallel result failed footer verification: the chunked
+     * state is poisoned and only the serial path may answer. */
+    bool m_parallelResultUntrusted{ false };
+};
+
+}  // namespace rapidgzip

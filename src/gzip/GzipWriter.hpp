@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "ZlibCompressor.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Streaming gzip writer appending to a caller-owned byte vector. Pairs with
+ * GzipReader for the round-trip tests and emulates `gzip`-style output (one
+ * member, no flush points). flush() emits a pigz-style full-flush restart
+ * point, so callers can also produce parallel-decompression-friendly
+ * streams incrementally. A thin lifecycle wrapper over the same
+ * detail::ZlibDeflateStream the one-shot compressors use.
+ */
+class GzipWriter
+{
+public:
+    explicit GzipWriter( std::vector<std::uint8_t>& output, int level = 6 ) :
+        m_output( output ),
+        m_stream( level, GZIP_WINDOW_BITS )
+    {}
+
+    ~GzipWriter()
+    {
+        if ( !m_finished ) {
+            try {
+                finish();
+            } catch ( ... ) {
+                /* Swallow: throwing from a destructor terminates. Callers who
+                 * care about completeness call finish() explicitly. */
+            }
+        }
+    }
+
+    GzipWriter( const GzipWriter& ) = delete;
+    GzipWriter& operator=( const GzipWriter& ) = delete;
+
+    void
+    write( const std::uint8_t* data, std::size_t size )
+    {
+        run( BufferView( data, size ), Z_NO_FLUSH );
+    }
+
+    void
+    write( BufferView data )
+    {
+        run( data, Z_NO_FLUSH );
+    }
+
+    /** Byte-align and reset the LZ77 window (pigz-style restart point). */
+    void
+    flush()
+    {
+        run( BufferView(), Z_FULL_FLUSH );
+    }
+
+    /** Write the final block and the gzip footer. Idempotent. */
+    void
+    finish()
+    {
+        if ( m_finished ) {
+            return;
+        }
+        run( BufferView(), Z_FINISH );
+        m_finished = true;
+    }
+
+private:
+    void
+    run( BufferView data, int flushMode )
+    {
+        if ( m_finished ) {
+            throw RapidgzipError( "GzipWriter already finished" );
+        }
+        m_stream.compress( data, flushMode, m_output );
+    }
+
+    std::vector<std::uint8_t>& m_output;
+    detail::ZlibDeflateStream m_stream;
+    bool m_finished{ false };
+};
+
+}  // namespace rapidgzip

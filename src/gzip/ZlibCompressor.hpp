@@ -1,0 +1,175 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "GzipHeader.hpp"
+#include "ZlibHelpers.hpp"
+
+namespace rapidgzip {
+
+namespace detail {
+
+class ZlibDeflateStream
+{
+public:
+    ZlibDeflateStream( int level, int windowBits )
+    {
+        m_stream.zalloc = Z_NULL;
+        m_stream.zfree = Z_NULL;
+        m_stream.opaque = Z_NULL;
+        if ( deflateInit2( &m_stream, level, Z_DEFLATED, windowBits, /* memLevel */ 8,
+                           Z_DEFAULT_STRATEGY ) != Z_OK ) {
+            throw RapidgzipError( "deflateInit2 failed" );
+        }
+    }
+
+    ~ZlibDeflateStream()
+    {
+        deflateEnd( &m_stream );
+    }
+
+    ZlibDeflateStream( const ZlibDeflateStream& ) = delete;
+    ZlibDeflateStream& operator=( const ZlibDeflateStream& ) = delete;
+
+    /** Compress @p input with the given zlib @p flush mode, appending to @p output. */
+    void
+    compress( BufferView input, int flush, std::vector<std::uint8_t>& output )
+    {
+        /* zlib's avail_in is 32-bit: feed large inputs in bounded slices,
+         * flushing only with the final slice. */
+        constexpr std::size_t MAX_SLICE = std::size_t( 1 ) << 30U;
+        std::size_t offset = 0;
+        do {
+            const auto slice = std::min( MAX_SLICE, input.size() - offset );
+            const bool lastSlice = offset + slice >= input.size();
+            m_stream.next_in = const_cast<Bytef*>( input.data() + offset );
+            m_stream.avail_in = static_cast<uInt>( slice );
+            offset += slice;
+            const auto sliceFlush = lastSlice ? flush : Z_NO_FLUSH;
+            do {
+                std::uint8_t buffer[64 * 1024];
+                m_stream.next_out = buffer;
+                m_stream.avail_out = sizeof( buffer );
+                const auto result = deflate( &m_stream, sliceFlush );
+                if ( ( result != Z_OK ) && ( result != Z_STREAM_END ) && ( result != Z_BUF_ERROR ) ) {
+                    throw RapidgzipError( "deflate failed with code " + std::to_string( result ) );
+                }
+                output.insert( output.end(), buffer, buffer + sizeof( buffer ) - m_stream.avail_out );
+                if ( result == Z_STREAM_END ) {
+                    return;
+                }
+            } while ( ( m_stream.avail_in > 0 ) || ( m_stream.avail_out == 0 ) );
+        } while ( offset < input.size() );
+    }
+
+private:
+    z_stream m_stream{};
+};
+
+}  // namespace detail
+
+/**
+ * Plain single-stream gzip compression, emulating `gzip -<level>`: one
+ * member, no flush points, so parallel decompression must discover block
+ * boundaries itself.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+compressGzipLike( BufferView data, int level = 6 )
+{
+    detail::ZlibDeflateStream stream( level, GZIP_WINDOW_BITS );
+    std::vector<std::uint8_t> result;
+    result.reserve( data.size() / 3 + 256 );
+    stream.compress( data, Z_FINISH, result );
+    return result;
+}
+
+/**
+ * pigz-style gzip compression: a single member with a Z_FULL_FLUSH every
+ * @p flushInterval input bytes. Each full flush byte-aligns the stream with
+ * an empty stored block (the 00 00 FF FF sync marker) AND resets the LZ77
+ * window, so decompression can restart at any flush point — the property
+ * the parallel chunk fetcher exploits.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+compressPigzLike( BufferView data, int level = 6, std::size_t flushInterval = 512 * KiB )
+{
+    if ( flushInterval == 0 ) {
+        throw RapidgzipError( "flushInterval must be positive" );
+    }
+    detail::ZlibDeflateStream stream( level, GZIP_WINDOW_BITS );
+    std::vector<std::uint8_t> result;
+    result.reserve( data.size() / 3 + 256 );
+    std::size_t offset = 0;
+    while ( offset < data.size() ) {
+        const auto chunk = std::min( flushInterval, data.size() - offset );
+        const bool last = offset + chunk >= data.size();
+        stream.compress( data.subView( offset, chunk ), last ? Z_FINISH : Z_FULL_FLUSH, result );
+        offset += chunk;
+    }
+    if ( data.empty() ) {
+        stream.compress( data, Z_FINISH, result );
+    }
+    return result;
+}
+
+/**
+ * Single-threaded zlib decompression of a gzip (or zlib) stream, including
+ * multi-member gzip files. The baseline the paper's speedups are measured
+ * against.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+decompressWithZlib( BufferView compressed )
+{
+    z_stream stream{};
+    if ( inflateInit2( &stream, AUTO_FORMAT_WINDOW_BITS ) != Z_OK ) {
+        throw RapidgzipError( "inflateInit2 failed" );
+    }
+    std::vector<std::uint8_t> result;
+    result.reserve( compressed.size() * 3 );
+
+    detail::ZlibInputFeeder feeder( compressed.data(), compressed.size() );
+    std::uint8_t buffer[128 * 1024];
+    while ( true ) {
+        feeder.feed( stream );
+        stream.next_out = buffer;
+        stream.avail_out = sizeof( buffer );
+        const auto code = inflate( &stream, Z_NO_FLUSH );
+        result.insert( result.end(), buffer, buffer + sizeof( buffer ) - stream.avail_out );
+        const bool inputExhausted = feeder.exhausted( stream );
+        if ( code == Z_STREAM_END ) {
+            /* Another member may follow; anything else is trailing
+             * padding/garbage, ignored like `gzip -d` and GzipReader. */
+            const auto consumed = feeder.consumed( stream );
+            if ( inputExhausted
+                 || ( consumed + 2 > compressed.size() )
+                 || ( compressed[consumed] != GZIP_MAGIC_1 )
+                 || ( compressed[consumed + 1] != GZIP_MAGIC_2 ) ) {
+                break;
+            }
+            if ( inflateReset( &stream ) != Z_OK ) {  /* next gzip member */
+                inflateEnd( &stream );
+                throw InvalidGzipStreamError( "inflateReset failed between gzip members" );
+            }
+            continue;
+        }
+        if ( ( code != Z_OK ) && ( code != Z_BUF_ERROR ) ) {
+            inflateEnd( &stream );
+            throw InvalidGzipStreamError( "inflate failed with code " + std::to_string( code ) );
+        }
+        if ( inputExhausted && ( stream.avail_out != 0 ) ) {
+            inflateEnd( &stream );
+            throw InvalidGzipStreamError( "Truncated gzip stream" );
+        }
+    }
+    inflateEnd( &stream );
+    return result;
+}
+
+}  // namespace rapidgzip

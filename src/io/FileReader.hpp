@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "../common/Error.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Abstract seekable byte source — the bottom of the rapidgzip I/O stack.
+ *
+ * Contract:
+ *  - read/seek/tell operate on a per-instance cursor.
+ *  - pread() is const and MUST NOT touch the cursor. Implementations that
+ *    return true from supportsParallelPread() additionally guarantee that
+ *    concurrent pread() calls on the same instance (or on clones sharing
+ *    the underlying source) are thread-safe.
+ *  - clone() returns an independent view of the same underlying data with
+ *    its own cursor positioned at 0. The underlying storage is shared, so
+ *    clones are cheap and the source outlives every clone.
+ */
+class FileReader
+{
+public:
+    virtual ~FileReader() = default;
+
+    /** Read up to @p size bytes at the cursor, advancing it. Returns bytes read (0 at EOF). */
+    [[nodiscard]] virtual std::size_t
+    read( void* buffer, std::size_t size ) = 0;
+
+    /** Positioned read that does not move the cursor. Returns bytes read. */
+    [[nodiscard]] virtual std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const = 0;
+
+    /** Move the cursor to the absolute byte @p offset (clamped to size()). */
+    virtual void
+    seek( std::size_t offset ) = 0;
+
+    [[nodiscard]] virtual std::size_t
+    tell() const = 0;
+
+    [[nodiscard]] virtual std::size_t
+    size() const = 0;
+
+    [[nodiscard]] virtual bool
+    eof() const
+    {
+        return tell() >= size();
+    }
+
+    [[nodiscard]] virtual bool
+    supportsParallelPread() const noexcept
+    {
+        return false;
+    }
+
+    [[nodiscard]] virtual std::unique_ptr<FileReader>
+    clone() const = 0;
+};
+
+}  // namespace rapidgzip

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "../common/Util.hpp"
+#include "FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * FileReader over an in-memory byte buffer. The buffer is held through a
+ * shared_ptr so clone() is O(1) and all clones stay valid for as long as
+ * any of them lives — the property SharedFileReader and the parallel chunk
+ * fetcher rely on.
+ */
+class MemoryFileReader final : public FileReader
+{
+public:
+    explicit MemoryFileReader( std::vector<std::uint8_t> data ) :
+        m_data( std::make_shared<const std::vector<std::uint8_t> >( std::move( data ) ) )
+    {}
+
+    explicit MemoryFileReader( BufferView data ) :
+        m_data( std::make_shared<const std::vector<std::uint8_t> >( data.begin(), data.end() ) )
+    {}
+
+    explicit MemoryFileReader( std::shared_ptr<const std::vector<std::uint8_t> > data ) :
+        m_data( std::move( data ) )
+    {
+        if ( !m_data ) {
+            throw FileIoError( "MemoryFileReader requires a non-null buffer" );
+        }
+    }
+
+    [[nodiscard]] std::size_t
+    read( void* buffer, std::size_t size ) override
+    {
+        const auto copied = pread( buffer, size, m_offset );
+        m_offset += copied;
+        return copied;
+    }
+
+    [[nodiscard]] std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const override
+    {
+        if ( offset >= m_data->size() ) {
+            return 0;
+        }
+        const auto copied = std::min( size, m_data->size() - offset );
+        if ( copied > 0 ) {
+            std::memcpy( buffer, m_data->data() + offset, copied );
+        }
+        return copied;
+    }
+
+    void
+    seek( std::size_t offset ) override
+    {
+        m_offset = std::min( offset, m_data->size() );
+    }
+
+    [[nodiscard]] std::size_t
+    tell() const override
+    {
+        return m_offset;
+    }
+
+    [[nodiscard]] std::size_t
+    size() const override
+    {
+        return m_data->size();
+    }
+
+    [[nodiscard]] bool
+    supportsParallelPread() const noexcept override
+    {
+        return true;
+    }
+
+    [[nodiscard]] std::unique_ptr<FileReader>
+    clone() const override
+    {
+        return std::make_unique<MemoryFileReader>( m_data );
+    }
+
+    /** Zero-copy access for callers that know they hold a memory reader. */
+    [[nodiscard]] BufferView
+    view() const noexcept
+    {
+        return BufferView( m_data->data(), m_data->size() );
+    }
+
+private:
+    std::shared_ptr<const std::vector<std::uint8_t> > m_data;
+    std::size_t m_offset{ 0 };
+};
+
+}  // namespace rapidgzip

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Thread-safe shared view over a single underlying FileReader — the
+ * abstraction benchmarked in paper Fig. 8. Many clones can pread() the same
+ * file concurrently:
+ *
+ *  - If the underlying reader supports parallel pread (memory buffers,
+ *    POSIX file descriptors), calls go straight through with zero locking.
+ *  - Otherwise a shared mutex serializes a seek+read emulation, so even
+ *    purely sequential sources (pipes wrapped in a buffer, archives) can
+ *    be shared correctly, merely without the scaling.
+ *
+ * Each instance/clone keeps its own cursor; the underlying reader's cursor
+ * is only ever touched under the lock in the emulation path.
+ */
+class SharedFileReader final : public FileReader
+{
+public:
+    explicit SharedFileReader( std::unique_ptr<FileReader> reader ) :
+        m_shared( std::make_shared<Shared>( std::move( reader ) ) )
+    {
+        if ( !m_shared->reader ) {
+            throw FileIoError( "SharedFileReader requires a non-null underlying reader" );
+        }
+    }
+
+    [[nodiscard]] std::size_t
+    read( void* buffer, std::size_t size ) override
+    {
+        const auto result = pread( buffer, size, m_offset );
+        m_offset += result;
+        return result;
+    }
+
+    [[nodiscard]] std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const override
+    {
+        if ( m_shared->parallelPread ) {
+            return m_shared->reader->pread( buffer, size, offset );
+        }
+        const std::lock_guard<std::mutex> lock( m_shared->mutex );
+        m_shared->reader->seek( offset );
+        return m_shared->reader->read( buffer, size );
+    }
+
+    void
+    seek( std::size_t offset ) override
+    {
+        m_offset = std::min( offset, size() );
+    }
+
+    [[nodiscard]] std::size_t
+    tell() const override
+    {
+        return m_offset;
+    }
+
+    [[nodiscard]] std::size_t
+    size() const override
+    {
+        return m_shared->size;
+    }
+
+    [[nodiscard]] bool
+    supportsParallelPread() const noexcept override
+    {
+        return true;
+    }
+
+    /** New view with its own cursor at 0; shares the underlying reader. */
+    [[nodiscard]] std::unique_ptr<FileReader>
+    clone() const override
+    {
+        return std::unique_ptr<FileReader>( new SharedFileReader( m_shared ) );
+    }
+
+private:
+    struct Shared
+    {
+        explicit Shared( std::unique_ptr<FileReader> readerIn ) :
+            reader( std::move( readerIn ) ),
+            parallelPread( reader && reader->supportsParallelPread() ),
+            size( reader ? reader->size() : 0 )
+        {}
+
+        mutable std::mutex mutex;
+        std::unique_ptr<FileReader> reader;
+        bool parallelPread{ false };
+        std::size_t size{ 0 };
+    };
+
+    explicit SharedFileReader( std::shared_ptr<Shared> shared ) :
+        m_shared( std::move( shared ) )
+    {}
+
+    std::shared_ptr<Shared> m_shared;
+    std::size_t m_offset{ 0 };
+};
+
+/** Wrap @p reader in a SharedFileReader unless it already is one. */
+[[nodiscard]] inline std::unique_ptr<SharedFileReader>
+ensureSharedFileReader( std::unique_ptr<FileReader> reader )
+{
+    if ( auto* shared = dynamic_cast<SharedFileReader*>( reader.get() ); shared != nullptr ) {
+        auto clone = shared->clone();
+        return std::unique_ptr<SharedFileReader>( static_cast<SharedFileReader*>( clone.release() ) );
+    }
+    return std::make_unique<SharedFileReader>( std::move( reader ) );
+}
+
+}  // namespace rapidgzip

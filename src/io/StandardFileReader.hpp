@@ -1,0 +1,116 @@
+#pragma once
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * FileReader over a file descriptor. All reads go through ::pread so the
+ * kernel file offset is never shared state — clones share one descriptor
+ * (via a reference-counted holder) but keep independent cursors, which
+ * makes concurrent pread() from many threads safe per POSIX.
+ */
+class StandardFileReader final : public FileReader
+{
+public:
+    explicit StandardFileReader( const std::string& filePath )
+    {
+        const int fd = ::open( filePath.c_str(), O_RDONLY );
+        if ( fd < 0 ) {
+            throw FileIoError( "Failed to open '" + filePath + "': " + std::strerror( errno ) );
+        }
+        m_fd = std::shared_ptr<const int>( new int( fd ), [] ( const int* p ) {
+            ::close( *p );
+            delete p;
+        } );
+
+        struct stat fileStat{};
+        if ( ::fstat( fd, &fileStat ) != 0 ) {
+            throw FileIoError( "Failed to stat '" + filePath + "': " + std::strerror( errno ) );
+        }
+        m_size = static_cast<std::size_t>( fileStat.st_size );
+    }
+
+    [[nodiscard]] std::size_t
+    read( void* buffer, std::size_t size ) override
+    {
+        const auto result = pread( buffer, size, m_offset );
+        m_offset += result;
+        return result;
+    }
+
+    [[nodiscard]] std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const override
+    {
+        std::size_t total = 0;
+        auto* out = static_cast<char*>( buffer );
+        while ( total < size ) {
+            const auto n = ::pread( *m_fd, out + total, size - total,
+                                    static_cast<off_t>( offset + total ) );
+            if ( n < 0 ) {
+                if ( errno == EINTR ) {
+                    continue;
+                }
+                throw FileIoError( std::string( "pread failed: " ) + std::strerror( errno ) );
+            }
+            if ( n == 0 ) {
+                break;  /* EOF */
+            }
+            total += static_cast<std::size_t>( n );
+        }
+        return total;
+    }
+
+    void
+    seek( std::size_t offset ) override
+    {
+        m_offset = std::min( offset, m_size );
+    }
+
+    [[nodiscard]] std::size_t
+    tell() const override
+    {
+        return m_offset;
+    }
+
+    [[nodiscard]] std::size_t
+    size() const override
+    {
+        return m_size;
+    }
+
+    [[nodiscard]] bool
+    supportsParallelPread() const noexcept override
+    {
+        return true;
+    }
+
+    [[nodiscard]] std::unique_ptr<FileReader>
+    clone() const override
+    {
+        return std::unique_ptr<FileReader>( new StandardFileReader( m_fd, m_size ) );
+    }
+
+private:
+    StandardFileReader( std::shared_ptr<const int> fd, std::size_t size ) :
+        m_fd( std::move( fd ) ),
+        m_size( size )
+    {}
+
+    std::shared_ptr<const int> m_fd;
+    std::size_t m_size{ 0 };
+    std::size_t m_offset{ 0 };
+};
+
+}  // namespace rapidgzip

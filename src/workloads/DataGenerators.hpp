@@ -1,0 +1,182 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "../common/Util.hpp"
+
+namespace rapidgzip::workloads {
+
+/**
+ * Deterministic synthetic workloads for the paper-figure reproductions.
+ * All generators are pure functions of (size, seed) so every benchmark and
+ * test sees bit-identical data across runs and machines.
+ */
+
+/** Incompressible data spanning the full byte range. */
+[[nodiscard]] inline std::vector<std::uint8_t>
+randomData( std::size_t size, std::uint64_t seed )
+{
+    std::vector<std::uint8_t> result( size );
+    Xorshift64 random( seed );
+    std::size_t i = 0;
+    for ( ; i + sizeof( std::uint64_t ) <= size; i += sizeof( std::uint64_t ) ) {
+        const auto value = random();
+        std::memcpy( result.data() + i, &value, sizeof( value ) );
+    }
+    for ( auto value = random(); i < size; ++i, value >>= 8U ) {
+        result[i] = static_cast<std::uint8_t>( value & 0xFFU );
+    }
+    return result;
+}
+
+/**
+ * Base64-encoded random data with 76-character lines, mimicking the paper's
+ * Fig. 9 workload: pure printable ASCII, compresses to mostly Huffman-coded
+ * literals whose backward pointers die out quickly.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+base64Data( std::size_t size, std::uint64_t seed )
+{
+    static constexpr char ALPHABET[] =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    constexpr std::size_t LINE_LENGTH = 76;
+
+    std::vector<std::uint8_t> result( size );
+    Xorshift64 random( seed );
+    std::size_t column = 0;
+    for ( std::size_t i = 0; i < size; ++i ) {
+        if ( column == LINE_LENGTH ) {
+            result[i] = '\n';
+            column = 0;
+        } else {
+            result[i] = static_cast<std::uint8_t>( ALPHABET[random.below( 64 )] );
+            ++column;
+        }
+    }
+    return result;
+}
+
+/**
+ * Synthetic FASTQ records (4 lines: @id, bases, +, qualities), the Fig. 11
+ * workload: ASCII-only, highly repetitive headers, low-entropy base lines.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+fastqData( std::size_t size, std::uint64_t seed )
+{
+    static constexpr char BASES[] = "ACGT";
+
+    std::vector<std::uint8_t> result;
+    result.reserve( size + 512 );
+    Xorshift64 random( seed );
+
+    std::uint64_t readId = 0;
+    while ( result.size() < size ) {
+        char header[96];
+        const int headerLength = std::snprintf(
+            header, sizeof( header ), "@SIM:1:FCX:1:15:%llu:%llu 1:N:0:2\n",
+            static_cast<unsigned long long>( 1000 + readId % 9000 ),
+            static_cast<unsigned long long>( readId ) );
+        result.insert( result.end(), header, header + headerLength );
+        ++readId;
+
+        const std::size_t readLength = 90 + random.below( 21 );
+        for ( std::size_t i = 0; i < readLength; ++i ) {
+            result.push_back( static_cast<std::uint8_t>( BASES[random.below( 4 )] ) );
+        }
+        result.push_back( '\n' );
+        result.push_back( '+' );
+        result.push_back( '\n' );
+        for ( std::size_t i = 0; i < readLength; ++i ) {
+            /* Phred+33 qualities clustered at the high end like real reads. */
+            result.push_back( static_cast<std::uint8_t>( 'I' - random.below( 9 ) ) );
+        }
+        result.push_back( '\n' );
+    }
+    result.resize( size );
+    return result;
+}
+
+/**
+ * Mixed text/binary corpus standing in for Silesia (Fig. 10; see DESIGN.md):
+ * alternating 64 KiB segments of English-like text, binary records with
+ * non-ASCII bytes, LZ-friendly near-repeats of earlier content, and random
+ * data. Backward pointers stay alive across large distances, and the binary
+ * segments put it outside pugz's supported byte range — both properties the
+ * paper's Silesia results hinge on. The first segment is always binary so
+ * byte-range-restricted decompressors fail fast, as pugz does in Fig. 10.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+silesiaLikeData( std::size_t size, std::uint64_t seed )
+{
+    static constexpr const char* WORDS[] = {
+        "the", "of", "compression", "corpus", "model", "data", "window",
+        "pointer", "block", "stream", "entropy", "symbol", "archive",
+        "medical", "image", "database", "protein", "sequence", "xml",
+    };
+    constexpr std::size_t SEGMENT = 64 * KiB;
+
+    std::vector<std::uint8_t> result;
+    result.reserve( size );
+    Xorshift64 random( seed );
+
+    std::size_t segmentIndex = 0;
+    while ( result.size() < size ) {
+        const auto segmentEnd = std::min( result.size() + SEGMENT, size );
+        const auto mode = segmentIndex == 0 ? 1U : static_cast<unsigned>( random.below( 4 ) );
+        switch ( mode ) {
+        case 0:  /* English-like text */
+            while ( result.size() < segmentEnd ) {
+                const char* word = WORDS[random.below( sizeof( WORDS ) / sizeof( WORDS[0] ) )];
+                result.insert( result.end(), word, word + std::strlen( word ) );
+                result.push_back( random.below( 12 ) == 0 ? '\n' : ' ' );
+            }
+            break;
+        case 1:  /* binary records: small integers => many 0x00/0xFF/high bytes */
+            while ( result.size() < segmentEnd ) {
+                const auto value = static_cast<std::uint32_t>(
+                    random.below( 4096 ) * ( random.below( 2 ) == 0 ? 1U : 0x00FFFFFFU ) );
+                const std::uint8_t record[8] = {
+                    static_cast<std::uint8_t>( value & 0xFFU ),
+                    static_cast<std::uint8_t>( ( value >> 8U ) & 0xFFU ),
+                    static_cast<std::uint8_t>( ( value >> 16U ) & 0xFFU ),
+                    static_cast<std::uint8_t>( ( value >> 24U ) & 0xFFU ),
+                    0x00U, 0xC3U, 0x80U,
+                    static_cast<std::uint8_t>( random.below( 256 ) ),
+                };
+                result.insert( result.end(), record, record + sizeof( record ) );
+            }
+            break;
+        case 2:  /* near-repeat of earlier content => long-range backward pointers */
+            if ( result.empty() ) {
+                result.push_back( 0 );
+            }
+            while ( result.size() < segmentEnd ) {
+                const auto copyLength = std::min<std::size_t>( 256 + random.below( 1024 ),
+                                                               result.size() );
+                const auto copyStart = random.below( result.size() - copyLength + 1 );
+                const auto previousSize = result.size();
+                result.resize( previousSize + copyLength );
+                std::memcpy( result.data() + previousSize, result.data() + copyStart, copyLength );
+                if ( random.below( 4 ) == 0 ) {
+                    result.back() = static_cast<std::uint8_t>( random.below( 256 ) );
+                }
+            }
+            break;
+        default:  /* incompressible stretch */
+            while ( result.size() < segmentEnd ) {
+                result.push_back( static_cast<std::uint8_t>( random.below( 256 ) ) );
+            }
+            break;
+        }
+        ++segmentIndex;
+    }
+    result.resize( size );
+    return result;
+}
+
+}  // namespace rapidgzip::workloads

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+/**
+ * Minimal assertion harness: no external test framework is available in the
+ * build image, and ctest only needs exit codes. REQUIRE prints the failing
+ * expression with its location and exits non-zero; the final summary line
+ * makes ctest logs readable.
+ */
+
+namespace rapidgzip::test {
+
+inline int g_checksRun = 0;
+
+inline void
+require( bool condition, const char* expression, const char* file, int line )
+{
+    ++g_checksRun;
+    if ( !condition ) {
+        std::fprintf( stderr, "FAILED: %s at %s:%d\n", expression, file, line );
+        std::exit( 1 );
+    }
+}
+
+inline int
+finish( const char* testName )
+{
+    std::printf( "PASSED %s (%d checks)\n", testName, g_checksRun );
+    return 0;
+}
+
+}  // namespace rapidgzip::test
+
+#define REQUIRE( expression ) \
+    ::rapidgzip::test::require( static_cast<bool>( expression ), #expression, __FILE__, __LINE__ )
+
+#define REQUIRE_THROWS_AS( statement, ExceptionType ) \
+    do { \
+        bool caughtExpected_ = false; \
+        try { \
+            statement; \
+        } catch ( const ExceptionType& ) { \
+            caughtExpected_ = true; \
+        } catch ( ... ) { \
+        } \
+        ::rapidgzip::test::require( caughtExpected_, "throws " #ExceptionType ": " #statement, \
+                                    __FILE__, __LINE__ ); \
+    } while ( false )

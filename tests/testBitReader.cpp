@@ -1,0 +1,129 @@
+/**
+ * BitReader edge cases demanded by the issue: reads straddling the 64-bit
+ * refill boundary, a full 32-bit single read, seek-then-read, and reading
+ * past EOF, plus LSB-first bit-order and peek/skip semantics.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/BitReader.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+int
+main()
+{
+    /* LSB-first semantics: 0xA5 = 0b10100101 yields bits 1,0,1,0,0,1,0,1. */
+    {
+        const std::uint8_t data[] = { 0xA5 };
+        BitReader reader( data, sizeof( data ) );
+        REQUIRE( reader.read( 1 ) == 1 );
+        REQUIRE( reader.read( 1 ) == 0 );
+        REQUIRE( reader.read( 1 ) == 1 );
+        REQUIRE( reader.read( 2 ) == 0 );   /* bits 0,0 */
+        REQUIRE( reader.read( 3 ) == 0b101 );
+        REQUIRE( reader.tell() == 8 );
+        REQUIRE( reader.eof() );
+    }
+
+    /* Multi-byte values assemble little-endian in bit order. */
+    {
+        const std::uint8_t data[] = { 0x34, 0x12 };
+        BitReader reader( data, sizeof( data ) );
+        REQUIRE( reader.read( 16 ) == 0x1234 );
+    }
+
+    /* 32-bit single read and reads straddling the 64-bit refill boundary. */
+    {
+        std::vector<std::uint8_t> data( 32 );
+        for ( std::size_t i = 0; i < data.size(); ++i ) {
+            data[i] = static_cast<std::uint8_t>( i + 1 );
+        }
+        BitReader reader( data.data(), data.size() );
+        REQUIRE( reader.read( 32 ) == 0x04030201ULL );
+
+        /* Cursor at bit 32 of a 64-bit refill; the next 32-bit read pulls
+         * 24 bits from the current refill word and 8 from the next. */
+        REQUIRE( reader.read( 32 ) == 0x08070605ULL );
+
+        /* Odd offsets: 7-bit reads never align with the refill boundary. */
+        BitReader odd( data.data(), data.size() );
+        std::uint64_t expectedBits = 0;
+        for ( unsigned i = 0; i < 64 / 8; ++i ) {
+            expectedBits |= std::uint64_t( data[i] ) << ( i * 8 );
+        }
+        std::uint64_t collected = 0;
+        for ( unsigned position = 0; position < 63; position += 7 ) {
+            collected |= odd.read( 7 ) << position;
+        }
+        collected |= odd.read( 1 ) << 63U;
+        REQUIRE( collected == expectedBits );
+    }
+
+    /* seek/tell at bit granularity, including mid-byte. */
+    {
+        const std::uint8_t data[] = { 0xFF, 0x00, 0xF0, 0x0F };
+        BitReader reader( data, sizeof( data ) );
+        reader.seek( 12 );
+        REQUIRE( reader.tell() == 12 );
+        REQUIRE( reader.read( 8 ) == 0x00 );  /* high nibble of 0x00, low nibble of 0xF0 */
+        REQUIRE( reader.tell() == 20 );
+        reader.seek( 4 );
+        REQUIRE( reader.read( 8 ) == 0x0F );  /* high nibble of 0xFF, low nibble of 0x00 */
+
+        reader.seek( 17 );
+        reader.alignToByte();
+        REQUIRE( reader.tell() == 24 );
+        reader.alignToByte();
+        REQUIRE( reader.tell() == 24 );
+    }
+
+    /* Reads past EOF zero-pad and set eof(); they never throw or loop. */
+    {
+        const std::uint8_t data[] = { 0xFF };
+        BitReader reader( data, sizeof( data ) );
+        REQUIRE( reader.read( 6 ) == 0x3F );
+        REQUIRE( !reader.eof() );
+        REQUIRE( reader.read( 6 ) == 0x03 );  /* 2 real bits + 4 zero-padded */
+        REQUIRE( reader.eof() );
+        REQUIRE( reader.read( 32 ) == 0 );
+        REQUIRE( reader.eof() );
+        REQUIRE( reader.bitsLeft() == 0 );
+    }
+
+    /* peek() does not consume and zero-pads at EOF. */
+    {
+        const std::uint8_t data[] = { 0x5A };
+        BitReader reader( data, sizeof( data ) );
+        REQUIRE( reader.peek( 8 ) == 0x5A );
+        REQUIRE( reader.peek( 8 ) == 0x5A );
+        REQUIRE( reader.tell() == 0 );
+        REQUIRE( reader.peek( 16 ) == 0x5A );  /* zero-padded high bits */
+        reader.skip( 4 );
+        REQUIRE( reader.peek( 4 ) == 0x5 );
+        REQUIRE( reader.tell() == 4 );
+    }
+
+    /* Seek to the exact end is valid; further reads return zero. */
+    {
+        const std::uint8_t data[] = { 0x11, 0x22 };
+        BitReader reader( data, sizeof( data ) );
+        reader.seek( 16 );
+        REQUIRE( reader.eof() );
+        REQUIRE( reader.read( 8 ) == 0 );
+        reader.seek( 1000 );  /* clamped */
+        REQUIRE( reader.tell() == 16 );
+    }
+
+    /* Owning constructor keeps the data alive. */
+    {
+        std::vector<std::uint8_t> data{ 0xDE, 0xAD, 0xBE, 0xEF };
+        BitReader reader( std::move( data ) );
+        REQUIRE( reader.read( 32 ) == 0xEFBEADDEULL );
+    }
+
+    return rapidgzip::test::finish( "testBitReader" );
+}

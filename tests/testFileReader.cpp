@@ -1,0 +1,124 @@
+/**
+ * io layer: MemoryFileReader and StandardFileReader contracts — read/seek/
+ * tell/pread/clone, cursor independence of clones, EOF behavior.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "io/MemoryFileReader.hpp"
+#include "io/StandardFileReader.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+std::vector<std::uint8_t>
+pattern( std::size_t size )
+{
+    std::vector<std::uint8_t> data( size );
+    for ( std::size_t i = 0; i < size; ++i ) {
+        data[i] = static_cast<std::uint8_t>( ( i * 7 + 3 ) & 0xFFU );
+    }
+    return data;
+}
+
+void
+exerciseReader( FileReader& reader, const std::vector<std::uint8_t>& expected )
+{
+    REQUIRE( reader.size() == expected.size() );
+    REQUIRE( reader.tell() == 0 );
+    REQUIRE( !reader.eof() );
+
+    /* Sequential read in odd-sized steps. */
+    std::vector<std::uint8_t> sequential;
+    std::uint8_t buffer[77];
+    while ( true ) {
+        const auto got = reader.read( buffer, sizeof( buffer ) );
+        if ( got == 0 ) {
+            break;
+        }
+        sequential.insert( sequential.end(), buffer, buffer + got );
+    }
+    REQUIRE( sequential == expected );
+    REQUIRE( reader.eof() );
+    REQUIRE( reader.tell() == expected.size() );
+
+    /* seek + read re-reads the same bytes. */
+    reader.seek( 100 );
+    REQUIRE( reader.tell() == 100 );
+    std::uint8_t byte = 0;
+    REQUIRE( reader.read( &byte, 1 ) == 1 );
+    REQUIRE( byte == expected[100] );
+
+    /* pread does not move the cursor. */
+    const auto cursorBefore = reader.tell();
+    std::uint8_t window[10];
+    REQUIRE( reader.pread( window, sizeof( window ), 200 ) == sizeof( window ) );
+    REQUIRE( std::memcmp( window, expected.data() + 200, sizeof( window ) ) == 0 );
+    REQUIRE( reader.tell() == cursorBefore );
+
+    /* pread at and past EOF. */
+    REQUIRE( reader.pread( window, sizeof( window ), expected.size() ) == 0 );
+    REQUIRE( reader.pread( window, sizeof( window ), expected.size() - 3 ) == 3 );
+
+    /* Clones have independent cursors over the same bytes. */
+    auto clone = reader.clone();
+    REQUIRE( clone->tell() == 0 );
+    reader.seek( 500 );
+    REQUIRE( clone->tell() == 0 );
+    REQUIRE( clone->read( window, 4 ) == 4 );
+    REQUIRE( std::memcmp( window, expected.data(), 4 ) == 0 );
+    REQUIRE( reader.tell() == 500 );
+
+    /* Out-of-range seek clamps to the size. */
+    reader.seek( expected.size() + 1000 );
+    REQUIRE( reader.tell() == expected.size() );
+    REQUIRE( reader.read( window, 1 ) == 0 );
+}
+
+}  // namespace
+
+int
+main()
+{
+    const auto expected = pattern( 1000 );
+
+    {
+        MemoryFileReader reader( expected );
+        exerciseReader( reader, expected );
+        REQUIRE( reader.view().size() == expected.size() );
+    }
+
+    {
+        /* Clone outlives the original. */
+        std::unique_ptr<FileReader> survivor;
+        {
+            MemoryFileReader reader( expected );
+            survivor = reader.clone();
+        }
+        std::uint8_t byte = 0;
+        REQUIRE( survivor->pread( &byte, 1, 42 ) == 1 );
+        REQUIRE( byte == expected[42] );
+    }
+
+    {
+        const std::string path = "testFileReader.tmp";
+        std::FILE* file = std::fopen( path.c_str(), "wb" );
+        REQUIRE( file != nullptr );
+        REQUIRE( std::fwrite( expected.data(), 1, expected.size(), file ) == expected.size() );
+        std::fclose( file );
+
+        StandardFileReader reader( path );
+        exerciseReader( reader, expected );
+        std::remove( path.c_str() );
+    }
+
+    REQUIRE_THROWS_AS( StandardFileReader( "/nonexistent/definitely/missing" ), FileIoError );
+
+    return rapidgzip::test::finish( "testFileReader" );
+}

@@ -1,0 +1,144 @@
+/**
+ * gzip layer: GzipWriter -> GzipReader round trips on generated data,
+ * pigz-style streams, multi-member files, incremental reads, and error
+ * behavior on garbage input.
+ */
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "gzip/GzipHeader.hpp"
+#include "gzip/GzipReader.hpp"
+#include "gzip/GzipWriter.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+void
+checkRoundTrip( const std::vector<std::uint8_t>& original,
+                const std::vector<std::uint8_t>& compressed )
+{
+    /* Via the serial reader. */
+    GzipReader reader( std::make_unique<MemoryFileReader>( compressed ) );
+    const auto decompressed = reader.decompressToVector();
+    REQUIRE( decompressed == original );
+    REQUIRE( reader.eof() );
+    REQUIRE( reader.tell() == original.size() );
+
+    /* Via the one-shot helper. */
+    REQUIRE( decompressWithZlib( { compressed.data(), compressed.size() } ) == original );
+
+    /* Header parses and points into the stream. */
+    const auto deflateStart = parseGzipHeader( { compressed.data(), compressed.size() } );
+    REQUIRE( deflateStart >= 10 );
+    REQUIRE( deflateStart < compressed.size() );
+
+    /* Footer carries the modulo-32 size. */
+    const auto footer = parseGzipFooter( { compressed.data(), compressed.size() },
+                                         compressed.size() );
+    REQUIRE( footer.uncompressedSizeModulo32 == static_cast<std::uint32_t>( original.size() ) );
+}
+
+}  // namespace
+
+int
+main()
+{
+    const auto text = workloads::base64Data( 3 * MiB + 17, 0x60D );
+    const auto binary = workloads::silesiaLikeData( 2 * MiB + 333, 0xB1B );
+
+    /* GzipWriter round trip, including chunked writes and flush(). */
+    for ( const auto* original : { &text, &binary } ) {
+        std::vector<std::uint8_t> compressed;
+        {
+            GzipWriter writer( compressed, 6 );
+            std::size_t offset = 0;
+            while ( offset < original->size() ) {
+                const auto chunk = std::min<std::size_t>( 700 * 1024, original->size() - offset );
+                writer.write( original->data() + offset, chunk );
+                offset += chunk;
+                writer.flush();  /* pigz-style restart point */
+            }
+            writer.finish();
+        }
+        REQUIRE( !compressed.empty() );
+        checkRoundTrip( *original, compressed );
+    }
+
+    /* compressGzipLike and compressPigzLike round trip. */
+    checkRoundTrip( text, compressGzipLike( { text.data(), text.size() }, 6 ) );
+    checkRoundTrip( text, compressPigzLike( { text.data(), text.size() }, 6, 256 * 1024 ) );
+    checkRoundTrip( binary, compressPigzLike( { binary.data(), binary.size() }, 1, 128 * 1024 ) );
+
+    /* Empty input round trips. */
+    {
+        const std::vector<std::uint8_t> empty;
+        checkRoundTrip( empty, compressGzipLike( { empty.data(), empty.size() } ) );
+        checkRoundTrip( empty, compressPigzLike( { empty.data(), empty.size() } ) );
+    }
+
+    /* Multi-member stream (cat a.gz b.gz) decodes to the concatenation. */
+    {
+        auto compressed = compressGzipLike( { text.data(), text.size() } );
+        const auto second = compressGzipLike( { binary.data(), binary.size() } );
+        compressed.insert( compressed.end(), second.begin(), second.end() );
+
+        auto expected = text;
+        expected.insert( expected.end(), binary.begin(), binary.end() );
+
+        GzipReader reader( std::make_unique<MemoryFileReader>( compressed ) );
+        REQUIRE( reader.decompressToVector() == expected );
+    }
+
+    /* Trailing padding after the footer is ignored, like `gzip -d` —
+     * consistently by the streaming reader and the one-shot helper. */
+    {
+        auto padded = compressGzipLike( { text.data(), text.size() } );
+        padded.insert( padded.end(), 512, 0 );
+        GzipReader reader( std::make_unique<MemoryFileReader>( padded ) );
+        REQUIRE( reader.decompressToVector() == text );
+        REQUIRE( decompressWithZlib( { padded.data(), padded.size() } ) == text );
+    }
+
+    /* Incremental reads return exactly the requested bytes. */
+    {
+        const auto compressed = compressPigzLike( { text.data(), text.size() }, 6, 512 * 1024 );
+        GzipReader reader( std::make_unique<MemoryFileReader>( compressed ) );
+        std::vector<std::uint8_t> reassembled;
+        std::uint8_t buffer[12345];
+        while ( true ) {
+            const auto got = reader.read( buffer, sizeof( buffer ) );
+            if ( got == 0 ) {
+                break;
+            }
+            reassembled.insert( reassembled.end(), buffer, buffer + got );
+        }
+        REQUIRE( reassembled == text );
+    }
+
+    /* Garbage input and truncation raise InvalidGzipStreamError. */
+    {
+        const std::vector<std::uint8_t> garbage( 1000, 0xAB );
+        GzipReader reader( std::make_unique<MemoryFileReader>( garbage ) );
+        std::uint8_t buffer[64];
+        REQUIRE_THROWS_AS( (void)reader.read( buffer, sizeof( buffer ) ),
+                           InvalidGzipStreamError );
+
+        auto truncated = compressGzipLike( { text.data(), text.size() } );
+        truncated.resize( truncated.size() / 2 );
+        GzipReader truncatedReader( std::make_unique<MemoryFileReader>( truncated ) );
+        REQUIRE_THROWS_AS( (void)truncatedReader.decompressAll(), InvalidGzipStreamError );
+
+        REQUIRE_THROWS_AS( (void)parseGzipHeader( { garbage.data(), garbage.size() } ),
+                           InvalidGzipStreamError );
+    }
+
+    return rapidgzip::test::finish( "testGzipRoundTrip" );
+}

@@ -1,0 +1,228 @@
+/**
+ * Huffman layer: canonical code construction, decode correctness for both
+ * LUT layouts against a reference encoder, Kraft validation, EOF and
+ * invalid-code behavior — including the 15-bit pathological shape whose
+ * construction cost motivates the two-level layout.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "bits/BitReader.hpp"
+#include "huffman/HuffmanCoding.hpp"
+#include "huffman/HuffmanCodingDoubleLUT.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/** Reference encoder: canonical codes, written LSB-first (Deflate order). */
+class BitWriter
+{
+public:
+    void
+    write( std::uint32_t bits, unsigned count )
+    {
+        for ( unsigned i = 0; i < count; ++i ) {
+            /* Canonical codes are written MSB-first into the stream. */
+            const auto bit = ( bits >> ( count - 1 - i ) ) & 1U;
+            m_current |= bit << m_bitCount;
+            if ( ++m_bitCount == 8 ) {
+                m_bytes.push_back( static_cast<std::uint8_t>( m_current ) );
+                m_current = 0;
+                m_bitCount = 0;
+            }
+        }
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t>
+    finish()
+    {
+        if ( m_bitCount > 0 ) {
+            m_bytes.push_back( static_cast<std::uint8_t>( m_current ) );
+        }
+        return m_bytes;
+    }
+
+private:
+    std::vector<std::uint8_t> m_bytes;
+    std::uint32_t m_current{ 0 };
+    unsigned m_bitCount{ 0 };
+};
+
+struct CanonicalCodes
+{
+    std::vector<std::uint32_t> code;
+    std::vector<std::uint8_t> length;
+};
+
+CanonicalCodes
+assignCanonicalCodes( const std::vector<std::uint8_t>& lengths )
+{
+    CanonicalCodes result;
+    result.length = lengths;
+    result.code.resize( lengths.size(), 0 );
+
+    std::uint32_t countPerLength[16] = {};
+    for ( const auto length : lengths ) {
+        ++countPerLength[length];
+    }
+    countPerLength[0] = 0;
+    std::uint32_t nextCode[17] = {};
+    std::uint32_t code = 0;
+    for ( unsigned length = 1; length <= 15; ++length ) {
+        code = ( code + countPerLength[length - 1] ) << 1U;
+        nextCode[length] = code;
+    }
+    for ( std::size_t symbol = 0; symbol < lengths.size(); ++symbol ) {
+        if ( lengths[symbol] > 0 ) {
+            result.code[symbol] = nextCode[lengths[symbol]]++;
+        }
+    }
+    return result;
+}
+
+/** Split-then-extend generator like the benchmark's makeCode. */
+std::vector<std::uint8_t>
+makeCompleteCode( std::size_t symbolCount, unsigned maxLength, std::uint64_t seed )
+{
+    Xorshift64 random( seed );
+    std::vector<std::uint8_t> lengths( symbolCount, 0 );
+    lengths[0] = 1;
+    lengths[1] = 1;
+    std::size_t used = 2;
+    while ( used < symbolCount ) {
+        const auto victim = random.below( used );
+        if ( lengths[victim] >= maxLength ) {
+            continue;
+        }
+        ++lengths[victim];
+        lengths[used] = lengths[victim];
+        ++used;
+    }
+    return lengths;
+}
+
+template<typename Coding>
+void
+checkRoundTrip( const std::vector<std::uint8_t>& lengths, std::uint64_t seed )
+{
+    const auto canonical = assignCanonicalCodes( lengths );
+
+    /* Encode a pseudo-random symbol stream of the usable symbols. */
+    std::vector<std::uint16_t> usable;
+    for ( std::size_t symbol = 0; symbol < lengths.size(); ++symbol ) {
+        if ( lengths[symbol] > 0 ) {
+            usable.push_back( static_cast<std::uint16_t>( symbol ) );
+        }
+    }
+    Xorshift64 random( seed );
+    std::vector<std::uint16_t> symbols( 5000 );
+    BitWriter writer;
+    for ( auto& symbol : symbols ) {
+        symbol = usable[random.below( usable.size() )];
+        writer.write( canonical.code[symbol], canonical.length[symbol] );
+    }
+    const auto encoded = writer.finish();
+
+    Coding coding;
+    REQUIRE( coding.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+    REQUIRE( coding.maxCodeLength() >= 1 );
+
+    BitReader reader( encoded.data(), encoded.size() );
+    for ( std::size_t i = 0; i < symbols.size(); ++i ) {
+        const auto decoded = coding.decode( reader );
+        REQUIRE( decoded == static_cast<int>( symbols[i] ) );
+    }
+    /* Trailing padding decodes to at most a few bogus symbols, then EOF. */
+    while ( true ) {
+        const auto decoded = coding.decode( reader );
+        if ( decoded < 0 ) {
+            REQUIRE( decoded == Coding::DECODE_EOF || decoded == Coding::DECODE_INVALID );
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    /* Hand-checkable code: lengths {1,2,3,3} over symbols {a,b,c,d}. */
+    {
+        const std::vector<std::uint8_t> lengths{ 1, 2, 3, 3 };
+        checkRoundTrip<HuffmanCoding>( lengths, 1 );
+        checkRoundTrip<HuffmanCodingDoubleLUT>( lengths, 1 );
+    }
+
+    /* Deflate-typical and pathological shapes; two-level layout must agree. */
+    checkRoundTrip<HuffmanCoding>( makeCompleteCode( 286, 12, 0xCAFE ), 2 );
+    checkRoundTrip<HuffmanCodingDoubleLUT>( makeCompleteCode( 286, 12, 0xCAFE ), 2 );
+    checkRoundTrip<HuffmanCoding>( makeCompleteCode( 286, 15, 0xBEEF ), 3 );
+    checkRoundTrip<HuffmanCodingDoubleLUT>( makeCompleteCode( 286, 15, 0xBEEF ), 3 );
+    checkRoundTrip<HuffmanCoding>( makeCompleteCode( 19, 7, 0x1234 ), 4 );
+    checkRoundTrip<HuffmanCodingDoubleLUT>( makeCompleteCode( 19, 7, 0x1234 ), 4 );
+
+    /* Both decoders produce identical symbol streams on identical input. */
+    {
+        const auto lengths = makeCompleteCode( 286, 15, 0x77 );
+        HuffmanCoding single;
+        HuffmanCodingDoubleLUT twoLevel;
+        REQUIRE( single.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+        REQUIRE( twoLevel.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+
+        const auto bits = workloads::randomData( 64 * KiB, 0x99 );
+        BitReader readerA( bits.data(), bits.size() );
+        BitReader readerB( bits.data(), bits.size() );
+        while ( true ) {
+            const auto a = single.decode( readerA );
+            const auto b = twoLevel.decode( readerB );
+            REQUIRE( a == b );
+            if ( a < 0 ) {
+                break;
+            }
+        }
+    }
+
+    /* Over-subscribed codes are rejected (Kraft violation). */
+    {
+        const std::vector<std::uint8_t> bad{ 1, 1, 1 };
+        HuffmanCoding single;
+        HuffmanCodingDoubleLUT twoLevel;
+        REQUIRE( !single.initializeFromLengths( { bad.data(), bad.size() } ) );
+        REQUIRE( !twoLevel.initializeFromLengths( { bad.data(), bad.size() } ) );
+    }
+
+    /* Incomplete codes: unmapped patterns decode as DECODE_INVALID. */
+    {
+        const std::vector<std::uint8_t> incomplete{ 2, 2, 2 };  /* codes 00,01,10; 11 unmapped */
+        HuffmanCoding coding;
+        REQUIRE( coding.initializeFromLengths( { incomplete.data(), incomplete.size() } ) );
+        const std::uint8_t allOnes[] = { 0xFF };
+        BitReader reader( allOnes, sizeof( allOnes ) );
+        REQUIRE( coding.decode( reader ) == HuffmanCoding::DECODE_INVALID );
+
+        HuffmanCodingDoubleLUT twoLevel;
+        REQUIRE( twoLevel.initializeFromLengths( { incomplete.data(), incomplete.size() } ) );
+        BitReader reader2( allOnes, sizeof( allOnes ) );
+        REQUIRE( twoLevel.decode( reader2 ) == HuffmanCodingDoubleLUT::DECODE_INVALID );
+    }
+
+    /* All-zero lengths are rejected; EOF on an empty reader. */
+    {
+        const std::vector<std::uint8_t> zeros( 10, 0 );
+        HuffmanCoding coding;
+        REQUIRE( !coding.initializeFromLengths( { zeros.data(), zeros.size() } ) );
+
+        const auto lengths = makeCompleteCode( 19, 7, 0x1 );
+        REQUIRE( coding.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+        BitReader empty( static_cast<const std::uint8_t*>( nullptr ), 0 );
+        REQUIRE( coding.decode( empty ) == HuffmanCoding::DECODE_EOF );
+    }
+
+    return rapidgzip::test::finish( "testHuffman" );
+}

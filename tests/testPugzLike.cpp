@@ -1,0 +1,80 @@
+/**
+ * baselines layer: the pugz-like decompressor handles ASCII workloads at any
+ * thread count and rejects non-ASCII data with UnsupportedDataError, exactly
+ * the behavior Fig. 10 relies on.
+ */
+
+#include <memory>
+
+#include "baselines/PugzLikeDecompressor.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+int
+main()
+{
+    const auto text = workloads::base64Data( 6 * MiB, 0xB64 );
+    const auto compressedText = compressPigzLike( { text.data(), text.size() }, 6, 256 * 1024 );
+
+    /* Correct size at various thread counts and chunk sizes. */
+    for ( const std::size_t threads : { std::size_t( 1 ), std::size_t( 3 ), std::size_t( 8 ) } ) {
+        PugzLikeDecompressor::Options options;
+        options.threadCount = threads;
+        options.chunkSizeBytes = 512 * KiB;
+        PugzLikeDecompressor decompressor( std::make_unique<MemoryFileReader>( compressedText ),
+                                           options );
+        REQUIRE( decompressor.decompressAllSize() == text.size() );
+    }
+
+    /* fastq is ASCII too. */
+    {
+        const auto fastq = workloads::fastqData( 3 * MiB, 0xFA );
+        const auto compressed = compressPigzLike( { fastq.data(), fastq.size() }, 6, 256 * 1024 );
+        PugzLikeDecompressor decompressor( std::make_unique<MemoryFileReader>( compressed ),
+                                           { /* threadCount */ 4 } );
+        REQUIRE( decompressor.decompressAllSize() == fastq.size() );
+    }
+
+    /* Binary data aborts with UnsupportedDataError (a RapidgzipError). */
+    {
+        const auto binary = workloads::silesiaLikeData( 2 * MiB, 0x51E );
+        const auto compressed = compressPigzLike( { binary.data(), binary.size() }, 6,
+                                                  256 * 1024 );
+        PugzLikeDecompressor decompressor( std::make_unique<MemoryFileReader>( compressed ),
+                                           { /* threadCount */ 4 } );
+        REQUIRE_THROWS_AS( (void)decompressor.decompressAllSize(), UnsupportedDataError );
+
+        PugzLikeDecompressor asBase( std::make_unique<MemoryFileReader>( compressed ),
+                                     { /* threadCount */ 2 } );
+        REQUIRE_THROWS_AS( (void)asBase.decompressAllSize(), RapidgzipError );
+    }
+
+    /* Truncated input raises instead of returning a short count. */
+    {
+        auto truncated = compressedText;
+        truncated.resize( truncated.size() / 2 );
+        PugzLikeDecompressor decompressor( std::make_unique<MemoryFileReader>( truncated ),
+                                           { /* threadCount */ 2 } );
+        REQUIRE_THROWS_AS( (void)decompressor.decompressAllSize(), InvalidGzipStreamError );
+    }
+
+    /* enforceAsciiRange=false decodes binary data fine (plumbing check). */
+    {
+        const auto binary = workloads::silesiaLikeData( 2 * MiB, 0x51E );
+        const auto compressed = compressPigzLike( { binary.data(), binary.size() }, 6,
+                                                  256 * 1024 );
+        PugzLikeDecompressor::Options options;
+        options.threadCount = 4;
+        options.enforceAsciiRange = false;
+        PugzLikeDecompressor decompressor( std::make_unique<MemoryFileReader>( compressed ),
+                                           options );
+        REQUIRE( decompressor.decompressAllSize() == binary.size() );
+    }
+
+    return rapidgzip::test::finish( "testPugzLike" );
+}

@@ -1,0 +1,135 @@
+/**
+ * SharedFileReader: the clone()/pread() contract that the parallel chunk
+ * fetcher is built on — concurrent strided preads from many threads must
+ * reassemble the exact file, clones keep independent cursors, and the
+ * serialized fallback path works for readers without parallel pread.
+ */
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "io/MemoryFileReader.hpp"
+#include "io/SharedFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/** Wrapper hiding the underlying reader's parallel-pread support. */
+class SequentialOnlyReader final : public FileReader
+{
+public:
+    explicit SequentialOnlyReader( std::vector<std::uint8_t> data ) :
+        m_inner( std::move( data ) )
+    {}
+
+    [[nodiscard]] std::size_t
+    read( void* buffer, std::size_t size ) override { return m_inner.read( buffer, size ); }
+
+    [[nodiscard]] std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const override
+    {
+        return m_inner.pread( buffer, size, offset );
+    }
+
+    void seek( std::size_t offset ) override { m_inner.seek( offset ); }
+    [[nodiscard]] std::size_t tell() const override { return m_inner.tell(); }
+    [[nodiscard]] std::size_t size() const override { return m_inner.size(); }
+
+    [[nodiscard]] std::unique_ptr<FileReader>
+    clone() const override { throw FileIoError( "not cloneable" ); }
+
+private:
+    MemoryFileReader m_inner;
+};
+
+void
+checkStridedParallelRead( const SharedFileReader& shared, const std::vector<std::uint8_t>& expected )
+{
+    constexpr std::size_t CHUNK = 4096;
+    const std::size_t threadCount = 4;
+
+    std::vector<std::future<std::vector<std::pair<std::size_t, std::vector<std::uint8_t> > > > > futures;
+    for ( std::size_t t = 0; t < threadCount; ++t ) {
+        auto view = shared.clone();
+        futures.push_back( std::async( std::launch::async, [t, threadCount, CHUNK,
+                                                            view = std::move( view ),
+                                                            size = expected.size()] () {
+            std::vector<std::pair<std::size_t, std::vector<std::uint8_t> > > pieces;
+            for ( std::size_t offset = t * CHUNK; offset < size; offset += threadCount * CHUNK ) {
+                std::vector<std::uint8_t> buffer( CHUNK );
+                const auto got = view->pread( buffer.data(), buffer.size(), offset );
+                buffer.resize( got );
+                pieces.emplace_back( offset, std::move( buffer ) );
+            }
+            return pieces;
+        } ) );
+    }
+
+    std::vector<std::uint8_t> reassembled( expected.size() );
+    std::size_t totalRead = 0;
+    for ( auto& future : futures ) {
+        for ( auto& [offset, piece] : future.get() ) {
+            std::memcpy( reassembled.data() + offset, piece.data(), piece.size() );
+            totalRead += piece.size();
+        }
+    }
+    REQUIRE( totalRead == expected.size() );
+    REQUIRE( reassembled == expected );
+}
+
+}  // namespace
+
+int
+main()
+{
+    const auto expected = workloads::randomData( 1 * MiB + 12345, 0x5EED );
+
+    /* Fast path: underlying reader supports parallel pread. */
+    {
+        const SharedFileReader shared(
+            std::unique_ptr<FileReader>( std::make_unique<MemoryFileReader>( expected ) ) );
+        REQUIRE( shared.size() == expected.size() );
+        REQUIRE( shared.supportsParallelPread() );
+        checkStridedParallelRead( shared, expected );
+    }
+
+    /* Serialized fallback path: underlying reader claims no parallel pread. */
+    {
+        const SharedFileReader shared(
+            std::unique_ptr<FileReader>( std::make_unique<SequentialOnlyReader>( expected ) ) );
+        checkStridedParallelRead( shared, expected );
+    }
+
+    /* Clones keep independent cursors; read() follows the cursor. */
+    {
+        SharedFileReader shared(
+            std::unique_ptr<FileReader>( std::make_unique<MemoryFileReader>( expected ) ) );
+        auto a = shared.clone();
+        auto b = shared.clone();
+        std::uint8_t bufferA[100];
+        std::uint8_t bufferB[50];
+        REQUIRE( a->read( bufferA, sizeof( bufferA ) ) == sizeof( bufferA ) );
+        REQUIRE( b->read( bufferB, sizeof( bufferB ) ) == sizeof( bufferB ) );
+        REQUIRE( a->tell() == 100 );
+        REQUIRE( b->tell() == 50 );
+        REQUIRE( std::memcmp( bufferA, expected.data(), sizeof( bufferA ) ) == 0 );
+        REQUIRE( std::memcmp( bufferB, expected.data(), sizeof( bufferB ) ) == 0 );
+
+        /* Cloning a SharedFileReader through ensureSharedFileReader must not
+         * re-wrap it into a second mutex layer. */
+        auto rewrapped = ensureSharedFileReader( shared.clone() );
+        REQUIRE( rewrapped->size() == expected.size() );
+        std::uint8_t byte = 0;
+        REQUIRE( rewrapped->pread( &byte, 1, 7 ) == 1 );
+        REQUIRE( byte == expected[7] );
+    }
+
+    return rapidgzip::test::finish( "testSharedFileReader" );
+}
