@@ -32,7 +32,10 @@ analyzeWorkload(const char* name, const std::vector<std::uint8_t>& data)
     const auto compressed = compressGzipLike({ data.data(), data.size() }, 6);
     MemoryFileReader reader(compressed);
 
-    constexpr std::size_t PARTITION = 1 * MiB;
+    /* Scale the chunk grid with the workload so RAPIDGZIP_BENCH_SCALE keeps
+     * producing mid-file chunks (a fixed 1 MiB grid yields zero chunks on
+     * small CI runs). Keep >= 128 KiB so the fallback has room to trigger. */
+    const std::size_t PARTITION = std::max<std::size_t>(bench::scaledSize(1 * MiB), 128 * KiB);
     std::size_t markedBytes = 0;
     std::size_t plainBytes = 0;
     std::size_t chunks = 0;

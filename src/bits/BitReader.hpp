@@ -123,6 +123,34 @@ public:
         }
     }
 
+    /**
+     * Cheap re-seek for probe loops (block finders test millions of candidate
+     * bit offsets with peek()): when @p bitOffset lies at or ahead of the
+     * cursor but still inside the refill buffer, reposition by shifting the
+     * buffer instead of reloading from memory — no committed read, no byte
+     * refetch. Falls back to a full seek() otherwise, so it is always safe to
+     * call with any target offset.
+     */
+    void
+    seekAfterPeek( std::size_t bitOffset )
+    {
+        const auto current = tell();
+        if ( ( bitOffset >= current ) && ( bitOffset - current <= m_bufferBits ) ) {
+            const auto delta = static_cast<unsigned>( bitOffset - current );
+            if ( delta >= 64U ) {
+                /* Shifting a uint64_t by 64 is undefined behavior; a full
+                 * 64-bit refill buffer can make delta exactly 64. */
+                m_buffer = 0;
+                m_bufferBits = 0;
+            } else {
+                m_buffer >>= delta;
+                m_bufferBits -= delta;
+            }
+            return;
+        }
+        seek( bitOffset );
+    }
+
     /** Advance to the next byte boundary (gzip stored blocks, headers). */
     void
     alignToByte()

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../bits/BitReader.hpp"
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "../deflate/definitions.hpp"
+#include "BlockFinder.hpp"
+
+namespace rapidgzip::blockfinder {
+
+/**
+ * "DBF zlib" in paper Table 2: the trial-inflate baseline. zlib cannot
+ * start mid-byte, so each candidate position is primed with the remaining
+ * bits of its byte via inflatePrime() and then trial-decoded. A fresh
+ * inflate state per candidate (plus a fake all-zero dictionary so mid-stream
+ * back-references do not abort the probe with "distance too far back") is
+ * exactly why this baseline is orders of magnitude slower than the custom
+ * finders — the cost the paper's Table 2 quantifies.
+ *
+ * A cheap 3-bit prefilter keeps the finder's *semantics* aligned with the
+ * other DBFs (non-final Dynamic blocks only); the probe itself is pure zlib.
+ */
+class DynamicBlockFinderZlib
+{
+public:
+    static constexpr std::size_t PROBE_INPUT_BYTES = 4 * KiB;
+    static constexpr std::size_t PROBE_OUTPUT_BYTES = 8 * KiB;
+
+    [[nodiscard]] std::size_t
+    find( BufferView data, std::size_t fromBit ) const
+    {
+        BitReader reader( data.data(), data.size() );
+        const auto sizeBits = reader.sizeInBits();
+        const std::vector<std::uint8_t> zeroDictionary( deflate::WINDOW_SIZE, 0 );
+        std::vector<std::uint8_t> output( PROBE_OUTPUT_BYTES );
+
+        for ( auto offset = fromBit; offset + deflate::MIN_DYNAMIC_HEADER_BITS <= sizeBits;
+              ++offset ) {
+            reader.seekAfterPeek( offset );
+            if ( ( reader.peek( 3 ) & 0b111U ) != 0b100U ) {
+                continue;  /* not a non-final Dynamic block */
+            }
+            if ( probe( data, offset, zeroDictionary, output ) ) {
+                return offset;
+            }
+        }
+        return NOT_FOUND;
+    }
+
+private:
+    [[nodiscard]] static bool
+    probe( BufferView data,
+           std::size_t bitOffset,
+           const std::vector<std::uint8_t>& dictionary,
+           std::vector<std::uint8_t>& output )
+    {
+        const auto byteOffset = bitOffset / 8;
+        const auto bitInByte = static_cast<int>( bitOffset % 8 );
+
+        z_stream stream{};
+        if ( inflateInit2( &stream, /* raw Deflate, no wrapper */ -15 ) != Z_OK ) {
+            throw RapidgzipError( "inflateInit2 failed" );
+        }
+        /* Raw inflate accepts a dictionary right after init; zeros stand in
+         * for the unknown 32 KiB window. */
+        (void)inflateSetDictionary( &stream, dictionary.data(),
+                                    static_cast<uInt>( dictionary.size() ) );
+        if ( bitInByte != 0 ) {
+            const auto primedBits = 8 - bitInByte;
+            const auto primedValue = data[byteOffset] >> bitInByte;
+            if ( inflatePrime( &stream, primedBits, primedValue ) != Z_OK ) {
+                inflateEnd( &stream );
+                return false;
+            }
+        }
+        const auto inputBegin = byteOffset + ( bitInByte != 0 ? 1 : 0 );
+        const auto inputSize = std::min( PROBE_INPUT_BYTES, data.size() - inputBegin );
+        stream.next_in = const_cast<Bytef*>( data.data() + inputBegin );
+        stream.avail_in = static_cast<uInt>( inputSize );
+        stream.next_out = output.data();
+        stream.avail_out = static_cast<uInt>( output.size() );
+        const auto code = inflate( &stream, Z_NO_FLUSH );
+        inflateEnd( &stream );
+        return ( code == Z_OK ) || ( code == Z_STREAM_END ) || ( code == Z_BUF_ERROR );
+    }
+};
+
+}  // namespace rapidgzip::blockfinder

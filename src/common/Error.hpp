@@ -1,9 +1,83 @@
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace rapidgzip {
+
+/**
+ * Non-throwing error codes for the hot decode paths (deflate decoder, block
+ * finders, chunk fetcher). Block finding probes millions of candidate
+ * offsets, almost all of which "fail" — exceptions there would dominate the
+ * runtime, so those layers return Error and only the outermost orchestration
+ * (ParallelGzipReader) converts persistent failures into the exception
+ * hierarchy below.
+ */
+enum class Error : std::uint8_t
+{
+    NONE = 0,
+    /** The input ended mid-block (or mid-header). */
+    TRUNCATED_STREAM,
+    /** No decodable Deflate block found in the searched range. */
+    BLOCK_NOT_FOUND,
+    /** Reserved block type 0b11. */
+    INVALID_BLOCK_TYPE,
+    /** BFINAL set — finders reject final blocks as chunk-start candidates. */
+    INVALID_FINAL_BLOCK,
+    /** Stored block whose NLEN is not the complement of LEN. */
+    INVALID_STORED_LENGTH,
+    /** HLIT > 29 or HDIST > 29 in a Dynamic block header. */
+    INVALID_CODE_COUNTS,
+    /** Over-subscribed (or empty) precode. */
+    INVALID_PRECODE,
+    /** Incomplete precode — spec-legal encoders never emit one (zlib rejects it too). */
+    NON_OPTIMAL_PRECODE,
+    /** The precode-encoded code-length data is malformed (bad repeat, overflow). */
+    INVALID_CODE_LENGTHS,
+    /** Over-subscribed distance code. */
+    INVALID_DISTANCE_CODING,
+    /** Incomplete distance code with more than one symbol (single-code incompleteness is legal). */
+    NON_OPTIMAL_DISTANCE_CODING,
+    /** Over-subscribed literal/length code. */
+    INVALID_LITERAL_CODING,
+    /** Incomplete literal/length code. */
+    NON_OPTIMAL_LITERAL_CODING,
+    /** Literal/length symbol 286/287 or an unmapped bit pattern. */
+    INVALID_SYMBOL,
+    /** Distance symbol 30/31, unmapped pattern, or a match with no distance code defined. */
+    INVALID_DISTANCE,
+    /** Back-reference reaching beyond the available window/history. */
+    EXCEEDED_WINDOW,
+    /** Decoding stopped because the output limit was reached mid-block. */
+    EXCEEDED_OUTPUT_LIMIT,
+};
+
+[[nodiscard]] inline const char*
+toString( Error error ) noexcept
+{
+    switch ( error ) {
+    case Error::NONE:                        return "no error";
+    case Error::TRUNCATED_STREAM:            return "truncated stream";
+    case Error::BLOCK_NOT_FOUND:             return "no deflate block found";
+    case Error::INVALID_BLOCK_TYPE:          return "invalid block type";
+    case Error::INVALID_FINAL_BLOCK:         return "final block rejected";
+    case Error::INVALID_STORED_LENGTH:       return "invalid stored block length";
+    case Error::INVALID_CODE_COUNTS:         return "invalid HLIT/HDIST counts";
+    case Error::INVALID_PRECODE:             return "invalid precode";
+    case Error::NON_OPTIMAL_PRECODE:         return "non-optimal precode";
+    case Error::INVALID_CODE_LENGTHS:        return "invalid precode-encoded data";
+    case Error::INVALID_DISTANCE_CODING:     return "invalid distance code";
+    case Error::NON_OPTIMAL_DISTANCE_CODING: return "non-optimal distance code";
+    case Error::INVALID_LITERAL_CODING:      return "invalid literal code";
+    case Error::NON_OPTIMAL_LITERAL_CODING:  return "non-optimal literal code";
+    case Error::INVALID_SYMBOL:              return "invalid literal/length symbol";
+    case Error::INVALID_DISTANCE:            return "invalid distance";
+    case Error::EXCEEDED_WINDOW:             return "reference beyond available window";
+    case Error::EXCEEDED_OUTPUT_LIMIT:       return "output limit exceeded";
+    }
+    return "unknown error";
+}
 
 /**
  * Base class for all exceptions thrown by the rapidgzip core library.

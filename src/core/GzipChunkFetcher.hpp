@@ -1,0 +1,399 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "../bits/BitReader.hpp"
+#include "../blockfinder/BlockFinder.hpp"
+#include "../blockfinder/DynamicBlockFinderRapid.hpp"
+#include "../blockfinder/NonCompressedBlockFinder.hpp"
+#include "../common/Error.hpp"
+#include "../common/ThreadPool.hpp"
+#include "../common/Util.hpp"
+#include "../deflate/DecodedData.hpp"
+#include "../deflate/DeflateDecoder.hpp"
+#include "../io/FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * The paper's central pipeline (§3.2/§3.3): decode gzip chunks from GUESSED
+ * bit offsets. Stage one runs in parallel per chunk — block-find from the
+ * guess with the cascaded rapid finder (plus the non-compressed finder for
+ * stored blocks), then two-stage-decode into marker/plain data until the
+ * first block boundary at or past the chunk's end guess. Stage two is the
+ * cheap sequential stitch: verify each chunk starts exactly where its
+ * predecessor stopped (re-decoding from the known offset when the finder
+ * was fooled or skipped an unfindable Fixed block), substitute markers with
+ * the propagated window, and slide the window forward.
+ *
+ * Correctness does not rest on the finders: a surviving false positive
+ * produces wrong bytes whose CRC32 cannot match the gzip footer, which the
+ * caller verifies — the same layering DeflateChunks.hpp documents for the
+ * full-flush fast path.
+ */
+class GzipChunkFetcher
+{
+public:
+    struct ChunkResult
+    {
+        Error error{ Error::NONE };
+        deflate::DecodedData data;
+        /** Absolute bit offset of the block the decode actually started at. */
+        std::size_t decodedStartBit{ 0 };
+        /** Absolute bit offset of the first unconsumed block boundary. */
+        std::size_t decodedEndBit{ 0 };
+        bool reachedStreamEnd{ false };
+        std::size_t blockCount{ 0 };
+        bool startedAtStoredBlock{ false };
+    };
+
+    struct MemberResult
+    {
+        std::size_t uncompressedSize{ 0 };
+        std::uint32_t crc32{ 0 };
+        /** Byte offset of the member's footer (just past the final Deflate byte). */
+        std::size_t footerStartByte{ 0 };
+        /** Chunks actually consumed for this member (not the guess grid,
+         * which spans to the file end for concatenated members). */
+        std::size_t chunkCount{ 0 };
+        /** Chunks whose speculative decode was discarded for a sequential
+         * re-decode (finder miss, mis-stitch, or decode failure). */
+        std::size_t redecodedChunks{ 0 };
+    };
+
+    /**
+     * Stage one for one chunk: find the first decodable block at or after
+     * @p startBitGuess (before @p endBitGuess) and decode — windowless, with
+     * 16-bit markers — until the first block boundary at or past
+     * @p endBitGuess, the final block, or @p maxBytes outputs.
+     */
+    [[nodiscard]] static ChunkResult
+    decodeChunkFromGuess( const FileReader& file,
+                          std::size_t startBitGuess,
+                          std::size_t endBitGuess,
+                          std::size_t maxBytes )
+    {
+        const auto fileSize = file.size();
+        const auto fileBits = fileSize * 8;
+        endBitGuess = std::min( endBitGuess, fileBits );
+
+        ChunkResult result;
+        if ( ( startBitGuess >= fileBits ) || ( endBitGuess <= startBitGuess ) ) {
+            result.error = Error::BLOCK_NOT_FOUND;
+            return result;
+        }
+
+        auto margin = INITIAL_DECODE_OVERSHOOT;
+        while ( true ) {
+            const auto startByte = startBitGuess / 8;
+            const auto bufferEnd = std::min( fileSize, ceilDiv<std::size_t>( endBitGuess, 8 ) + margin );
+            std::vector<std::uint8_t> buffer( bufferEnd - startByte );
+            if ( file.pread( buffer.data(), buffer.size(), startByte ) != buffer.size() ) {
+                result.error = Error::TRUNCATED_STREAM;
+                return result;
+            }
+            const BufferView view( buffer.data(), buffer.size() );
+            const auto baseBit = startByte * 8;
+            const auto searchEndLocal = endBitGuess - baseBit;
+
+            blockfinder::DynamicBlockFinderRapid dynamicFinder;
+            const blockfinder::NonCompressedBlockFinder storedFinder;
+            auto nextDynamic = dynamicFinder.find( view, startBitGuess - baseBit );
+            auto nextStored = storedFinder.find( view, startBitGuess - baseBit );
+
+            bool truncatedAttempt = false;
+            while ( true ) {
+                const auto candidate = std::min( nextDynamic, nextStored );
+                if ( ( candidate == blockfinder::NOT_FOUND ) || ( candidate >= searchEndLocal ) ) {
+                    break;
+                }
+                /* Both finders can report the same offset; try the dynamic
+                 * interpretation first, then the stored one — neither may
+                 * shadow the other. */
+                for ( const bool stored : { false, true } ) {
+                    if ( stored ? ( candidate != nextStored ) : ( candidate != nextDynamic ) ) {
+                        continue;
+                    }
+                    BitReader reader( view.data(), view.size() );
+                    reader.seek( candidate );
+                    deflate::Decoder decoder;
+                    decoder.setStartAtStoredData( stored );
+                    deflate::DecodedData data;
+                    const auto decoded = decoder.decode( reader, data, searchEndLocal, maxBytes );
+                    if ( decoded.error == Error::NONE ) {
+                        result.data = std::move( data );
+                        result.decodedStartBit = baseBit + candidate;
+                        result.decodedEndBit = baseBit + decoded.endBitOffset;
+                        result.reachedStreamEnd = decoded.reachedFinalBlock;
+                        result.blockCount = decoded.blockCount;
+                        result.startedAtStoredBlock = stored;
+                        return result;
+                    }
+                    if ( decoded.error == Error::EXCEEDED_OUTPUT_LIMIT ) {
+                        /* The output budget is per chunk, not per candidate:
+                         * retrying further candidates would multiply the
+                         * wasted decode work. Report terminally; the caller
+                         * re-decodes sequentially without a limit. */
+                        result.error = Error::EXCEEDED_OUTPUT_LIMIT;
+                        return result;
+                    }
+                    if ( ( decoded.error == Error::TRUNCATED_STREAM ) && ( bufferEnd < fileSize ) ) {
+                        truncatedAttempt = true;
+                    }
+                }
+                if ( candidate == nextDynamic ) {
+                    nextDynamic = dynamicFinder.find( view, candidate + 1 );
+                }
+                if ( candidate == nextStored ) {
+                    nextStored = storedFinder.find( view, candidate + 1 );
+                }
+            }
+
+            if ( truncatedAttempt && ( bufferEnd < fileSize ) ) {
+                margin *= 4;  /* a candidate outran the buffer — widen and retry */
+                continue;
+            }
+            result.error = Error::BLOCK_NOT_FOUND;
+            return result;
+        }
+    }
+
+    /**
+     * Sequential-path decode from an exactly known block boundary with a
+     * known window (conventional 8-bit decoding throughout). Used for the
+     * first chunk of a member and whenever a speculative chunk has to be
+     * re-decoded.
+     */
+    [[nodiscard]] static ChunkResult
+    decodeChunkAtOffset( const FileReader& file,
+                         std::size_t startBit,
+                         std::size_t untilBit,
+                         std::size_t maxBytes,
+                         BufferView window,
+                         bool startAtStoredData = false )
+    {
+        const auto fileSize = file.size();
+        const auto fileBits = fileSize * 8;
+        untilBit = std::min( untilBit, fileBits );
+        /* A previous chunk's boundary block may have overshot PAST this
+         * chunk's whole range: untilBit <= startBit then means "decode zero
+         * blocks" (the loop below breaks immediately), and the buffer
+         * arithmetic must not underflow. */
+        untilBit = std::max( untilBit, startBit );
+
+        ChunkResult result;
+        if ( startBit >= fileBits ) {
+            result.error = Error::TRUNCATED_STREAM;
+            return result;
+        }
+
+        auto margin = INITIAL_DECODE_OVERSHOOT;
+        while ( true ) {
+            const auto startByte = startBit / 8;
+            const auto bufferEnd = std::min( fileSize, ceilDiv<std::size_t>( untilBit, 8 ) + margin );
+            std::vector<std::uint8_t> buffer( bufferEnd - startByte );
+            if ( file.pread( buffer.data(), buffer.size(), startByte ) != buffer.size() ) {
+                result.error = Error::TRUNCATED_STREAM;
+                return result;
+            }
+            const auto baseBit = startByte * 8;
+
+            BitReader reader( buffer.data(), buffer.size() );
+            reader.seek( startBit - baseBit );
+            deflate::Decoder decoder;
+            decoder.setInitialWindow( window );
+            decoder.setStartAtStoredData( startAtStoredData );
+            deflate::DecodedData data;
+            const auto decoded = decoder.decode( reader, data, untilBit - baseBit, maxBytes );
+            if ( ( decoded.error == Error::TRUNCATED_STREAM ) && ( bufferEnd < fileSize ) ) {
+                margin *= 4;
+                continue;
+            }
+            result.error = decoded.error;
+            result.data = std::move( data );
+            result.decodedStartBit = startBit;
+            result.decodedEndBit = baseBit + decoded.endBitOffset;
+            result.reachedStreamEnd = decoded.reachedFinalBlock;
+            result.blockCount = decoded.blockCount;
+            result.startedAtStoredBlock = startAtStoredData;
+            return result;
+        }
+    }
+
+    /**
+     * Decompress one gzip member's Deflate stream in parallel from guessed
+     * chunk offsets, stitching sequentially. Returns size, CRC32, and the
+     * footer position; throws InvalidGzipStreamError when the stream is
+     * undecodable. The caller verifies the returned CRC against the footer —
+     * that verification, not the block finding, is the correctness
+     * authority.
+     *
+     * When @p collectOutput is non-null the decompressed bytes are appended
+     * to it; otherwise they are discarded after CRC/window accounting
+     * (decompressAll semantics), keeping memory bounded by the in-flight
+     * chunk batch.
+     */
+    [[nodiscard]] static MemberResult
+    decompressMember( const FileReader& file,
+                      std::size_t firstDeflateByte,
+                      std::size_t parallelism,
+                      std::size_t chunkSizeBytes,
+                      std::vector<std::uint8_t>* collectOutput = nullptr )
+    {
+        const auto fileSize = file.size();
+        const auto fileBits = fileSize * 8;
+        const auto startBit = firstDeflateByte * 8;
+        if ( startBit >= fileBits ) {
+            throw InvalidGzipStreamError( "Gzip member has no Deflate data" );
+        }
+
+        const auto chunkBytes = std::max<std::size_t>( chunkSizeBytes, 128 * KiB );
+        const auto chunkBits = chunkBytes * 8;
+        /* The guess grid spans to the FILE end because a member's end is
+         * only known after decoding it; for concatenated members the (at
+         * most one batch of) speculative decodes past the footer are
+         * discarded at reachedStreamEnd. */
+        const auto chunkCount = ceilDiv( fileBits - startBit, chunkBits );
+        /* Speculative output budget per chunk. Deflate can expand up to
+         * ~1032x, but budgeting for that would let a batch of in-flight
+         * 16-bit chunk buffers occupy hundreds of chunk sizes of memory;
+         * ratios beyond this cap (sparse files and the like) fall back to
+         * the sequential re-decode, whose single uncapped chunk matches the
+         * serial path's memory profile. */
+        const auto chunkOutputCap = chunkBytes * 64 + 16 * MiB;
+
+        const auto guessBegin = [startBit, chunkBits] ( std::size_t index ) {
+            return startBit + index * chunkBits;
+        };
+        /* The pool is declared AFTER everything its tasks reference, so its
+         * joining destructor runs first; the tasks themselves capture plain
+         * values (plus the caller-owned file) — never locals of this frame
+         * that unwinding could destroy while workers still run. */
+        ThreadPool pool( std::max<std::size_t>( 1, parallelism ) );
+        const auto dispatch = [&pool, &file, startBit, chunkBits, chunkOutputCap] ( std::size_t index ) {
+            return pool.submit( [&file, startBit, chunkBits, index, chunkOutputCap] () {
+                return decodeChunkFromGuess( file, startBit + index * chunkBits,
+                                             startBit + ( index + 1 ) * chunkBits,
+                                             chunkOutputCap );
+            } );
+        };
+
+        /* Bounded look-ahead: chunks are consumed strictly in order, so only
+         * the in-flight batch is resident at once. */
+        const auto batchLimit = std::max<std::size_t>( 2 * std::max<std::size_t>( 1, parallelism ), 4 );
+        std::vector<std::future<ChunkResult> > inFlight;
+        std::size_t nextToDispatch = 1;  /* chunk 0 decodes on this thread, exactly */
+        const auto topUp = [&] () {
+            while ( ( nextToDispatch < chunkCount ) && ( inFlight.size() < batchLimit ) ) {
+                inFlight.push_back( dispatch( nextToDispatch++ ) );
+            }
+        };
+        topUp();
+
+        MemberResult member;
+        auto crc = ::crc32( 0L, Z_NULL, 0 );
+        std::vector<std::uint8_t> window;
+        std::vector<std::uint8_t> resolved;
+        std::size_t expectedBit = startBit;
+        bool reachedStreamEnd = false;
+
+        for ( std::size_t index = 0; index < chunkCount; ++index ) {
+            ++member.chunkCount;  /* chunks actually consumed, not the guess grid */
+            ChunkResult chunk;
+            if ( index == 0 ) {
+                chunk = decodeChunkAtOffset( file, startBit, guessBegin( 1 ), chunkOutputCap,
+                                             { window.data(), window.size() } );
+                if ( ( chunk.error == Error::EXCEEDED_OUTPUT_LIMIT ) ) {
+                    chunk = decodeChunkAtOffset( file, startBit, guessBegin( 1 ),
+                                                 std::numeric_limits<std::size_t>::max(),
+                                                 { window.data(), window.size() } );
+                }
+                if ( chunk.error != Error::NONE ) {
+                    throw InvalidGzipStreamError(
+                        "Cannot decode the gzip stream from its start: "
+                        + std::string( toString( chunk.error ) ) );
+                }
+            } else {
+                chunk = inFlight.front().get();
+                inFlight.erase( inFlight.begin() );
+                topUp();
+                /* A stored-block start is reported at its byte-aligned LEN
+                 * field; the equivalent boundary for a header at expectedBit
+                 * is 3 header bits plus padding later. (The unread padding
+                 * carries no data; a wrong BFINAL assumption decodes wrong
+                 * bytes that the caller's CRC verification rejects.) */
+                const auto storedDataBit = ceilDiv<std::size_t>( expectedBit + 3, 8 ) * 8;
+                const bool stitchMatches =
+                    ( chunk.decodedStartBit == expectedBit )
+                    || ( chunk.startedAtStoredBlock && ( chunk.decodedStartBit == storedDataBit ) );
+                if ( ( chunk.error != Error::NONE ) || !stitchMatches ) {
+                    /* The finder was fooled, skipped an unfindable block, or
+                     * the guess landed beyond the member: re-decode from the
+                     * authoritative boundary with the propagated window. */
+                    ++member.redecodedChunks;
+                    chunk = decodeChunkAtOffset( file, expectedBit, guessBegin( index + 1 ),
+                                                 std::numeric_limits<std::size_t>::max(),
+                                                 { window.data(), window.size() } );
+                    if ( chunk.error != Error::NONE ) {
+                        throw InvalidGzipStreamError(
+                            "Cannot decode the gzip stream at bit offset "
+                            + std::to_string( expectedBit ) + ": "
+                            + std::string( toString( chunk.error ) ) );
+                    }
+                }
+            }
+
+            /* Stage two: resolve markers against the propagated window. */
+            resolved.clear();
+            deflate::resolveInto( chunk.data, { window.data(), window.size() }, resolved );
+
+            if ( !resolved.empty() ) {
+                crc = ::crc32( crc, resolved.data(), static_cast<uInt>( resolved.size() ) );
+                member.uncompressedSize += resolved.size();
+                if ( collectOutput != nullptr ) {
+                    collectOutput->insert( collectOutput->end(), resolved.begin(), resolved.end() );
+                }
+                /* Slide the window: last WINDOW_SIZE bytes of (window ++ resolved). */
+                if ( resolved.size() >= deflate::WINDOW_SIZE ) {
+                    window.assign( resolved.end() - deflate::WINDOW_SIZE, resolved.end() );
+                } else {
+                    const auto keep = std::min( window.size(),
+                                                deflate::WINDOW_SIZE - resolved.size() );
+                    window.erase( window.begin(),
+                                  window.end() - static_cast<std::ptrdiff_t>( keep ) );
+                    window.insert( window.end(), resolved.begin(), resolved.end() );
+                }
+            }
+
+            expectedBit = chunk.decodedEndBit;
+            if ( chunk.reachedStreamEnd ) {
+                reachedStreamEnd = true;
+                break;
+            }
+        }
+
+        if ( !reachedStreamEnd ) {
+            throw InvalidGzipStreamError(
+                "Gzip stream ended before the final Deflate block — truncated file" );
+        }
+        member.crc32 = static_cast<std::uint32_t>( crc );
+        member.footerStartByte = ceilDiv<std::size_t>( expectedBit, 8 );
+        return member;
+    }
+
+private:
+    /* Covers the boundary block overshooting the end guess in one read for
+     * typical block sizes; the TRUNCATED retry loop (margin *= 4) widens it
+     * for the rare longer block, so a small start avoids per-chunk read
+     * amplification. */
+    static constexpr std::size_t INITIAL_DECODE_OVERSHOOT = 256 * KiB;
+};
+
+}  // namespace rapidgzip

@@ -20,6 +20,7 @@
 #include "../io/SharedFileReader.hpp"
 #include "ChunkFetcher.hpp"
 #include "DeflateChunks.hpp"
+#include "GzipChunkFetcher.hpp"
 
 namespace rapidgzip {
 
@@ -68,6 +69,23 @@ public:
         if ( m_parallelResultUntrusted ) {
             return serialDecompressCount();
         }
+
+        /* Streams WITHOUT full-flush restart points (plain `gzip` output)
+         * used to degrade to one serial chunk. The two-stage pipeline
+         * decodes them in parallel from guessed bit offsets instead; the
+         * full-flush path remains the fast path when restart points or an
+         * imported index make block finding unnecessary. Any two-stage
+         * failure falls through to the flush-point path, whose own fallback
+         * is the authoritative serial zlib decode. */
+        ensureChunkTable();
+        if ( !m_indexImported && ( m_chunks.size() <= 1 ) ) {
+            try {
+                return decompressAllTwoStage();
+            } catch ( const RapidgzipError& ) {
+                /* fall through */
+            }
+        }
+
         ensureFetcher();
         while ( true ) {
             std::size_t total = 0;
@@ -255,6 +273,7 @@ public:
 
         m_chunkTableKnown = true;
         m_offsetsKnown = true;
+        m_indexImported = true;
         /* A trustworthy index supersedes whatever chunking failed before. */
         m_parallelResultUntrusted = false;
         m_fetcher.reset();  /* rebuild lazily on the imported table */
@@ -283,6 +302,61 @@ public:
     }
 
 private:
+    /**
+     * Whole-stream decompression via the two-stage pipeline: per member,
+     * parallel chunk decodes from guessed bit offsets (GzipChunkFetcher),
+     * sequential marker resolution with window propagation, and MANDATORY
+     * footer verification — with guessed offsets the CRC32 check is the
+     * correctness authority, so setVerifyChecksums() does not disable it
+     * here. Throws on any failure; the caller falls back.
+     */
+    [[nodiscard]] std::size_t
+    decompressAllTwoStage()
+    {
+        const auto fileSize = m_file->size();
+        std::size_t memberStart = 0;
+        std::size_t total = 0;
+        while ( true ) {
+            std::vector<std::uint8_t> headerBytes(
+                std::min<std::size_t>( fileSize - memberStart, 64 * KiB ) );
+            if ( m_file->pread( headerBytes.data(), headerBytes.size(), memberStart )
+                 != headerBytes.size() ) {
+                throw FileIoError( "Short read of gzip header" );
+            }
+            const auto deflateStart = parseGzipHeader( { headerBytes.data(), headerBytes.size() } );
+
+            const auto member = GzipChunkFetcher::decompressMember(
+                *m_file, memberStart + deflateStart, m_configuration.parallelism,
+                m_configuration.chunkSizeBytes );
+
+            std::uint8_t footerBytes[GZIP_FOOTER_SIZE];
+            if ( ( member.footerStartByte + GZIP_FOOTER_SIZE > fileSize )
+                 || ( m_file->pread( footerBytes, GZIP_FOOTER_SIZE, member.footerStartByte )
+                      != GZIP_FOOTER_SIZE ) ) {
+                throw InvalidGzipStreamError( "Cannot read gzip footer" );
+            }
+            const auto footer = parseGzipFooter( { footerBytes, GZIP_FOOTER_SIZE },
+                                                 GZIP_FOOTER_SIZE );
+            if ( ( member.crc32 != footer.crc32 )
+                 || ( static_cast<std::uint32_t>( member.uncompressedSize )
+                      != footer.uncompressedSizeModulo32 ) ) {
+                throw ChecksumError( "Two-stage parallel decode does not match the gzip footer" );
+            }
+            total += member.uncompressedSize;
+
+            /* Another member may follow; anything else is trailing padding,
+             * ignored like `gzip -d`. */
+            const auto next = member.footerStartByte + GZIP_FOOTER_SIZE;
+            std::uint8_t magic[2];
+            if ( ( next + 2 <= fileSize ) && ( m_file->pread( magic, 2, next ) == 2 )
+                 && ( magic[0] == GZIP_MAGIC_1 ) && ( magic[1] == GZIP_MAGIC_2 ) ) {
+                memberStart = next;
+                continue;
+            }
+            return total;
+        }
+    }
+
     void
     ensureChunkTable()
     {
@@ -440,6 +514,7 @@ private:
     std::vector<std::size_t> m_uncompressedOffsets;  /**< size chunks+1 once known */
     bool m_chunkTableKnown{ false };
     bool m_offsetsKnown{ false };
+    bool m_indexImported{ false };
 
     std::unique_ptr<ChunkFetcher> m_fetcher;
     std::size_t m_position{ 0 };

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Util.hpp"
+#include "definitions.hpp"
+
+namespace rapidgzip::deflate {
+
+/**
+ * Two-stage decoding intermediate format (paper §3.3). A chunk decoded from
+ * an arbitrary bit offset does not know the 32 KiB window preceding it, so
+ * back-references into that window cannot be resolved during decoding.
+ * Instead the first stage emits 16-bit symbols:
+ *
+ *   value < 256            : a resolved literal byte
+ *   value >= MARKER_BASE   : a marker — (value - MARKER_BASE) indexes the
+ *                            unknown window, 0 = oldest byte (WINDOW_SIZE
+ *                            bytes before the chunk start), WINDOW_SIZE-1 =
+ *                            the byte immediately preceding the chunk
+ *
+ * Markers propagate through LZ77 copies, so they persist for as long as the
+ * data keeps referencing the pre-chunk history. The second stage replaces
+ * them via replaceMarkers() once the previous chunk's window is available.
+ */
+inline constexpr std::uint16_t MARKER_BASE = 32768;
+
+/** One stretch of conventionally (8-bit) decoded output. */
+struct Segment
+{
+    std::vector<std::uint8_t> data;
+
+    [[nodiscard]] std::size_t
+    decodedSize() const noexcept
+    {
+        return data.size();
+    }
+};
+
+/**
+ * A decoded chunk: the 16-bit "marked" prefix (possibly empty when the
+ * window was known from the start), followed by 8-bit "plain" segments
+ * produced after the decoder's fallback to conventional decoding — triggered
+ * once the trailing WINDOW_SIZE outputs contain no markers, at which point
+ * every future back-reference is guaranteed to resolve inside the chunk.
+ */
+struct DecodedData
+{
+    std::vector<std::uint16_t> marked;
+    std::vector<Segment> plain;
+
+    [[nodiscard]] std::size_t
+    totalSize() const noexcept
+    {
+        auto size = marked.size();
+        for ( const auto& segment : plain ) {
+            size += segment.decodedSize();
+        }
+        return size;
+    }
+};
+
+/**
+ * Stage two: substitute every marker in @p symbols with the corresponding
+ * byte of @p window and narrow the rest to bytes, writing totalSize bytes to
+ * @p output. @p window holds the last window.size() bytes of output
+ * preceding the chunk; the full-window case (WINDOW_SIZE bytes) is the hot
+ * path the paper benchmarks at 1254 MB/s in Table 2.
+ *
+ * Markers reaching in front of a short window decode to 0 — a valid stream
+ * never produces them (a back-reference cannot outreach the real history),
+ * so they only appear for false block-finder positives, which the chunk
+ * fetcher's checksum verification rejects wholesale.
+ */
+inline void
+replaceMarkers( VectorView<std::uint16_t> symbols,
+                VectorView<std::uint8_t> window,
+                std::uint8_t* output ) noexcept
+{
+    const auto* const windowData = window.data();
+    if ( window.size() >= WINDOW_SIZE ) {
+        /* Hot path: any marker offset is addressable. */
+        const auto* const recent = windowData + ( window.size() - WINDOW_SIZE );
+        for ( std::size_t i = 0; i < symbols.size(); ++i ) {
+            const auto symbol = symbols[i];
+            output[i] = symbol < MARKER_BASE
+                        ? static_cast<std::uint8_t>( symbol )
+                        : recent[symbol - MARKER_BASE];
+        }
+        return;
+    }
+
+    const auto missing = WINDOW_SIZE - window.size();
+    for ( std::size_t i = 0; i < symbols.size(); ++i ) {
+        const auto symbol = symbols[i];
+        if ( symbol < MARKER_BASE ) {
+            output[i] = static_cast<std::uint8_t>( symbol );
+        } else {
+            const std::size_t offset = symbol - MARKER_BASE;
+            output[i] = offset >= missing ? windowData[offset - missing] : std::uint8_t( 0 );
+        }
+    }
+}
+
+/** Convenience overload appending the resolved bytes to @p output. */
+inline void
+resolveInto( const DecodedData& data,
+             VectorView<std::uint8_t> window,
+             std::vector<std::uint8_t>& output )
+{
+    if ( !data.marked.empty() ) {
+        const auto offset = output.size();
+        output.resize( offset + data.marked.size() );
+        replaceMarkers( { data.marked.data(), data.marked.size() }, window, output.data() + offset );
+    }
+    for ( const auto& segment : data.plain ) {
+        output.insert( output.end(), segment.data.begin(), segment.data.end() );
+    }
+}
+
+}  // namespace rapidgzip::deflate

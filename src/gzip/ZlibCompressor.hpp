@@ -57,7 +57,8 @@ public:
                 std::uint8_t buffer[64 * 1024];
                 m_stream.next_out = buffer;
                 m_stream.avail_out = sizeof( buffer );
-                const auto result = deflate( &m_stream, sliceFlush );
+                /* Globally qualified: rapidgzip::deflate is a namespace. */
+                const auto result = ::deflate( &m_stream, sliceFlush );
                 if ( ( result != Z_OK ) && ( result != Z_STREAM_END ) && ( result != Z_BUF_ERROR ) ) {
                     throw RapidgzipError( "deflate failed with code " + std::to_string( result ) );
                 }

@@ -67,7 +67,11 @@ public:
             return false;
         }
 
-        /* Kraft inequality: reject over-subscribed codes. */
+        /* Kraft inequality: reject over-subscribed codes. The remainder at
+         * the maximum length is kept so callers can distinguish complete
+         * codes (remainder 0) from incomplete ones — Deflate encoders only
+         * emit complete codes (except the single-distance-code case), so the
+         * block finders reject incomplete codes as "non-optimal". */
         std::int64_t available = 1;
         for ( unsigned length = 1; length <= m_maxLength; ++length ) {
             available <<= 1U;
@@ -76,6 +80,7 @@ public:
                 return false;
             }
         }
+        m_kraftRemainder = available;
 
         /* Canonical first-code per length, then assign in symbol order. */
         std::array<std::uint16_t, MAX_CODE_LENGTH + 2> nextCode{};
@@ -107,6 +112,24 @@ public:
         return m_maxLength;
     }
 
+    /** Number of symbols with a non-zero code length. */
+    [[nodiscard]] std::size_t
+    codeCount() const noexcept
+    {
+        return m_codes.size();
+    }
+
+    /**
+     * True when the code saturates the Kraft inequality — every bit pattern
+     * decodes to a symbol. Only meaningful after initializeFromLengths()
+     * returned true.
+     */
+    [[nodiscard]] bool
+    isCompleteCode() const noexcept
+    {
+        return m_kraftRemainder == 0;
+    }
+
 protected:
     [[nodiscard]] static std::uint16_t
     reverseBits( std::uint16_t value, unsigned bitCount ) noexcept
@@ -121,6 +144,7 @@ protected:
 
     std::vector<CanonicalCode> m_codes;
     unsigned m_maxLength{ 0 };
+    std::int64_t m_kraftRemainder{ 0 };
 };
 
 }  // namespace rapidgzip

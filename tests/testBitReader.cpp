@@ -118,6 +118,54 @@ main()
         REQUIRE( reader.tell() == 16 );
     }
 
+    /* seekAfterPeek: the sliding-probe fast path must agree bit-for-bit
+     * with a full seek — forward within the buffer (cheap path), backward,
+     * and far jumps (both fall back to seek). */
+    {
+        std::vector<std::uint8_t> data( 64 );
+        for ( std::size_t i = 0; i < data.size(); ++i ) {
+            data[i] = static_cast<std::uint8_t>( i * 37 + 11 );
+        }
+        BitReader probing( data.data(), data.size() );
+        BitReader seeking( data.data(), data.size() );
+
+        /* The block-finder pattern: peek at pos, advance one bit, repeat. */
+        for ( std::size_t position = 0; position + 13 <= data.size() * 8; ++position ) {
+            probing.seekAfterPeek( position );
+            seeking.seek( position );
+            REQUIRE( probing.peek( 13 ) == seeking.peek( 13 ) );
+            REQUIRE( probing.tell() == position );
+        }
+
+        /* Backward and far-forward targets take the full-seek fallback. */
+        probing.seekAfterPeek( 5 );
+        REQUIRE( probing.tell() == 5 );
+        REQUIRE( probing.peek( 8 ) == [&] { seeking.seek( 5 ); return seeking.peek( 8 ); }() );
+        probing.seekAfterPeek( 400 );
+        REQUIRE( probing.tell() == 400 );
+        REQUIRE( probing.peek( 8 ) == [&] { seeking.seek( 400 ); return seeking.peek( 8 ); }() );
+
+        /* Mixed with consuming reads: repositioning stays exact. */
+        probing.seekAfterPeek( 100 );
+        REQUIRE( probing.read( 9 ) == [&] { seeking.seek( 100 ); return seeking.read( 9 ); }() );
+        probing.seekAfterPeek( 101 );
+        REQUIRE( probing.tell() == 101 );
+        REQUIRE( probing.peek( 13 ) == [&] { seeking.seek( 101 ); return seeking.peek( 13 ); }() );
+
+        /* Clamped past-the-end target, like seek(). */
+        probing.seekAfterPeek( data.size() * 8 + 123 );
+        REQUIRE( probing.tell() == data.size() * 8 );
+
+        /* Delta of exactly 64 bits — one full refill buffer — must not
+         * shift by 64 (undefined behavior) and must land exactly. */
+        BitReader full( data.data(), data.size() );
+        REQUIRE( full.peek( 1 ) == ( data[0] & 1U ) );  /* refills 64 bits */
+        full.seekAfterPeek( 64 );
+        REQUIRE( full.tell() == 64 );
+        seeking.seek( 64 );
+        REQUIRE( full.peek( 13 ) == seeking.peek( 13 ) );
+    }
+
     /* Owning constructor keeps the data alive. */
     {
         std::vector<std::uint8_t> data{ 0xDE, 0xAD, 0xBE, 0xEF };

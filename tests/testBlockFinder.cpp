@@ -1,0 +1,187 @@
+/**
+ * blockfinder layer: every Dynamic block finder must locate the known block
+ * starts of a pigz-produced stream (full-flush restart points are
+ * byte-aligned Dynamic block starts, so the ground truth is known without
+ * trusting any finder); the rapid finder's cascaded filters must agree with
+ * the naive full parse on EVERY bit offset of random data (zero false
+ * negatives — and, by equality, zero extra positives); and the
+ * non-compressed finder must locate stored-block LEN fields.
+ */
+
+#include <vector>
+
+#include "blockfinder/DynamicBlockFinderNaive.hpp"
+#include "blockfinder/DynamicBlockFinderRapid.hpp"
+#include "blockfinder/DynamicBlockFinderSkipLUT.hpp"
+#include "blockfinder/DynamicBlockFinderZlib.hpp"
+#include "blockfinder/NonCompressedBlockFinder.hpp"
+#include "core/DeflateChunks.hpp"
+#include "gzip/GzipHeader.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/* Forwarding reference: the rapid finder's find() mutates its statistics. */
+template<typename Finder>
+void
+checkFindsKnownOffsets( Finder&& finder,
+                        BufferView stream,
+                        const std::vector<std::size_t>& knownBlockBits )
+{
+    for ( const auto expected : knownBlockBits ) {
+        /* Scan from a few bits before the block: the preceding bits are the
+         * 00 00 FF FF sync marker, which no finder may mistake for a start. */
+        REQUIRE( finder.find( stream, expected - 10 ) == expected );
+        /* Scanning from the block itself returns it immediately. */
+        REQUIRE( finder.find( stream, expected ) == expected );
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    /* Ground truth: pigz-style full flushes byte-align the stream and reset
+     * the window, so each marker-end offset is a known Dynamic block start
+     * (base64 data at level 6 always produces Dynamic blocks). */
+    const auto data = workloads::base64Data( 4 * MiB, 0xB10C );
+    const auto gz = compressPigzLike( { data.data(), data.size() }, 6, 256 * KiB );
+    const auto deflateStart = parseGzipHeader( { gz.data(), gz.size() } );
+    const BufferView stream( gz.data() + deflateStart, gz.size() - deflateStart );
+
+    MemoryFileReader file( gz );
+    const auto markerEnds = findFullFlushMarkers( file, deflateStart, gz.size() );
+    REQUIRE( markerEnds.size() >= 10 );
+
+    std::vector<std::size_t> knownBlockBits;
+    for ( std::size_t i = 0; i + 1 < markerEnds.size(); ++i ) {  /* skip the last: may be final */
+        knownBlockBits.push_back( ( markerEnds[i] - deflateStart ) * 8 );
+    }
+
+    {
+        blockfinder::DynamicBlockFinderRapid rapid;
+        checkFindsKnownOffsets( rapid, stream, knownBlockBits );
+        REQUIRE( rapid.statistics().validHeaders >= 2 * knownBlockBits.size() );
+        REQUIRE( rapid.statistics().positionsTested > rapid.statistics().validHeaders );
+    }
+    checkFindsKnownOffsets( blockfinder::DynamicBlockFinderNaive(), stream, knownBlockBits );
+    checkFindsKnownOffsets( blockfinder::DynamicBlockFinderSkipLUT(), stream, knownBlockBits );
+    {
+        /* The zlib trial-inflate baseline is ~100x slower: spot-check a few. */
+        const blockfinder::DynamicBlockFinderZlib zlib;
+        const std::vector<std::size_t> sample = {
+            knownBlockBits.front(),
+            knownBlockBits[knownBlockBits.size() / 2],
+            knownBlockBits.back(),
+        };
+        checkFindsKnownOffsets( zlib, stream, sample );
+    }
+
+    /* Zero false negatives (and, symmetrically, zero extra positives) of
+     * rapid vs naive: both must accept EXACTLY the same bit offsets over
+     * random data — the cascade is a pure acceleration, not an
+     * approximation. The skip-LUT must agree as well. */
+    {
+        const auto noise = workloads::randomData( 256 * KiB, 0xFA15E );
+        const BufferView view( noise.data(), noise.size() );
+        const blockfinder::DynamicBlockFinderNaive naive;
+        blockfinder::DynamicBlockFinderRapid rapid;
+        const blockfinder::DynamicBlockFinderSkipLUT skipLut;
+
+        std::vector<std::size_t> naiveFound;
+        for ( auto fromBit = std::size_t( 0 ); ; ) {
+            const auto offset = naive.find( view, fromBit );
+            if ( offset == blockfinder::NOT_FOUND ) {
+                break;
+            }
+            naiveFound.push_back( offset );
+            fromBit = offset + 1;
+        }
+
+        std::vector<std::size_t> rapidFound;
+        for ( auto fromBit = std::size_t( 0 ); ; ) {
+            const auto offset = rapid.find( view, fromBit );
+            if ( offset == blockfinder::NOT_FOUND ) {
+                break;
+            }
+            rapidFound.push_back( offset );
+            fromBit = offset + 1;
+        }
+        REQUIRE( rapidFound == naiveFound );
+
+        std::vector<std::size_t> skipLutFound;
+        for ( auto fromBit = std::size_t( 0 ); ; ) {
+            const auto offset = skipLut.find( view, fromBit );
+            if ( offset == blockfinder::NOT_FOUND ) {
+                break;
+            }
+            skipLutFound.push_back( offset );
+            fromBit = offset + 1;
+        }
+        REQUIRE( skipLutFound == naiveFound );
+
+        /* Per-position agreement of the static cascade entry point, too. */
+        for ( std::size_t position = 0; position < 64 * KiB; ++position ) {
+            BitReader reader( view.data(), view.size() );
+            reader.seek( position );
+            deflate::DynamicHuffmanCodings codings;
+            const bool naiveAccepts =
+                ( ( reader.peek( 3 ) & 0b111U ) == 0b100U )
+                && ( ( reader.skip( 3 ), deflate::readDynamicCodings( reader, codings ) )
+                     == Error::NONE );
+            REQUIRE( blockfinder::DynamicBlockFinderRapid::testCandidate( view, position, nullptr )
+                     == naiveAccepts );
+        }
+    }
+
+    /* NonCompressedBlockFinder: stored blocks from incompressible data. The
+     * LEN field of the first stored block of a chunk is byte-aligned; check
+     * the finder reports a position whose LEN/NLEN are complements and that
+     * every full-flush sync marker (LEN = 0) is found as well. */
+    {
+        const auto noise = workloads::randomData( 1 * MiB, 0x57A7 );
+        const auto storedGz = compressPigzLike( { noise.data(), noise.size() }, 6, 128 * KiB );
+        const auto storedDeflateStart = parseGzipHeader( { storedGz.data(), storedGz.size() } );
+        const BufferView storedStream( storedGz.data() + storedDeflateStart,
+                                       storedGz.size() - storedDeflateStart );
+
+        const blockfinder::NonCompressedBlockFinder finder;
+        std::size_t found = 0;
+        for ( auto fromBit = std::size_t( 0 ); ; ) {
+            const auto offset = finder.find( storedStream, fromBit );
+            if ( offset == blockfinder::NOT_FOUND ) {
+                break;
+            }
+            REQUIRE( offset % 8 == 0 );
+            const auto byte = offset / 8;
+            const auto len = static_cast<unsigned>( storedStream[byte] )
+                             | ( static_cast<unsigned>( storedStream[byte + 1] ) << 8U );
+            const auto nlen = static_cast<unsigned>( storedStream[byte + 2] )
+                              | ( static_cast<unsigned>( storedStream[byte + 3] ) << 8U );
+            REQUIRE( ( len ^ nlen ) == 0xFFFFU );
+            ++found;
+            fromBit = offset + 1;
+        }
+        REQUIRE( found > 0 );
+
+        /* Every sync marker (the empty stored block 00 00 FF FF) must be
+         * among the found positions — rescan from just before each. */
+        MemoryFileReader storedFile( storedGz );
+        const auto syncMarkers = findFullFlushMarkers( storedFile, storedDeflateStart,
+                                                       storedGz.size() );
+        REQUIRE( !syncMarkers.empty() );
+        for ( const auto markerEnd : syncMarkers ) {
+            const auto lenBit = ( markerEnd - FULL_FLUSH_MARKER_SIZE - storedDeflateStart ) * 8;
+            REQUIRE( finder.find( storedStream, lenBit ) == lenBit );
+        }
+    }
+
+    return rapidgzip::test::finish( "testBlockFinder" );
+}

@@ -65,13 +65,41 @@ main()
     checkFullRead( data, compressed, config( 1, 64 * 1024 ) );
     checkFullRead( data, compressed, config( 8, 4 * MiB ) );
 
-    /* Gzip-like stream without a single flush marker: one chunk, still correct. */
+    /* Gzip-like stream without a single flush marker: the full-flush table
+     * degenerates to one chunk, but decompressAll routes through the
+     * two-stage pipeline and decodes in parallel anyway. Verify the actual
+     * BYTES against the serial zlib decode (the chunk fetcher's CRC check
+     * against the footer is cross-validated by the same comparison). */
     {
         const auto plain = compressGzipLike( { data.data(), data.size() }, 6 );
         ParallelGzipReader reader( std::make_unique<MemoryFileReader>( plain ),
                                    config( 4, 1 * MiB ) );
         REQUIRE( reader.chunkCount() == 1 );
         REQUIRE( reader.decompressAll() == data.size() );
+
+        const auto serial = decompressWithZlib( { plain.data(), plain.size() } );
+        std::vector<std::uint8_t> parallel;
+        MemoryFileReader file( plain );
+        const auto deflateStart = parseGzipHeader( { plain.data(), plain.size() } );
+        const auto member = GzipChunkFetcher::decompressMember( file, deflateStart,
+                                                                /* parallelism */ 4,
+                                                                /* chunk size */ 1 * MiB,
+                                                                &parallel );
+        REQUIRE( member.chunkCount > 1 );
+        /* Most chunks must come from the SPECULATIVE guessed-offset decode —
+         * if the block finders regressed, every chunk would silently fall
+         * back to the sequential re-decode and parallelism would be dead. */
+        REQUIRE( member.redecodedChunks < member.chunkCount / 2 );
+        REQUIRE( parallel == serial );
+        REQUIRE( parallel == data );
+
+        /* A flipped byte must be caught by the footer verification, not
+         * returned as silently corrupt output. */
+        auto corrupted = plain;
+        corrupted[corrupted.size() / 2] ^= 0x10U;
+        ParallelGzipReader corruptedReader( std::make_unique<MemoryFileReader>( corrupted ),
+                                            config( 4, 1 * MiB ) );
+        REQUIRE_THROWS_AS( (void)corruptedReader.decompressAll(), RapidgzipError );
     }
 
     /* Random access: seek + read against the reference data. */
