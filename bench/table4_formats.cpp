@@ -4,22 +4,23 @@
  * beat gzip decoders; at P=128 rapidgzip(index) reaches 16.4 GB/s, twice
  * pzstd's 8.8 GB/s, because pzstd parallelizes poorly.
  *
- * Offline substitutions (DESIGN.md): zstd rows are dropped (no offline
- * implementation); lz4 rows use this repo's from-scratch LZ4; bzip2 rows use
- * libbz2 single-threaded (lbzip2's parallelization is out of scope).
+ * Offline substitutions (DESIGN.md): the zstd/lz4/bzip2 rows are dropped —
+ * no offline implementation is in scope — leaving the gzip-family formats
+ * the paper's headline claims are about: arbitrary gzip with and without a
+ * prebuilt index, and BGZF, whose BC fields make the index free. The index
+ * rows exercise index::serializeIndex round trips, i.e. the reuse-from-disk
+ * workflow, not just in-memory reuse.
  */
 
 #include <cstdio>
 #include <memory>
 
-#include "baselines/BgzfParallelDecompressor.hpp"
-#include "bzip2/Bzip2Decompressor.hpp"
 #include "core/ParallelGzipReader.hpp"
 #include "gzip/BgzfWriter.hpp"
 #include "gzip/GzipReader.hpp"
 #include "gzip/ZlibCompressor.hpp"
+#include "index/IndexSerializer.hpp"
 #include "io/MemoryFileReader.hpp"
-#include "lz4/Lz4.hpp"
 #include "workloads/DataGenerators.hpp"
 
 #include "BenchmarkHelpers.hpp"
@@ -38,6 +39,15 @@ printFormatRow(const char* format, const char* tool, std::size_t parallelism, do
     std::fflush(stdout);
 }
 
+[[nodiscard]] ChunkFetcherConfiguration
+config(std::size_t parallelism)
+{
+    ChunkFetcherConfiguration result;
+    result.parallelism = parallelism;
+    result.chunkSizeBytes = 1 * MiB;
+    return result;
+}
+
 }  // namespace
 
 int
@@ -46,13 +56,11 @@ main()
     bench::printHeader("Table 4: cross-format decompression comparison");
 
     const auto data = workloads::silesiaLikeData(bench::scaledSize(32 * MiB), 0x7AB1E7);
-    const std::span<const std::uint8_t> span{ data.data(), data.size() };
+    const BufferView span{ data.data(), data.size() };
     const auto repeats = bench::benchRepeats(3);
 
     const auto gzipFile = compressGzipLike(span, 6);
-    const auto bgzfFile = writeBgzf(span, { .level = 6 });
-    const auto bz2File = bzip2::compress(span, 9);
-    const auto lz4File = lz4::compressFrame(span);
+    const auto bgzfFile = writeBgzf(span, 6);
 
     const auto ratioOf = [&](const auto& file) {
         return static_cast<double>(data.size()) / static_cast<double>(file.size());
@@ -61,11 +69,8 @@ main()
     /* --- P = 1 --- */
     printFormatRow("gzip", "rapidgzip", 1, ratioOf(gzipFile),
                    bench::measureBandwidth(data.size(), repeats, [&]() {
-                       ChunkFetcherConfiguration config;
-                       config.parallelism = 1;
-                       config.chunkSizeBytes = 1 * MiB;
                        ParallelGzipReader reader(std::make_unique<MemoryFileReader>(gzipFile),
-                                                 config);
+                                                 config(1));
                        (void)reader.decompressAll();
                    }),
                    "0.153 GB/s");
@@ -85,60 +90,49 @@ main()
                        (void)decompressWithZlib({ bgzfFile.data(), bgzfFile.size() });
                    }),
                    "0.298 GB/s (bgzip)");
-    printFormatRow("bzip2", "libbz2", 1, ratioOf(bz2File),
-                   bench::measureBandwidth(data.size(), repeats, [&]() {
-                       (void)bzip2::decompress({ bz2File.data(), bz2File.size() });
-                   }),
-                   "0.045 GB/s (lbzip2 P=1)");
-    printFormatRow("lz4", "rapidgzip-lz4", 1, ratioOf(lz4File),
-                   bench::measureBandwidth(data.size(), repeats, [&]() {
-                       (void)lz4::decompressFrame({ lz4File.data(), lz4File.size() });
-                   }),
-                   "1.337 GB/s (lz4)");
 
     /* --- P = 4 (stand-in for the paper's 16/128-core columns) --- */
     constexpr std::size_t P = 4;
     printFormatRow("gzip", "rapidgzip", P, ratioOf(gzipFile),
                    bench::measureBandwidth(data.size(), repeats, [&]() {
-                       ChunkFetcherConfiguration config;
-                       config.parallelism = P;
-                       config.chunkSizeBytes = 1 * MiB;
                        ParallelGzipReader reader(std::make_unique<MemoryFileReader>(gzipFile),
-                                                 config);
+                                                 config(P));
                        (void)reader.decompressAll();
                    }),
                    "1.86 GB/s (P=16)");
 
-    GzipIndex index;
+    /* Index reuse: one sweep builds the bit-granular index; serialize and
+     * reload it (the on-disk workflow) and measure decompression with the
+     * prebuilt index — the paper's headline 'second read' number. */
+    std::vector<std::uint8_t> serializedIndex;
     {
-        ChunkFetcherConfiguration config;
-        config.parallelism = P;
-        config.chunkSizeBytes = 1 * MiB;
-        ParallelGzipReader builder(std::make_unique<MemoryFileReader>(gzipFile), config);
-        index = builder.exportIndex();
+        ParallelGzipReader builder(std::make_unique<MemoryFileReader>(gzipFile), config(P));
+        serializedIndex = index::serializeIndex(builder.exportIndex());
     }
+    std::printf("  [index: %s on disk for %s of gzip]\n",
+                formatBytes(serializedIndex.size()).c_str(),
+                formatBytes(gzipFile.size()).c_str());
     printFormatRow("gzip", "rapidgzip (index)", P, ratioOf(gzipFile),
                    bench::measureBandwidth(data.size(), repeats, [&]() {
-                       ChunkFetcherConfiguration config;
-                       config.parallelism = P;
-                       config.chunkSizeBytes = 1 * MiB;
                        ParallelGzipReader reader(std::make_unique<MemoryFileReader>(gzipFile),
-                                                 config);
-                       reader.importIndex(index);
+                                                 config(P));
+                       reader.importIndex(index::deserializeIndex(
+                           { serializedIndex.data(), serializedIndex.size() }));
                        (void)reader.decompressAll();
                    }),
                    "4.25 GB/s (P=16)");
-    printFormatRow("bgzip", "bgzf parallel", P, ratioOf(bgzfFile),
+    printFormatRow("bgzip", "rapidgzip (BC index)", P, ratioOf(bgzfFile),
                    bench::measureBandwidth(data.size(), repeats, [&]() {
-                       BgzfParallelDecompressor decompressor(
-                           std::make_unique<MemoryFileReader>(bgzfFile), P);
-                       (void)decompressor.decompressAllSize();
+                       ParallelGzipReader reader(std::make_unique<MemoryFileReader>(bgzfFile),
+                                                 config(P));
+                       (void)reader.decompressAll();
                    }),
                    "2.82 GB/s (P=16)");
 
-    std::printf("\n  Expected shape (paper Table 4): single-threaded, lz4 > zlib > \n"
-                "  rapidgzip ≈ bgzip > bzip2; with parallelism the gzip-family tools\n"
-                "  overtake the single-threaded comparators (on multi-core hosts).\n"
-                "  zstd rows omitted offline; see EXPERIMENTS.md.\n");
+    std::printf("\n  Expected shape (paper Table 4): single-threaded rapidgzip ≈ the\n"
+                "  sequential decoder and below zlib; with parallelism rapidgzip\n"
+                "  overtakes every single-threaded row, the prebuilt index beats the\n"
+                "  index-building first read, and BGZF parallelizes for free.\n"
+                "  zstd/lz4/bzip2 rows omitted offline; see EXPERIMENTS.md.\n");
     return 0;
 }

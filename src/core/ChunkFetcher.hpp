@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -64,12 +65,34 @@ class ChunkFetcher
 {
 public:
     using ChunkDataPtr = std::shared_ptr<const DecodedChunk>;
+    /** Decodes chunk @p index of the stream; must be const-thread-safe (it
+     * runs concurrently on the pool workers). */
+    using ChunkDecoder = std::function<DecodedChunk( const FileReader&, std::size_t index )>;
 
+    /** Full-flush chunking: byte ranges, each raw-inflated with zlib. */
     ChunkFetcher( std::shared_ptr<const FileReader> file,
                   std::vector<ChunkBoundary> chunks,
                   const ChunkFetcherConfiguration& configuration ) :
         m_file( std::move( file ) ),
         m_chunks( std::move( chunks ) ),
+        m_chunkCount( m_chunks.size() ),
+        m_configuration( configuration ),
+        m_cacheCapacity( configuration.cacheChunkCount > 0
+                         ? configuration.cacheChunkCount
+                         : std::max<std::size_t>( 2 * configuration.parallelism + 4, 8 ) ),
+        m_threadPool( std::max<std::size_t>( 1, configuration.parallelism ) )
+    {}
+
+    /** Index-driven chunking: @p decoder owns the mapping from chunk index
+     * to checkpoint span; the prefetch/cache machinery is shared verbatim
+     * with the full-flush path. */
+    ChunkFetcher( std::shared_ptr<const FileReader> file,
+                  std::size_t chunkCount,
+                  ChunkDecoder decoder,
+                  const ChunkFetcherConfiguration& configuration ) :
+        m_file( std::move( file ) ),
+        m_chunkCount( chunkCount ),
+        m_decoder( std::move( decoder ) ),
         m_configuration( configuration ),
         m_cacheCapacity( configuration.cacheChunkCount > 0
                          ? configuration.cacheChunkCount
@@ -80,7 +103,7 @@ public:
     [[nodiscard]] std::size_t
     chunkCount() const noexcept
     {
-        return m_chunks.size();
+        return m_chunkCount;
     }
 
     [[nodiscard]] const FetcherStatistics&
@@ -151,11 +174,20 @@ private:
     std::shared_future<ChunkDataPtr>
     insertDecodeTask( std::size_t index, bool prefetched )
     {
-        const auto boundary = m_chunks[index];
-        auto future = m_threadPool.submit( [file = m_file, boundary] () -> ChunkDataPtr {
-            return std::make_shared<const DecodedChunk>(
-                decodeRawDeflateChunk( *file, boundary.compressedBegin, boundary.compressedEnd ) );
-        } ).share();
+        std::shared_future<ChunkDataPtr> future;
+        if ( m_decoder ) {
+            future = m_threadPool.submit( [file = m_file, decoder = m_decoder, index] ()
+                                          -> ChunkDataPtr {
+                return std::make_shared<const DecodedChunk>( decoder( *file, index ) );
+            } ).share();
+        } else {
+            const auto boundary = m_chunks[index];
+            future = m_threadPool.submit( [file = m_file, boundary] () -> ChunkDataPtr {
+                return std::make_shared<const DecodedChunk>(
+                    decodeRawDeflateChunk( *file, boundary.compressedBegin,
+                                           boundary.compressedEnd ) );
+            } ).share();
+        }
         CacheEntry entry;
         entry.future = future;
         entry.lastUse = m_accessClock;
@@ -168,7 +200,7 @@ private:
     void
     prefetch( std::size_t index )
     {
-        if ( ( index >= m_chunks.size() ) || ( m_cache.find( index ) != m_cache.end() ) ) {
+        if ( ( index >= m_chunkCount ) || ( m_cache.find( index ) != m_cache.end() ) ) {
             return;
         }
         ++m_statistics.prefetchDispatched;
@@ -281,7 +313,9 @@ private:
     };
 
     std::shared_ptr<const FileReader> m_file;
-    std::vector<ChunkBoundary> m_chunks;
+    std::vector<ChunkBoundary> m_chunks;  /**< full-flush mode only */
+    std::size_t m_chunkCount{ 0 };
+    ChunkDecoder m_decoder;               /**< index mode only */
     ChunkFetcherConfiguration m_configuration;
     std::size_t m_cacheCapacity;
 

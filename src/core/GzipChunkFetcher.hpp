@@ -18,7 +18,10 @@
 #include "../common/Util.hpp"
 #include "../deflate/DecodedData.hpp"
 #include "../deflate/DeflateDecoder.hpp"
+#include "../gzip/GzipHeader.hpp"
+#include "../index/IndexBuilder.hpp"
 #include "../io/FileReader.hpp"
+#include "DeflateChunks.hpp"
 
 namespace rapidgzip {
 
@@ -73,13 +76,24 @@ public:
      * @p startBitGuess (before @p endBitGuess) and decode — windowless, with
      * 16-bit markers — until the first block boundary at or past
      * @p endBitGuess, the final block, or @p maxBytes outputs.
+     *
+     * Seeded-window fast path: when @p seededWindow is non-null the start is
+     * not a guess but an exact checkpoint (index hit), so stage one is
+     * skipped entirely — no block finding, no markers, conventional 8-bit
+     * decoding from the seeded window. An empty window is a valid seed
+     * (restart point).
      */
     [[nodiscard]] static ChunkResult
     decodeChunkFromGuess( const FileReader& file,
                           std::size_t startBitGuess,
                           std::size_t endBitGuess,
-                          std::size_t maxBytes )
+                          std::size_t maxBytes,
+                          const BufferView* seededWindow = nullptr )
     {
+        if ( seededWindow != nullptr ) {
+            return decodeChunkAtOffset( file, startBitGuess, endBitGuess, maxBytes,
+                                        *seededWindow );
+        }
         const auto fileSize = file.size();
         const auto fileBits = fileSize * 8;
         endBitGuess = std::min( endBitGuess, fileBits );
@@ -228,6 +242,104 @@ public:
     }
 
     /**
+     * Index-driven chunk decode: resume at the checkpoint bit offset
+     * @p startBits with the checkpoint's @p window and decode until the
+     * block boundary at @p untilBits (the next checkpoint) or the end of the
+     * stream. Handles gzip member transitions that fall inside the chunk
+     * (footer + next member's header + fresh Deflate stream with an empty
+     * window), so BGZF and concatenated members ride the same path. This is
+     * what makes seek()/read() O(1) in decoded work: exactly one
+     * inter-checkpoint span is decoded, never the prefix of the file.
+     *
+     * Throws InvalidGzipStreamError when the data under the checkpoint does
+     * not decode — a stale or corrupt index.
+     */
+    [[nodiscard]] static DecodedChunk
+    decodeChunkFromCheckpoint( const FileReader& file,
+                               std::size_t startBits,
+                               std::size_t untilBits,
+                               BufferView window )
+    {
+        const auto fileSize = file.size();
+
+        /* Restart-point chunks (byte-aligned, empty window, byte-aligned
+         * end) — BGZF blocks, full-flush points, member starts — take the
+         * zlib path: it reads the chunk's byte span ONCE and follows member
+         * transitions within it, where the generic loop below would re-read
+         * the remaining span per member (ruinous for BGZF's ~64 KiB
+         * members). A bit-granular end boundary disqualifies: zlib would
+         * decode the trailing partial block past the next checkpoint. */
+        constexpr auto NO_LIMIT = std::numeric_limits<std::size_t>::max();
+        if ( ( startBits % 8 == 0 ) && window.empty()
+             && ( ( untilBits == NO_LIMIT ) || ( untilBits % 8 == 0 ) ) ) {
+            return decodeRawDeflateChunk( file, startBits / 8,
+                                          untilBits == NO_LIMIT ? fileSize : untilBits / 8 );
+        }
+
+        DecodedChunk result;
+        result.crc32 = static_cast<std::uint32_t>( ::crc32( 0L, Z_NULL, 0 ) );
+
+        std::vector<std::uint8_t> memberWindow( window.begin(), window.end() );
+        auto bit = startBits;
+        while ( true ) {
+            const BufferView windowView{ memberWindow.data(), memberWindow.size() };
+            auto chunk = decodeChunkFromGuess( file, bit, untilBits,
+                                               std::numeric_limits<std::size_t>::max(),
+                                               &windowView );
+            if ( chunk.error != Error::NONE ) {
+                throw InvalidGzipStreamError(
+                    "Cannot decode the gzip stream at indexed bit offset "
+                    + std::to_string( bit ) + ": " + std::string( toString( chunk.error ) )
+                    + " — stale or corrupt index" );
+            }
+
+            const auto before = result.data.size();
+            deflate::resolveInto( chunk.data, windowView, result.data );
+            for ( auto produced = before; produced < result.data.size(); ) {
+                const auto slice = std::min<std::size_t>(
+                    result.data.size() - produced,
+                    std::numeric_limits<uInt>::max() / 2 );
+                result.crc32 = static_cast<std::uint32_t>(
+                    ::crc32( result.crc32, result.data.data() + produced,
+                             static_cast<uInt>( slice ) ) );
+                produced += slice;
+            }
+
+            if ( !chunk.reachedStreamEnd ) {
+                break;  /* stopped exactly at the next checkpoint's boundary */
+            }
+
+            /* The member ended inside this chunk: footer, then possibly
+             * another member whose Deflate data still belongs to this chunk. */
+            const auto footerByte = ceilDiv<std::size_t>( chunk.decodedEndBit, 8 );
+            result.deflateEndOffset = footerByte;
+            const auto nextMember = footerByte + GZIP_FOOTER_SIZE;
+            std::uint8_t magic[2];
+            if ( ( nextMember + 2 > fileSize )
+                 || ( file.pread( magic, 2, nextMember ) != 2 )
+                 || ( magic[0] != GZIP_MAGIC_1 ) || ( magic[1] != GZIP_MAGIC_2 ) ) {
+                /* No further member; trailing bytes are padding (gzip -d
+                 * semantics). */
+                result.reachedStreamEnd = true;
+                break;
+            }
+            std::vector<std::uint8_t> headerBytes(
+                std::min<std::size_t>( fileSize - nextMember, 64 * KiB ) );
+            preadExactly( file, headerBytes.data(), headerBytes.size(), nextMember );
+            const auto deflateStart =
+                parseGzipHeader( { headerBytes.data(), headerBytes.size() } );
+            const auto newBit = ( nextMember + deflateStart ) * 8;
+            if ( newBit >= untilBits ) {
+                break;  /* the next checkpoint owns the next member */
+            }
+            ++result.memberRestarts;
+            memberWindow.clear();  /* a fresh member starts with an empty window */
+            bit = newBit;
+        }
+        return result;
+    }
+
+    /**
      * Decompress one gzip member's Deflate stream in parallel from guessed
      * chunk offsets, stitching sequentially. Returns size, CRC32, and the
      * footer position; throws InvalidGzipStreamError when the stream is
@@ -239,13 +351,19 @@ public:
      * to it; otherwise they are discarded after CRC/window accounting
      * (decompressAll semantics), keeping memory bounded by the in-flight
      * chunk batch.
+     *
+     * When @p indexBuilder is non-null, every consumed chunk boundary is
+     * recorded as a checkpoint with the propagated window — index
+     * construction as a byproduct of the sweep (member-relative uncompressed
+     * offsets; the caller advances the member base).
      */
     [[nodiscard]] static MemberResult
     decompressMember( const FileReader& file,
                       std::size_t firstDeflateByte,
                       std::size_t parallelism,
                       std::size_t chunkSizeBytes,
-                      std::vector<std::uint8_t>* collectOutput = nullptr )
+                      std::vector<std::uint8_t>* collectOutput = nullptr,
+                      index::IndexBuilder* indexBuilder = nullptr )
     {
         const auto fileSize = file.size();
         const auto fileBits = fileSize * 8;
@@ -307,6 +425,7 @@ public:
         for ( std::size_t index = 0; index < chunkCount; ++index ) {
             ++member.chunkCount;  /* chunks actually consumed, not the guess grid */
             ChunkResult chunk;
+            bool speculativeAccepted = false;
             if ( index == 0 ) {
                 chunk = decodeChunkAtOffset( file, startBit, guessBegin( 1 ), chunkOutputCap,
                                              { window.data(), window.size() } );
@@ -333,6 +452,7 @@ public:
                 const bool stitchMatches =
                     ( chunk.decodedStartBit == expectedBit )
                     || ( chunk.startedAtStoredBlock && ( chunk.decodedStartBit == storedDataBit ) );
+                speculativeAccepted = ( chunk.error == Error::NONE ) && stitchMatches;
                 if ( ( chunk.error != Error::NONE ) || !stitchMatches ) {
                     /* The finder was fooled, skipped an unfindable block, or
                      * the guess landed beyond the member: re-decode from the
@@ -348,6 +468,19 @@ public:
                             + std::string( toString( chunk.error ) ) );
                     }
                 }
+            }
+
+            /* Harvest the checkpoint before the window slides: `expectedBit`
+             * is the authoritative boundary this chunk starts at (for an
+             * accepted stored-block candidate the real block header at
+             * expectedBit decodes identically — the unread padding carries
+             * no data), and `window` is exactly the history a decode
+             * resuming there needs. The chunk's surviving markers enable a
+             * sparse window (see IndexBuilder). */
+            if ( indexBuilder != nullptr ) {
+                indexBuilder->addCheckpoint( expectedBit, member.uncompressedSize,
+                                             { window.data(), window.size() },
+                                             speculativeAccepted ? &chunk.data : nullptr );
             }
 
             /* Stage two: resolve markers against the propagated window. */

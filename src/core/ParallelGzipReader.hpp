@@ -15,8 +15,10 @@
 #include "../common/Error.hpp"
 #include "../common/Util.hpp"
 #include "../gzip/GzipHeader.hpp"
-#include "../gzip/GzipIndex.hpp"
 #include "../gzip/GzipReader.hpp"
+#include "../index/BgzfIndex.hpp"
+#include "../index/GzipIndex.hpp"
+#include "../index/IndexBuilder.hpp"
 #include "../io/SharedFileReader.hpp"
 #include "ChunkFetcher.hpp"
 #include "DeflateChunks.hpp"
@@ -72,13 +74,15 @@ public:
 
         /* Streams WITHOUT full-flush restart points (plain `gzip` output)
          * used to degrade to one serial chunk. The two-stage pipeline
-         * decodes them in parallel from guessed bit offsets instead; the
-         * full-flush path remains the fast path when restart points or an
-         * imported index make block finding unnecessary. Any two-stage
-         * failure falls through to the flush-point path, whose own fallback
-         * is the authoritative serial zlib decode. */
+         * decodes them in parallel from guessed bit offsets instead — and,
+         * as a byproduct, builds the bit-granular seek index that makes
+         * every subsequent seek()/read() constant-time. The full-flush path
+         * remains the fast path when restart points or an imported index
+         * make block finding unnecessary. Any two-stage failure falls
+         * through to the flush-point path, whose own fallback is the
+         * authoritative serial zlib decode. */
         ensureChunkTable();
-        if ( !m_indexImported && ( m_chunks.size() <= 1 ) ) {
+        if ( !m_indexed && ( m_chunks.size() <= 1 ) ) {
             try {
                 return decompressAllTwoStage();
             } catch ( const RapidgzipError& ) {
@@ -151,6 +155,8 @@ public:
                     m_parallelResultUntrusted = true;
                     m_offsetsKnown = false;
                     m_chunkTableKnown = false;
+                    m_indexed = false;
+                    m_index.reset();
                     m_fetcher.reset();
                     return serialDecompressCount();
                 }
@@ -217,66 +223,77 @@ public:
 
     /* --- index interface --------------------------------------------- */
 
+    /**
+     * The seek index for this stream. When none exists yet it is built
+     * first: from BGZF BC fields or full-flush chunk boundaries when the
+     * stream has restart points (byte-aligned checkpoints, no windows), or
+     * by the two-stage sweep for arbitrary gzip (bit-granular checkpoints
+     * with compressed windows). Serialize with index::serializeIndex() /
+     * index::exportGztoolIndex().
+     */
     [[nodiscard]] GzipIndex
     exportIndex()
     {
         ensureOffsetsKnown();
+        if ( m_indexed ) {
+            return *m_index;
+        }
+        /* Full-flush chunking: every chunk start is a byte-aligned restart
+         * point with an empty window. */
         GzipIndex index;
         index.compressedSizeBytes = m_file->size();
         index.uncompressedSizeBytes = m_uncompressedOffsets.back();
         index.checkpoints.reserve( m_chunks.size() );
         for ( std::size_t i = 0; i < m_chunks.size(); ++i ) {
-            index.checkpoints.push_back( { m_chunks[i].compressedBegin,
+            index.checkpoints.push_back( { m_chunks[i].compressedBegin * 8,
                                            m_uncompressedOffsets[i] } );
         }
         return index;
     }
 
-    /** Adopt chunk boundaries and offsets from @p index, skipping discovery. */
+    /** Adopt checkpoints, windows, and offsets from @p index, skipping
+     * discovery: seek()/read() decode from the nearest checkpoint. */
     void
     importIndex( const GzipIndex& index )
     {
         if ( index.empty() ) {
             throw RapidgzipError( "Cannot import an empty gzip index" );
         }
-        if ( index.compressedSizeBytes != m_file->size() ) {
+        /* gztool-format imports do not record the compressed size (0 =
+         * unknown); the per-chunk decode still catches a wrong file. */
+        if ( ( index.compressedSizeBytes != 0 )
+             && ( index.compressedSizeBytes != m_file->size() ) ) {
             throw RapidgzipError( "Gzip index does not match this file's size" );
         }
         if ( index.checkpoints.front().uncompressedOffset != 0 ) {
             throw RapidgzipError( "Gzip index must start at uncompressed offset 0" );
         }
+        const auto fileBits = m_file->size() * 8;
         for ( std::size_t i = 0; i < index.checkpoints.size(); ++i ) {
             const auto& checkpoint = index.checkpoints[i];
-            if ( ( checkpoint.compressedOffset >= m_file->size() )
+            if ( ( checkpoint.compressedOffsetBits >= fileBits )
                  || ( ( i > 0 )
-                      && ( ( checkpoint.compressedOffset
-                             <= index.checkpoints[i - 1].compressedOffset )
+                      && ( ( checkpoint.compressedOffsetBits
+                             <= index.checkpoints[i - 1].compressedOffsetBits )
                            || ( checkpoint.uncompressedOffset
                                 < index.checkpoints[i - 1].uncompressedOffset ) ) )
                  || ( checkpoint.uncompressedOffset > index.uncompressedSizeBytes ) ) {
                 throw RapidgzipError( "Gzip index checkpoints are inconsistent" );
             }
+            /* Mid-stream checkpoints need their 32 KiB history. Byte-aligned
+             * ones may be restart points (empty window); a bit-granular one
+             * can never be, so a missing window there is corruption. */
+            if ( ( checkpoint.compressedOffsetBits % 8 != 0 )
+                 && ( checkpoint.uncompressedOffset > 0 )
+                 && !index.windows.contains( checkpoint.compressedOffsetBits ) ) {
+                throw RapidgzipError( "Gzip index is missing the window for a "
+                                      "bit-granular checkpoint" );
+            }
         }
 
-        m_chunks.clear();
-        m_chunks.reserve( index.checkpoints.size() );
-        m_uncompressedOffsets.clear();
-        m_uncompressedOffsets.reserve( index.checkpoints.size() + 1 );
-        for ( std::size_t i = 0; i < index.checkpoints.size(); ++i ) {
-            const auto end = i + 1 < index.checkpoints.size()
-                             ? index.checkpoints[i + 1].compressedOffset
-                             : m_file->size();
-            m_chunks.push_back( { index.checkpoints[i].compressedOffset, end } );
-            m_uncompressedOffsets.push_back( index.checkpoints[i].uncompressedOffset );
-        }
-        m_uncompressedOffsets.push_back( index.uncompressedSizeBytes );
-
-        m_chunkTableKnown = true;
-        m_offsetsKnown = true;
-        m_indexImported = true;
-        /* A trustworthy index supersedes whatever chunking failed before. */
-        m_parallelResultUntrusted = false;
-        m_fetcher.reset();  /* rebuild lazily on the imported table */
+        auto adopted = std::make_shared<GzipIndex>( index );
+        adopted->compressedSizeBytes = m_file->size();
+        adoptIndex( std::move( adopted ) );
     }
 
     /* --- configuration / introspection -------------------------------- */
@@ -298,7 +315,17 @@ public:
     chunkCount()
     {
         ensureChunkTable();
-        return m_chunks.size();
+        return m_indexed ? m_index->checkpoints.size() : m_chunks.size();
+    }
+
+    /** True when seek()/read() dispatch from index checkpoints (imported,
+     * BGZF-scanned, or harvested by the two-stage sweep). Triggers format
+     * detection, which for BGZF adopts the BC-field index. */
+    [[nodiscard]] bool
+    usesIndex()
+    {
+        ensureChunkTable();
+        return m_indexed;
     }
 
 private:
@@ -314,6 +341,7 @@ private:
     decompressAllTwoStage()
     {
         const auto fileSize = m_file->size();
+        index::IndexBuilder builder;
         std::size_t memberStart = 0;
         std::size_t total = 0;
         while ( true ) {
@@ -327,7 +355,7 @@ private:
 
             const auto member = GzipChunkFetcher::decompressMember(
                 *m_file, memberStart + deflateStart, m_configuration.parallelism,
-                m_configuration.chunkSizeBytes );
+                m_configuration.chunkSizeBytes, nullptr, &builder );
 
             std::uint8_t footerBytes[GZIP_FOOTER_SIZE];
             if ( ( member.footerStartByte + GZIP_FOOTER_SIZE > fileSize )
@@ -343,6 +371,7 @@ private:
                 throw ChecksumError( "Two-stage parallel decode does not match the gzip footer" );
             }
             total += member.uncompressedSize;
+            builder.finishMember( member.uncompressedSize );
 
             /* Another member may follow; anything else is trailing padding,
              * ignored like `gzip -d`. */
@@ -353,14 +382,47 @@ private:
                 memberStart = next;
                 continue;
             }
+            /* Every member verified against its footer: the harvested index
+             * is trustworthy. Adopt it so seek()/read() resume from
+             * checkpoints instead of re-running (or serializing) the sweep. */
+            adoptIndex( std::make_shared<const GzipIndex>( builder.build( fileSize ) ) );
             return total;
         }
+    }
+
+    /** Switch to index-driven chunking: offsets come from the checkpoints,
+     * chunk decodes from decodeChunkFromCheckpoint with seeded windows. */
+    void
+    adoptIndex( std::shared_ptr<const GzipIndex> index )
+    {
+        m_index = std::move( index );
+        m_indexed = true;
+        m_chunks.clear();
+        m_chunkTableKnown = true;
+        m_uncompressedOffsets.clear();
+        m_uncompressedOffsets.reserve( m_index->checkpoints.size() + 1 );
+        for ( const auto& checkpoint : m_index->checkpoints ) {
+            m_uncompressedOffsets.push_back( checkpoint.uncompressedOffset );
+        }
+        m_uncompressedOffsets.push_back( m_index->uncompressedSizeBytes );
+        m_offsetsKnown = true;
+        /* A trustworthy index supersedes whatever chunking failed before. */
+        m_parallelResultUntrusted = false;
+        m_fetcher.reset();  /* rebuild lazily on the indexed decoder */
     }
 
     void
     ensureChunkTable()
     {
         if ( m_chunkTableKnown ) {
+            return;
+        }
+        /* BGZF is an index special case: the BC extra fields describe every
+         * block, so the full random-access index is a header scan away — no
+         * marker search, no flush markers, no decoding. */
+        if ( auto bgzfIndex = index::tryBuildBgzfIndex( *m_file,
+                                                        m_configuration.chunkSizeBytes ) ) {
+            adoptIndex( std::make_shared<const GzipIndex>( std::move( *bgzfIndex ) ) );
             return;
         }
         m_chunks = discoverChunks( *m_file, m_configuration.chunkSizeBytes );
@@ -371,10 +433,29 @@ private:
     ensureFetcher()
     {
         ensureChunkTable();
-        if ( !m_fetcher ) {
+        if ( m_fetcher ) {
+            return;
+        }
+        auto file = std::shared_ptr<const FileReader>( m_file->clone().release() );
+        if ( m_indexed ) {
+            /* The decoder callback runs on pool workers: it captures the
+             * immutable index by shared_ptr and only uses const accessors. */
+            auto decoder = [index = m_index] ( const FileReader& reader, std::size_t i ) {
+                const auto& checkpoints = index->checkpoints;
+                const auto startBits = checkpoints[i].compressedOffsetBits;
+                const auto untilBits = i + 1 < checkpoints.size()
+                                       ? checkpoints[i + 1].compressedOffsetBits
+                                       : std::numeric_limits<std::size_t>::max();
+                const auto window = index->windows.get( startBits );
+                return GzipChunkFetcher::decodeChunkFromCheckpoint(
+                    reader, startBits, untilBits, { window.data(), window.size() } );
+            };
             m_fetcher = std::make_unique<ChunkFetcher>(
-                std::shared_ptr<const FileReader>( m_file->clone().release() ),
-                m_chunks, m_configuration );
+                std::move( file ), m_index->checkpoints.size(), std::move( decoder ),
+                m_configuration );
+        } else {
+            m_fetcher = std::make_unique<ChunkFetcher>( std::move( file ), m_chunks,
+                                                        m_configuration );
         }
     }
 
@@ -397,6 +478,22 @@ private:
         if ( m_offsetsKnown ) {
             ensureFetcher();
             return;
+        }
+        ensureChunkTable();
+        /* A stream without restart points would degrade to ONE serial chunk
+         * for every read. Run the two-stage sweep once instead: it verifies
+         * against the footer and leaves behind the bit-granular index, after
+         * which random access decodes single inter-checkpoint spans in
+         * parallel. Failure (exotic streams the sweep cannot chunk) falls
+         * back to the serial single-chunk path below. */
+        if ( !m_indexed && ( m_chunks.size() <= 1 ) ) {
+            try {
+                (void)decompressAllTwoStage();  /* adopts the index on success */
+                ensureFetcher();
+                return;
+            } catch ( const RapidgzipError& ) {
+                /* fall through to the single-chunk path */
+            }
         }
         ensureFetcher();
 
@@ -510,11 +607,17 @@ private:
     std::unique_ptr<SharedFileReader> m_file;
     ChunkFetcherConfiguration m_configuration;
 
-    std::vector<ChunkBoundary> m_chunks;
+    std::vector<ChunkBoundary> m_chunks;             /**< full-flush mode only */
     std::vector<std::size_t> m_uncompressedOffsets;  /**< size chunks+1 once known */
     bool m_chunkTableKnown{ false };
     bool m_offsetsKnown{ false };
-    bool m_indexImported{ false };
+
+    /** Set when chunking is index-driven (imported, BGZF-scanned, or
+     * harvested by the two-stage sweep); m_index then owns the chunk
+     * geometry and the windows. Shared with the fetcher's worker threads —
+     * immutable once adopted. */
+    bool m_indexed{ false };
+    std::shared_ptr<const GzipIndex> m_index;
 
     std::unique_ptr<ChunkFetcher> m_fetcher;
     std::size_t m_position{ 0 };

@@ -307,12 +307,21 @@ private:
             if ( distance > start + m_windowSize ) {
                 return Error::EXCEEDED_WINDOW;
             }
-            for ( std::size_t i = 0; i < length; ++i ) {
-                const auto position = out.size();
-                const auto byte = distance <= position
-                                  ? out[position - distance]
-                                  : m_window[m_windowSize - ( distance - position )];
-                out.push_back( byte );
+            /* Seeded-window fast path: a back-reference reaching behind the
+             * chunk start takes a contiguous run from the seeded window (the
+             * window and the output never interleave within one match — once
+             * the copy position enters the output it stays there), then the
+             * remainder replicates byte-wise in-buffer, which handles the
+             * overlapping (distance < length) case. */
+            std::size_t copied = 0;
+            if ( distance > start ) {
+                const auto fromWindow = std::min( length, distance - start );
+                const auto* const source = m_window.data() + m_windowSize - ( distance - start );
+                out.insert( out.end(), source, source + fromWindow );
+                copied = fromWindow;
+            }
+            for ( ; copied < length; ++copied ) {
+                out.push_back( out[out.size() - distance] );
             }
         } else {
             auto& out = data.marked;

@@ -1,0 +1,185 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "GzipHeader.hpp"
+#include "ZlibCompressor.hpp"
+
+namespace rapidgzip {
+
+/**
+ * BGZF (bgzip/htslib) writer: a sequence of complete gzip members of at
+ * most 64 KiB whose FEXTRA "BC" subfield records the total block size, so
+ * readers can hop block to block without decoding — the property that makes
+ * BGZF the fastest format in the paper's Table 3 and the trivial case of
+ * the seek-index subsystem (index::tryBuildBgzfIndex). Each block carries
+ * an independently raw-Deflate-compressed slice of at most 65280 input
+ * bytes (bgzip's margin: even incompressible data then fits the 16-bit
+ * BSIZE field), its own CRC32, and its own ISIZE; the stream ends with the
+ * canonical 28-byte empty EOF block.
+ *
+ * Level 0 produces stored Deflate blocks (zlib semantics), emulating
+ * `bgzip -l 0`.
+ */
+class BgzfWriter
+{
+public:
+    /** Maximum input bytes per block, as chosen by bgzip. */
+    static constexpr std::size_t MAX_BLOCK_DATA = 65280;
+    /** header(18) + empty fixed final block "03 00"(2) + footer(8). */
+    static constexpr std::size_t EOF_BLOCK_SIZE = 28;
+
+    explicit BgzfWriter( std::vector<std::uint8_t>& output, int level = 6 ) :
+        m_output( output ),
+        m_level( level )
+    {}
+
+    ~BgzfWriter()
+    {
+        if ( !m_finished ) {
+            try {
+                finish();
+            } catch ( ... ) {
+                /* Swallow: throwing from a destructor terminates. Callers who
+                 * care about completeness call finish() explicitly. */
+            }
+        }
+    }
+
+    BgzfWriter( const BgzfWriter& ) = delete;
+    BgzfWriter& operator=( const BgzfWriter& ) = delete;
+
+    void
+    write( BufferView data )
+    {
+        if ( m_finished ) {
+            throw RapidgzipError( "BgzfWriter already finished" );
+        }
+        std::size_t offset = 0;
+        while ( offset < data.size() ) {
+            const auto take = std::min( MAX_BLOCK_DATA - m_pending.size(),
+                                        data.size() - offset );
+            m_pending.insert( m_pending.end(), data.begin() + offset,
+                              data.begin() + offset + take );
+            offset += take;
+            if ( m_pending.size() == MAX_BLOCK_DATA ) {
+                emitBlock();
+            }
+        }
+    }
+
+    void
+    write( const std::uint8_t* data, std::size_t size )
+    {
+        write( BufferView( data, size ) );
+    }
+
+    /** Write any buffered data and the EOF block. Idempotent. */
+    void
+    finish()
+    {
+        if ( m_finished ) {
+            return;
+        }
+        if ( !m_pending.empty() ) {
+            emitBlock();
+        }
+        emitEofBlock();
+        m_finished = true;
+    }
+
+private:
+    void
+    emitBlock()
+    {
+        /* Independent raw-Deflate stream per block: a fresh compressor gives
+         * every block an empty window, which is what lets each block decode
+         * standalone. */
+        std::vector<std::uint8_t> compressed;
+        compressed.reserve( m_pending.size() / 2 + 64 );
+        {
+            detail::ZlibDeflateStream stream( m_level, RAW_DEFLATE_WINDOW_BITS );
+            stream.compress( { m_pending.data(), m_pending.size() }, Z_FINISH, compressed );
+        }
+
+        const auto blockSize = HEADER_SIZE + compressed.size() + GZIP_FOOTER_SIZE;
+        if ( blockSize - 1 > 0xFFFFU ) {
+            /* Unreachable for MAX_BLOCK_DATA input (worst-case Deflate
+             * expansion stays under the margin), but guard the invariant. */
+            throw RapidgzipError( "BGZF block overflows the 16-bit BSIZE field" );
+        }
+
+        appendHeader( blockSize );
+        m_output.insert( m_output.end(), compressed.begin(), compressed.end() );
+        const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), m_pending.data(),
+                                  static_cast<uInt>( m_pending.size() ) );
+        appendLE32( static_cast<std::uint32_t>( crc ) );
+        appendLE32( static_cast<std::uint32_t>( m_pending.size() ) );
+        m_pending.clear();
+    }
+
+    void
+    emitEofBlock()
+    {
+        /* The canonical fixed EOF marker (an empty Deflate stream), byte for
+         * byte as the SAM/BAM specification prints it. */
+        static constexpr std::uint8_t EOF_BLOCK[EOF_BLOCK_SIZE] = {
+            0x1F, 0x8B, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF,
+            0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1B, 0x00, 0x03, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        };
+        m_output.insert( m_output.end(), EOF_BLOCK, EOF_BLOCK + sizeof( EOF_BLOCK ) );
+    }
+
+    void
+    appendHeader( std::size_t blockSize )
+    {
+        const std::uint8_t header[HEADER_SIZE] = {
+            GZIP_MAGIC_1, GZIP_MAGIC_2, GZIP_CM_DEFLATE, gzipflag::FEXTRA,
+            0x00, 0x00, 0x00, 0x00,  /* MTIME */
+            0x00,                    /* XFL */
+            0xFF,                    /* OS: unknown */
+            0x06, 0x00,              /* XLEN = 6 */
+            'B', 'C', 0x02, 0x00,    /* BC subfield, length 2 */
+            static_cast<std::uint8_t>( ( blockSize - 1 ) & 0xFFU ),
+            static_cast<std::uint8_t>( ( ( blockSize - 1 ) >> 8U ) & 0xFFU ),
+        };
+        m_output.insert( m_output.end(), header, header + sizeof( header ) );
+    }
+
+    void
+    appendLE32( std::uint32_t value )
+    {
+        for ( int i = 0; i < 4; ++i ) {
+            m_output.push_back( static_cast<std::uint8_t>( ( value >> ( 8 * i ) ) & 0xFFU ) );
+        }
+    }
+
+    static constexpr std::size_t HEADER_SIZE = 18;
+
+    std::vector<std::uint8_t>& m_output;
+    int m_level;
+    std::vector<std::uint8_t> m_pending;
+    bool m_finished{ false };
+};
+
+/** One-shot convenience: BGZF-compress @p data at @p level. */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeBgzf( BufferView data, int level = 6 )
+{
+    std::vector<std::uint8_t> result;
+    result.reserve( data.size() / 2 + 256 );
+    BgzfWriter writer( result, level );
+    writer.write( data );
+    writer.finish();
+    return result;
+}
+
+}  // namespace rapidgzip

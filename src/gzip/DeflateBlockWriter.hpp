@@ -1,0 +1,114 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Util.hpp"
+#include "GzipHeader.hpp"
+
+namespace rapidgzip {
+
+namespace deflatewriter {
+
+/** LSB-first Deflate bit packer (RFC 1951 bit order). */
+class LsbBitWriter
+{
+public:
+    explicit LsbBitWriter( std::vector<std::uint8_t>& output ) :
+        m_output( output )
+    {}
+
+    /** Append the low @p count bits of @p value, LSB first. */
+    void
+    writeBits( std::uint32_t value, unsigned count )
+    {
+        m_buffer |= static_cast<std::uint64_t>( value ) << m_bufferedBits;
+        m_bufferedBits += count;
+        while ( m_bufferedBits >= 8 ) {
+            m_output.push_back( static_cast<std::uint8_t>( m_buffer & 0xFFU ) );
+            m_buffer >>= 8U;
+            m_bufferedBits -= 8;
+        }
+    }
+
+    /** Append a Huffman code: Deflate writes codes MSB-first into the
+     * LSB-first stream. */
+    void
+    writeCode( std::uint32_t code, unsigned length )
+    {
+        for ( unsigned i = length; i > 0; --i ) {
+            writeBits( ( code >> ( i - 1 ) ) & 1U, 1 );
+        }
+    }
+
+    void
+    alignToByte()
+    {
+        if ( m_bufferedBits > 0 ) {
+            m_output.push_back( static_cast<std::uint8_t>( m_buffer & 0xFFU ) );
+            m_buffer = 0;
+            m_bufferedBits = 0;
+        }
+    }
+
+private:
+    std::vector<std::uint8_t>& m_output;
+    std::uint64_t m_buffer{ 0 };
+    unsigned m_bufferedBits{ 0 };
+};
+
+}  // namespace deflatewriter
+
+/**
+ * Emulates `igzip -0`'s pathological case for parallel decompression: the
+ * WHOLE input as ONE Deflate block, so there is not a single internal block
+ * boundary for the block finders to discover and chunked decoding collapses
+ * to a serial decode (paper Table 3's 0.16 GB/s row). The block is
+ * fixed-Huffman with literals only (igzip emits one dynamic block; for the
+ * collapse property only the absence of block boundaries matters, and a
+ * literal-only fixed block reproduces the also-relevant ~1x compression
+ * ratio).
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeSingleBlockGzip( BufferView data )
+{
+    std::vector<std::uint8_t> result;
+    result.reserve( data.size() + data.size() / 8 + 64 );
+    const std::uint8_t header[10] = {
+        GZIP_MAGIC_1, GZIP_MAGIC_2, GZIP_CM_DEFLATE, 0x00,
+        0x00, 0x00, 0x00, 0x00,  /* MTIME */
+        0x00,                    /* XFL */
+        0xFF,                    /* OS: unknown */
+    };
+    result.insert( result.end(), header, header + sizeof( header ) );
+
+    deflatewriter::LsbBitWriter writer( result );
+    writer.writeBits( 1, 1 );  /* BFINAL */
+    writer.writeBits( 1, 2 );  /* BTYPE 01: fixed Huffman */
+    for ( const auto byte : data ) {
+        /* RFC 1951 fixed literal code: 0..143 -> 8 bits from 0x30,
+         * 144..255 -> 9 bits from 0x190. */
+        if ( byte < 144 ) {
+            writer.writeCode( 0x30U + byte, 8 );
+        } else {
+            writer.writeCode( 0x190U + ( byte - 144U ), 9 );
+        }
+    }
+    writer.writeCode( 0, 7 );  /* end-of-block (symbol 256) */
+    writer.alignToByte();
+
+    const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), data.data(),
+                              static_cast<uInt>( data.size() ) );
+    for ( const auto value : { static_cast<std::uint32_t>( crc ),
+                               static_cast<std::uint32_t>( data.size() ) } ) {
+        for ( int i = 0; i < 4; ++i ) {
+            result.push_back( static_cast<std::uint8_t>( ( value >> ( 8 * i ) ) & 0xFFU ) );
+        }
+    }
+    return result;
+}
+
+}  // namespace rapidgzip

@@ -1,37 +1,6 @@
 #pragma once
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
-
-namespace rapidgzip {
-
-/**
- * Seek index for a gzip stream: a list of restart points at which raw
- * Deflate decoding can begin with an empty window (full-flush points, BGZF
- * block starts, or — in later PRs — arbitrary block offsets paired with a
- * stored window). Offsets are in bytes; bit-granular checkpoints extend
- * this struct once the custom Deflate decoder lands.
- */
-struct GzipIndexCheckpoint
-{
-    /** Byte offset of the first Deflate bit of this chunk in the compressed stream. */
-    std::size_t compressedOffset{ 0 };
-    /** Byte offset of this chunk's first output byte in the decompressed stream. */
-    std::size_t uncompressedOffset{ 0 };
-};
-
-struct GzipIndex
-{
-    std::vector<GzipIndexCheckpoint> checkpoints;
-    std::size_t compressedSizeBytes{ 0 };
-    std::size_t uncompressedSizeBytes{ 0 };
-
-    [[nodiscard]] bool
-    empty() const noexcept
-    {
-        return checkpoints.empty();
-    }
-};
-
-}  // namespace rapidgzip
+/* The index grew into its own subsystem (bit-granular checkpoints with
+ * compressed windows); this forwarding header keeps the historical include
+ * path working for gzip-layer consumers. */
+#include "../index/GzipIndex.hpp"

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+
+namespace rapidgzip::index {
+
+/**
+ * One seek point of a gzip index (paper §3.5 "reusing the index"): a
+ * BIT-granular position in the compressed stream at which raw Deflate
+ * decoding can resume, paired with the uncompressed byte offset produced up
+ * to that position. Bit granularity is what makes indexes work on ARBITRARY
+ * gzip files — Deflate block boundaries almost never fall on byte borders,
+ * so the old byte-offset checkpoint could only express full-flush or BGZF
+ * restart points.
+ *
+ * Resuming at a checkpoint additionally needs the last 32 KiB of
+ * uncompressed output preceding it (back-references reach that far). The
+ * window is NOT stored here — windows dominate index size and are kept
+ * zlib-compressed in the WindowMap, keyed by compressedOffsetBits. A
+ * checkpoint without a window entry is a restart point (full-flush point,
+ * BGZF block start, or gzip member start), where the window is empty by
+ * construction; such checkpoints are always byte-aligned in practice.
+ */
+struct Checkpoint
+{
+    /** Absolute bit offset of the block boundary in the compressed stream. */
+    std::size_t compressedOffsetBits{ 0 };
+    /** Byte offset of the first output byte produced at/after this point. */
+    std::size_t uncompressedOffset{ 0 };
+
+    [[nodiscard]] friend bool
+    operator==( const Checkpoint& a, const Checkpoint& b ) noexcept
+    {
+        return ( a.compressedOffsetBits == b.compressedOffsetBits )
+               && ( a.uncompressedOffset == b.uncompressedOffset );
+    }
+};
+
+}  // namespace rapidgzip::index

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "Checkpoint.hpp"
+#include "WindowMap.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Seek index for a gzip stream: bit-granular checkpoints plus the compressed
+ * 32 KiB windows needed to resume decoding at them. This single type covers
+ * the whole format spectrum:
+ *
+ *  - arbitrary gzip (no flush points): checkpoints at Deflate block
+ *    boundaries discovered by the two-stage sweep, each with a window;
+ *  - pigz-style full-flush streams: byte-aligned checkpoints at sync
+ *    markers, no windows (a full flush empties the window by construction);
+ *  - BGZF: byte-aligned checkpoints at member starts harvested from the BC
+ *    extra fields, no windows and no decoding needed at all.
+ *
+ * The former byte-offset GzipIndexCheckpoint was folded into
+ * index::Checkpoint (bit offsets); a byte checkpoint is simply one whose
+ * compressedOffsetBits is a multiple of 8 with no window entry.
+ *
+ * On-disk formats (native and gztool-compatible) live in
+ * index/IndexSerializer.hpp.
+ */
+struct GzipIndex
+{
+    std::vector<index::Checkpoint> checkpoints;
+    index::WindowMap windows;
+    /** Size of the compressed file this index describes; 0 = unknown
+     * (gztool-format imports do not record it). */
+    std::size_t compressedSizeBytes{ 0 };
+    std::size_t uncompressedSizeBytes{ 0 };
+
+    [[nodiscard]] bool
+    empty() const noexcept
+    {
+        return checkpoints.empty();
+    }
+
+    [[nodiscard]] friend bool
+    operator==( const GzipIndex& a, const GzipIndex& b ) noexcept
+    {
+        return ( a.checkpoints == b.checkpoints )
+               && ( a.windows == b.windows )
+               && ( a.compressedSizeBytes == b.compressedSizeBytes )
+               && ( a.uncompressedSizeBytes == b.uncompressedSizeBytes );
+    }
+};
+
+}  // namespace rapidgzip

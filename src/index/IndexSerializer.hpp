@@ -1,0 +1,312 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "../deflate/definitions.hpp"
+#include "../io/FileReader.hpp"
+#include "GzipIndex.hpp"
+
+namespace rapidgzip::index {
+
+/**
+ * On-disk index formats.
+ *
+ * NATIVE ("RGZIDX01", little-endian): records everything the in-memory
+ * index holds — both stream sizes, bit-granular checkpoints, and the
+ * zlib-compressed windows verbatim (compressed AND decompressed sizes, so
+ * loading never has to guess buffer sizes). Versioned via the magic's
+ * trailing digits.
+ *
+ * GZTOOL ("gzipindx", big-endian): import/export of the index format used
+ * by gztool (and readable by indexed_gzip), so indexes interoperate with
+ * existing tooling. Layout per gztool's serialize_index_to_file():
+ *
+ *   u64  0 (distinguishes the file from bgzip's .gzi, which starts with a
+ *        nonzero entry count)
+ *   char[8] "gzipindx"
+ *   u64  number of points, twice (gztool writes `have` and `size`; equal
+ *        for complete indexes)
+ *   per point: u64 out (uncompressed offset), u64 in (compressed BYTE
+ *        offset), u32 bits, u32 window_size, window bytes
+ *        (zlib-compressed); zran.c semantics: when bits != 0 decoding
+ *        resumes `bits` bits before byte `in`, i.e. at bit in*8 - bits
+ *   u64  total uncompressed size
+ *
+ * gztool does not record the compressed file size, so imported indexes
+ * carry compressedSizeBytes = 0 (unknown) and the reader skips that check.
+ */
+
+inline constexpr std::array<std::uint8_t, 8> NATIVE_INDEX_MAGIC =
+    { 'R', 'G', 'Z', 'I', 'D', 'X', '0', '1' };
+inline constexpr std::array<std::uint8_t, 8> GZTOOL_INDEX_MAGIC =
+    { 'g', 'z', 'i', 'p', 'i', 'n', 'd', 'x' };
+
+namespace detail {
+
+template<typename T>
+inline void
+appendLE( std::vector<std::uint8_t>& out, T value )
+{
+    for ( std::size_t i = 0; i < sizeof( T ); ++i ) {
+        out.push_back( static_cast<std::uint8_t>( value >> ( 8U * i ) ) );
+    }
+}
+
+template<typename T>
+inline void
+appendBE( std::vector<std::uint8_t>& out, T value )
+{
+    for ( std::size_t i = sizeof( T ); i > 0; --i ) {
+        out.push_back( static_cast<std::uint8_t>( value >> ( 8U * ( i - 1 ) ) ) );
+    }
+}
+
+/** Bounds-checked sequential reader over an index byte buffer. */
+class FieldReader
+{
+public:
+    explicit FieldReader( BufferView data ) :
+        m_data( data )
+    {}
+
+    template<typename T>
+    [[nodiscard]] T
+    readLE()
+    {
+        const auto* bytes = take( sizeof( T ) );
+        T value = 0;
+        for ( std::size_t i = sizeof( T ); i > 0; --i ) {
+            value = static_cast<T>( ( value << 8U ) | bytes[i - 1] );
+        }
+        return value;
+    }
+
+    template<typename T>
+    [[nodiscard]] T
+    readBE()
+    {
+        const auto* bytes = take( sizeof( T ) );
+        T value = 0;
+        for ( std::size_t i = 0; i < sizeof( T ); ++i ) {
+            value = static_cast<T>( ( value << 8U ) | bytes[i] );
+        }
+        return value;
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t>
+    readBytes( std::size_t count )
+    {
+        const auto* bytes = take( count );
+        return { bytes, bytes + count };
+    }
+
+    [[nodiscard]] bool
+    exhausted() const noexcept
+    {
+        return m_offset >= m_data.size();
+    }
+
+private:
+    [[nodiscard]] const std::uint8_t*
+    take( std::size_t count )
+    {
+        if ( m_data.size() - m_offset < count ) {
+            throw RapidgzipError( "Truncated gzip index file" );
+        }
+        const auto* result = m_data.data() + m_offset;
+        m_offset += count;
+        return result;
+    }
+
+    BufferView m_data;
+    std::size_t m_offset{ 0 };
+};
+
+}  // namespace detail
+
+/* --- native format --------------------------------------------------- */
+
+[[nodiscard]] inline std::vector<std::uint8_t>
+serializeIndex( const GzipIndex& index )
+{
+    std::vector<std::uint8_t> out;
+    out.insert( out.end(), NATIVE_INDEX_MAGIC.begin(), NATIVE_INDEX_MAGIC.end() );
+    detail::appendLE<std::uint64_t>( out, index.compressedSizeBytes );
+    detail::appendLE<std::uint64_t>( out, index.uncompressedSizeBytes );
+    detail::appendLE<std::uint64_t>( out, index.checkpoints.size() );
+
+    static const WindowMap::CompressedWindow noWindow{};
+    const auto& windows = index.windows.compressedWindows();
+    for ( const auto& checkpoint : index.checkpoints ) {
+        const auto match = windows.find( checkpoint.compressedOffsetBits );
+        const auto& window = match == windows.end() ? noWindow : match->second;
+        detail::appendLE<std::uint64_t>( out, checkpoint.compressedOffsetBits );
+        detail::appendLE<std::uint64_t>( out, checkpoint.uncompressedOffset );
+        detail::appendLE<std::uint32_t>( out, window.decompressedSize );
+        detail::appendLE<std::uint32_t>( out, static_cast<std::uint32_t>( window.zlibData.size() ) );
+        out.insert( out.end(), window.zlibData.begin(), window.zlibData.end() );
+    }
+    return out;
+}
+
+[[nodiscard]] inline GzipIndex
+deserializeIndex( BufferView data )
+{
+    detail::FieldReader reader( data );
+    const auto magic = reader.readBytes( NATIVE_INDEX_MAGIC.size() );
+    if ( !std::equal( magic.begin(), magic.end(), NATIVE_INDEX_MAGIC.begin() ) ) {
+        throw RapidgzipError( "Not a rapidgzip index file (bad magic)" );
+    }
+
+    GzipIndex index;
+    index.compressedSizeBytes = reader.readLE<std::uint64_t>();
+    index.uncompressedSizeBytes = reader.readLE<std::uint64_t>();
+    const auto checkpointCount = reader.readLE<std::uint64_t>();
+    /* The count is unvalidated on-disk data: clamp the reserve hint to what
+     * the file could possibly hold (>= 24 bytes per checkpoint), so a
+     * corrupt count surfaces as the truncation error below, not bad_alloc. */
+    index.checkpoints.reserve( std::min<std::uint64_t>( checkpointCount, data.size() / 24 ) );
+    for ( std::uint64_t i = 0; i < checkpointCount; ++i ) {
+        Checkpoint checkpoint;
+        checkpoint.compressedOffsetBits = reader.readLE<std::uint64_t>();
+        checkpoint.uncompressedOffset = reader.readLE<std::uint64_t>();
+        WindowMap::CompressedWindow window;
+        window.decompressedSize = reader.readLE<std::uint32_t>();
+        const auto compressedSize = reader.readLE<std::uint32_t>();
+        window.zlibData = reader.readBytes( compressedSize );
+        if ( window.decompressedSize > deflate::WINDOW_SIZE ) {
+            throw RapidgzipError( "Gzip index window exceeds the 32 KiB Deflate window" );
+        }
+        if ( ( window.decompressedSize == 0 ) != window.zlibData.empty() ) {
+            throw RapidgzipError( "Gzip index window size fields are inconsistent" );
+        }
+        if ( window.decompressedSize > 0 ) {
+            /* Validate eagerly: a corrupt window must fail at load time, not
+             * inside a worker thread mid-read. */
+            (void)WindowMap::decompress( window );
+            index.windows.insertCompressed( checkpoint.compressedOffsetBits,
+                                            std::move( window ) );
+        }
+        index.checkpoints.push_back( checkpoint );
+    }
+    return index;
+}
+
+/** Load a native-format index straight from a file. */
+[[nodiscard]] inline GzipIndex
+deserializeIndex( const FileReader& file )
+{
+    std::vector<std::uint8_t> data( file.size() );
+    preadExactly( file, data.data(), data.size(), 0 );
+    return deserializeIndex( { data.data(), data.size() } );
+}
+
+/* --- gztool format --------------------------------------------------- */
+
+/** bit offset → (in, bits) per zran.c: resume at bit in*8 - bits. */
+[[nodiscard]] inline std::pair<std::uint64_t, std::uint32_t>
+toGztoolOffset( std::size_t compressedOffsetBits )
+{
+    const auto bits = static_cast<std::uint32_t>( ( 8 - ( compressedOffsetBits % 8 ) ) % 8 );
+    return { ( compressedOffsetBits + bits ) / 8, bits };
+}
+
+[[nodiscard]] inline std::vector<std::uint8_t>
+exportGztoolIndex( const GzipIndex& index )
+{
+    std::vector<std::uint8_t> out;
+    detail::appendBE<std::uint64_t>( out, 0 );
+    out.insert( out.end(), GZTOOL_INDEX_MAGIC.begin(), GZTOOL_INDEX_MAGIC.end() );
+    detail::appendBE<std::uint64_t>( out, index.checkpoints.size() );
+    detail::appendBE<std::uint64_t>( out, index.checkpoints.size() );
+
+    static const WindowMap::CompressedWindow noWindow{};
+    const auto& windows = index.windows.compressedWindows();
+    for ( const auto& checkpoint : index.checkpoints ) {
+        const auto match = windows.find( checkpoint.compressedOffsetBits );
+        /* Windows are stored zlib-compressed on both sides — pass through. */
+        const auto& window = match == windows.end() ? noWindow : match->second;
+        const auto [in, bits] = toGztoolOffset( checkpoint.compressedOffsetBits );
+        detail::appendBE<std::uint64_t>( out, checkpoint.uncompressedOffset );
+        detail::appendBE<std::uint64_t>( out, in );
+        detail::appendBE<std::uint32_t>( out, bits );
+        detail::appendBE<std::uint32_t>( out, static_cast<std::uint32_t>( window.zlibData.size() ) );
+        out.insert( out.end(), window.zlibData.begin(), window.zlibData.end() );
+    }
+    detail::appendBE<std::uint64_t>( out, index.uncompressedSizeBytes );
+    return out;
+}
+
+[[nodiscard]] inline GzipIndex
+importGztoolIndex( BufferView data )
+{
+    detail::FieldReader reader( data );
+    if ( reader.readBE<std::uint64_t>() != 0 ) {
+        throw RapidgzipError( "Not a gztool index file (expected leading zero block)" );
+    }
+    const auto magic = reader.readBytes( GZTOOL_INDEX_MAGIC.size() );
+    if ( !std::equal( magic.begin(), magic.end(), GZTOOL_INDEX_MAGIC.begin() ) ) {
+        throw RapidgzipError( "Not a gztool index file (bad magic)" );
+    }
+    const auto have = reader.readBE<std::uint64_t>();
+    const auto size = reader.readBE<std::uint64_t>();
+    if ( have > size ) {
+        throw RapidgzipError( "Inconsistent gztool index point counts" );
+    }
+
+    GzipIndex index;
+    /* `have` is unvalidated on-disk data; >= 24 bytes per point. */
+    index.checkpoints.reserve( std::min<std::uint64_t>( have, data.size() / 24 ) );
+    for ( std::uint64_t i = 0; i < have; ++i ) {
+        const auto out = reader.readBE<std::uint64_t>();
+        const auto in = reader.readBE<std::uint64_t>();
+        const auto bits = reader.readBE<std::uint32_t>();
+        const auto windowSize = reader.readBE<std::uint32_t>();
+        if ( ( bits > 7 ) || ( ( bits > 0 ) && ( in == 0 ) ) ) {
+            throw RapidgzipError( "Invalid bit offset in gztool index" );
+        }
+        Checkpoint checkpoint;
+        checkpoint.compressedOffsetBits = in * 8 - bits;
+        checkpoint.uncompressedOffset = out;
+        if ( windowSize > 0 ) {
+            WindowMap::CompressedWindow window;
+            window.zlibData = reader.readBytes( windowSize );
+            /* gztool does not record the decompressed size; recover it by
+             * decompressing into a full-window buffer. */
+            std::vector<std::uint8_t> decompressed( deflate::WINDOW_SIZE );
+            uLongf actual = deflate::WINDOW_SIZE;
+            if ( uncompress( decompressed.data(), &actual, window.zlibData.data(),
+                             static_cast<uLong>( window.zlibData.size() ) ) != Z_OK ) {
+                throw RapidgzipError( "Corrupt window in gztool index" );
+            }
+            window.decompressedSize = static_cast<std::uint32_t>( actual );
+            index.windows.insertCompressed( checkpoint.compressedOffsetBits,
+                                            std::move( window ) );
+        }
+        index.checkpoints.push_back( checkpoint );
+    }
+    index.uncompressedSizeBytes = reader.readBE<std::uint64_t>();
+    index.compressedSizeBytes = 0;  /* gztool indexes do not record it */
+    return index;
+}
+
+[[nodiscard]] inline GzipIndex
+importGztoolIndex( const FileReader& file )
+{
+    std::vector<std::uint8_t> data( file.size() );
+    preadExactly( file, data.data(), data.size(), 0 );
+    return importGztoolIndex( { data.data(), data.size() } );
+}
+
+}  // namespace rapidgzip::index

@@ -60,4 +60,16 @@ public:
     clone() const = 0;
 };
 
+/** Positioned read of exactly @p size bytes; throws FileIoError on a short
+ * read. The contract every fixed-layout parser (gzip headers, index files)
+ * wants, without each call site re-checking the returned count. */
+inline void
+preadExactly( const FileReader& file, void* buffer, std::size_t size, std::size_t offset )
+{
+    if ( file.pread( buffer, size, offset ) != size ) {
+        throw FileIoError( "Short read of " + std::to_string( size ) + " bytes at offset "
+                           + std::to_string( offset ) );
+    }
+}
+
 }  // namespace rapidgzip

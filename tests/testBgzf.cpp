@@ -1,0 +1,141 @@
+/**
+ * gzip layer: BgzfWriter must produce spec-conformant BGZF — gzip members
+ * capped at 64 KiB carrying the BC extra field with the block size, closed
+ * by the canonical EOF block — that zlib decompresses byte-identically and
+ * index::tryBuildBgzfIndex can map without decoding.
+ */
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "gzip/BgzfWriter.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "index/BgzfIndex.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/** Walk the BC chain; returns the number of blocks (incl. EOF block) and
+ * checks every block's framing. */
+std::size_t
+walkBgzfBlocks( const std::vector<std::uint8_t>& file )
+{
+    std::size_t offset = 0;
+    std::size_t blocks = 0;
+    while ( offset < file.size() ) {
+        REQUIRE( file.size() - offset >= 28 );
+        REQUIRE( file[offset] == GZIP_MAGIC_1 );
+        REQUIRE( file[offset + 1] == GZIP_MAGIC_2 );
+        REQUIRE( file[offset + 2] == GZIP_CM_DEFLATE );
+        REQUIRE( file[offset + 3] == gzipflag::FEXTRA );
+        const auto xlen = static_cast<std::size_t>( file[offset + 10] )
+                          | ( static_cast<std::size_t>( file[offset + 11] ) << 8U );
+        REQUIRE( xlen == 6 );
+        REQUIRE( file[offset + 12] == 'B' );
+        REQUIRE( file[offset + 13] == 'C' );
+        const auto blockSize = ( static_cast<std::size_t>( file[offset + 16] )
+                                 | ( static_cast<std::size_t>( file[offset + 17] ) << 8U ) ) + 1;
+        REQUIRE( blockSize <= 65536 );
+        REQUIRE( offset + blockSize <= file.size() );
+        offset += blockSize;
+        ++blocks;
+    }
+    REQUIRE( offset == file.size() );
+    return blocks;
+}
+
+}  // namespace
+
+int
+main()
+{
+    /* Empty input: exactly the canonical 28-byte EOF block, byte for byte
+     * as the SAM/BAM specification prints it. */
+    {
+        const auto empty = writeBgzf( {} );
+        const std::vector<std::uint8_t> eofBlock = {
+            0x1F, 0x8B, 0x08, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0xFF,
+            0x06, 0x00, 0x42, 0x43, 0x02, 0x00, 0x1B, 0x00, 0x03, 0x00,
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        };
+        REQUIRE( empty == eofBlock );
+        REQUIRE( walkBgzfBlocks( empty ) == 1 );
+        REQUIRE( decompressWithZlib( { empty.data(), empty.size() } ).empty() );
+    }
+
+    /* Round trip across levels, block framing, and multi-write chunking. */
+    const auto data = workloads::silesiaLikeData( 500000, 0xB62F );
+    for ( const auto level : { 0, 1, 6, 9 } ) {
+        const auto compressed = writeBgzf( { data.data(), data.size() }, level );
+        /* ceil(500000 / 65280) data blocks + EOF block */
+        REQUIRE( walkBgzfBlocks( compressed ) == 9 );
+        REQUIRE( decompressWithZlib( { compressed.data(), compressed.size() } ) == data );
+        if ( level == 0 ) {
+            /* Stored blocks: slight expansion, never compression. */
+            REQUIRE( compressed.size() > data.size() );
+        }
+    }
+
+    /* Streaming writes in odd slice sizes must produce the same framing. */
+    {
+        std::vector<std::uint8_t> output;
+        BgzfWriter writer( output, 6 );
+        std::size_t offset = 0;
+        std::size_t slice = 1;
+        while ( offset < data.size() ) {
+            const auto take = std::min( slice, data.size() - offset );
+            writer.write( data.data() + offset, take );
+            offset += take;
+            slice = slice * 3 + 7;
+        }
+        writer.finish();
+        writer.finish();  /* idempotent */
+        REQUIRE( output == writeBgzf( { data.data(), data.size() }, 6 ) );
+    }
+
+    /* Incompressible data stays within the 16-bit BSIZE budget. */
+    {
+        const auto noise = workloads::randomData( 200000, 0x0153 );
+        const auto compressed = writeBgzf( { noise.data(), noise.size() }, 9 );
+        REQUIRE( walkBgzfBlocks( compressed ) == 5 );
+        REQUIRE( decompressWithZlib( { compressed.data(), compressed.size() } ) == noise );
+    }
+
+    /* The BC scan builds a full index without decoding. */
+    {
+        const auto compressed = writeBgzf( { data.data(), data.size() }, 6 );
+        MemoryFileReader file( compressed );
+        const auto index = index::tryBuildBgzfIndex( file, 64 * KiB );
+        REQUIRE( index.has_value() );
+        REQUIRE( !index->empty() );
+        REQUIRE( index->checkpoints.front().uncompressedOffset == 0 );
+        REQUIRE( index->uncompressedSizeBytes == data.size() );
+        REQUIRE( index->compressedSizeBytes == compressed.size() );
+        REQUIRE( index->windows.size() == 0 );
+        for ( const auto& checkpoint : index->checkpoints ) {
+            REQUIRE( checkpoint.compressedOffsetBits % 8 == 0 );
+        }
+
+        /* Non-BGZF inputs must be rejected by the full-file validation. */
+        const auto gzipLike = compressGzipLike( { data.data(), data.size() }, 6 );
+        MemoryFileReader gzipFile( gzipLike );
+        REQUIRE( !index::tryBuildBgzfIndex( gzipFile, 64 * KiB ).has_value() );
+
+        const auto pigzLike = compressPigzLike( { data.data(), data.size() }, 6, 64 * KiB );
+        MemoryFileReader pigzFile( pigzLike );
+        REQUIRE( !index::tryBuildBgzfIndex( pigzFile, 64 * KiB ).has_value() );
+
+        auto truncated = compressed;
+        truncated.resize( truncated.size() - 40 );
+        MemoryFileReader truncatedFile( truncated );
+        REQUIRE( !index::tryBuildBgzfIndex( truncatedFile, 64 * KiB ).has_value() );
+    }
+
+    return rapidgzip::test::finish( "testBgzf" );
+}

@@ -146,6 +146,11 @@ main()
         REQUIRE( index.uncompressedSizeBytes == data.size() );
         REQUIRE( index.compressedSizeBytes == compressed.size() );
         REQUIRE( index.checkpoints.front().uncompressedOffset == 0 );
+        /* Full-flush checkpoints are restart points: byte-aligned, windowless. */
+        for ( const auto& checkpoint : index.checkpoints ) {
+            REQUIRE( checkpoint.compressedOffsetBits % 8 == 0 );
+        }
+        REQUIRE( index.windows.size() == 0 );
 
         ParallelGzipReader reader( std::make_unique<MemoryFileReader>( compressed ),
                                    config( 4, 256 * 1024 ) );
@@ -174,8 +179,8 @@ main()
 
         if ( index.checkpoints.size() > 1 ) {
             GzipIndex unsorted = index;
-            unsorted.checkpoints[1].compressedOffset =
-                unsorted.checkpoints[0].compressedOffset;  /* not increasing */
+            unsorted.checkpoints[1].compressedOffsetBits =
+                unsorted.checkpoints[0].compressedOffsetBits;  /* not increasing */
             REQUIRE_THROWS_AS( rejecting.importIndex( unsorted ), RapidgzipError );
         }
     }
