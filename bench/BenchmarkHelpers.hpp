@@ -59,6 +59,10 @@ struct Measurement
 {
     double mean{ 0 };
     double stddev{ 0 };
+    /** Fastest sample — the robust estimator for before/after comparisons
+     * on time-shared machines: interference only ever slows a run down, so
+     * the minimum time (maximum bandwidth) best approximates the true cost. */
+    double best{ 0 };
 };
 
 /** Run @p work @p repeats times; returns bandwidth statistics in bytes/s. */
@@ -77,6 +81,7 @@ measureBandwidth(std::size_t bytesPerRun, std::size_t repeats,
     Measurement result;
     for (const auto sample : samples) {
         result.mean += sample;
+        result.best = std::max(result.best, sample);
     }
     result.mean /= static_cast<double>(samples.size());
     for (const auto sample : samples) {

@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * Shared result types for the hot-path component benchmark. Both the legacy
+ * (bench/legacy, pre-PR) and current measurement translation units implement
+ * the same small measurement contract against these types; the orchestrator
+ * (components_hotpath.cpp) compares them for bit-exact equivalence and
+ * reports before/after throughput. Measurement loops live in their OWN
+ * translation units because co-compiling two implementations of the same
+ * hot loop measurably changes the compiler's inlining and layout decisions
+ * for both.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rapidgzip::bench {
+
+struct DecodeResult
+{
+    /** Marked symbols flattened to little-endian byte pairs, then the plain
+     * segments — comparable across implementations. */
+    std::vector<std::uint8_t> flattened;
+    std::size_t totalSize{ 0 };
+    bool ok{ false };
+};
+
+struct FilterCounts
+{
+    std::uint64_t accepted{ 0 };
+    std::uint64_t invalidPrecodeCode{ 0 };
+    std::uint64_t nonOptimalPrecodeCode{ 0 };
+    std::uint64_t validHeaders{ 0 };
+
+    [[nodiscard]] bool
+    operator==( const FilterCounts& other ) const noexcept
+    {
+        return accepted == other.accepted
+               && invalidPrecodeCode == other.invalidPrecodeCode
+               && nonOptimalPrecodeCode == other.nonOptimalPrecodeCode
+               && validHeaders == other.validHeaders;
+    }
+};
+
+}  // namespace rapidgzip::bench

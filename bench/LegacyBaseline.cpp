@@ -1,0 +1,125 @@
+/**
+ * Pre-PR baseline measurements — see LegacyBaseline.hpp for why this is its
+ * own translation unit. Everything here runs the VERBATIM vendored pre-PR
+ * code under bench/legacy/.
+ */
+
+#include "LegacyBaseline.hpp"
+
+#include <algorithm>
+
+#include "legacy/bits/BitReader.hpp"
+#include "legacy/blockfinder/DynamicBlockFinderRapid.hpp"
+#include "legacy/deflate/DecodedData.hpp"
+#include "legacy/deflate/DeflateDecoder.hpp"
+
+#include "BenchmarkHelpers.hpp"
+
+namespace legacybench {
+
+double
+measureBitReaderBandwidth( rapidgzip::BufferView data, unsigned bits, std::size_t repeats )
+{
+    volatile std::uint64_t sink = 0;
+    const auto measurement = rapidgzip::bench::measureBandwidth(
+        data.size(), repeats, [&] () {
+            rapidgzip_legacy::BitReader reader( data.data(), data.size() );
+            const auto totalBits = data.size() * 8;
+            std::uint64_t sum = 0;
+            for ( std::size_t position = 0; position + bits <= totalBits; position += bits ) {
+                sum += reader.read( bits );
+            }
+            sink = sink + sum;
+        } );
+    return measurement.best;
+}
+
+namespace {
+
+[[nodiscard]] rapidgzip_legacy::deflate::DecodedData
+decodeImpl( rapidgzip::BufferView stream, std::size_t fromBit, bool windowKnown, bool* ok )
+{
+    rapidgzip_legacy::BitReader reader( stream.data(), stream.size() );
+    reader.seek( fromBit );
+    rapidgzip_legacy::deflate::Decoder decoder;
+    if ( windowKnown ) {
+        decoder.setInitialWindow( {} );
+    }
+    rapidgzip_legacy::deflate::DecodedData data;
+    const auto result = decoder.decode( reader, data );
+    *ok = result.error == rapidgzip::Error::NONE;
+    return data;
+}
+
+}  // namespace
+
+rapidgzip::bench::DecodeResult
+decodeOnce( rapidgzip::BufferView stream, std::size_t fromBit, bool windowKnown )
+{
+    rapidgzip::bench::DecodeResult result;
+    const auto data = decodeImpl( stream, fromBit, windowKnown, &result.ok );
+    result.totalSize = data.totalSize();
+    result.flattened.reserve( result.totalSize );
+    for ( const auto symbol : data.marked ) {
+        result.flattened.push_back( static_cast<std::uint8_t>( symbol & 0xFFU ) );
+        result.flattened.push_back( static_cast<std::uint8_t>( symbol >> 8U ) );
+    }
+    for ( const auto& segment : data.plain ) {
+        result.flattened.insert( result.flattened.end(),
+                                 segment.data.begin(), segment.data.end() );
+    }
+    return result;
+}
+
+double
+measureDecodeBandwidth( rapidgzip::BufferView stream, std::size_t fromBit, bool windowKnown,
+                        std::size_t expectBytes, std::size_t repeats )
+{
+    bool allOk = true;
+    const auto measurement = rapidgzip::bench::measureBandwidth(
+        expectBytes, repeats, [&] () {
+            bool ok = false;
+            const auto data = decodeImpl( stream, fromBit, windowKnown, &ok );
+            allOk = allOk && ok && ( data.totalSize() == expectBytes );
+        } );
+    return allOk ? measurement.best : 0.0;
+}
+
+rapidgzip::bench::FilterCounts
+runFilter( rapidgzip::BufferView stream, const std::vector<std::size_t>& positions )
+{
+    rapidgzip_legacy::blockfinder::FilterStatistics statistics;
+    rapidgzip::bench::FilterCounts counts;
+    rapidgzip_legacy::BitReader reader( stream.data(), stream.size() );
+    for ( const auto position : positions ) {
+        reader.seekAfterPeek( position );
+        counts.accepted +=
+            rapidgzip_legacy::blockfinder::DynamicBlockFinderRapid::testHeader(
+                reader, &statistics ) ? 1 : 0;
+    }
+    counts.invalidPrecodeCode = statistics.invalidPrecodeCode;
+    counts.nonOptimalPrecodeCode = statistics.nonOptimalPrecodeCode;
+    counts.validHeaders = statistics.validHeaders;
+    return counts;
+}
+
+double
+measureRejectionRate( rapidgzip::BufferView stream,
+                      const std::vector<std::size_t>& positions, std::size_t repeats )
+{
+    volatile std::uint64_t sink = 0;
+    const auto measurement = rapidgzip::bench::measureBandwidth(
+        positions.size(), repeats, [&] () {
+            rapidgzip_legacy::BitReader reader( stream.data(), stream.size() );
+            std::uint64_t accepted = 0;
+            for ( const auto position : positions ) {
+                reader.seekAfterPeek( position );
+                accepted += rapidgzip_legacy::blockfinder::DynamicBlockFinderRapid::testHeader(
+                                reader, nullptr ) ? 1 : 0;
+            }
+            sink = sink + accepted;
+        } );
+    return measurement.best;
+}
+
+}  // namespace legacybench

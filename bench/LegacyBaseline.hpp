@@ -1,0 +1,46 @@
+#pragma once
+
+/**
+ * Measurement interface over the vendored pre-PR implementation
+ * (bench/legacy/). Deliberately a separate translation unit: compiling the
+ * legacy and current hot loops into one object file changes the compiler's
+ * inlining and layout decisions for BOTH sides by tens of percent, which
+ * would make the before/after numbers artifacts of TU composition instead
+ * of code. Keep this header free of legacy includes.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/Util.hpp"
+
+#include "HotpathContracts.hpp"
+
+namespace legacybench {
+
+/** Best-of-@p repeats bandwidth (bytes/s) of the pre-PR BitReader reading
+ * @p bits bits per checked read() call over @p data. */
+[[nodiscard]] double
+measureBitReaderBandwidth( rapidgzip::BufferView data, unsigned bits, std::size_t repeats );
+
+/** One-shot pre-PR decode from @p fromBit for the equivalence check. */
+[[nodiscard]] rapidgzip::bench::DecodeResult
+decodeOnce( rapidgzip::BufferView stream, std::size_t fromBit, bool windowKnown );
+
+/** Best-of-@p repeats decode bandwidth (bytes/s) of the pre-PR decoder.
+ * Returns 0 if a run decodes differently than @p expectBytes. */
+[[nodiscard]] double
+measureDecodeBandwidth( rapidgzip::BufferView stream, std::size_t fromBit, bool windowKnown,
+                        std::size_t expectBytes, std::size_t repeats );
+
+/** Run the pre-PR rapid-finder cascade once over @p positions (equivalence). */
+[[nodiscard]] rapidgzip::bench::FilterCounts
+runFilter( rapidgzip::BufferView stream, const std::vector<std::size_t>& positions );
+
+/** Best-of-@p repeats rejection rate (positions/s) of the pre-PR cascade. */
+[[nodiscard]] double
+measureRejectionRate( rapidgzip::BufferView stream,
+                      const std::vector<std::size_t>& positions, std::size_t repeats );
+
+}  // namespace legacybench

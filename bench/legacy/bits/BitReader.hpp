@@ -1,0 +1,233 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+
+namespace rapidgzip_legacy {
+
+/**
+ * LSB-first (Deflate bit order) bit reader over an in-memory buffer with a
+ * 64-bit refill buffer — the design measured in paper Fig. 7: because the
+ * refill amortizes over up to 64 buffered bits, the per-call cost is almost
+ * independent of the requested bit count, so bandwidth grows nearly linearly
+ * with bits per call.
+ *
+ * Semantics:
+ *  - read()/peek() support 1..32 bits per call.
+ *  - peek() zero-pads past the end of the data; it never fails.
+ *  - read()/skip() past the end consume virtual zero bits; eof() becomes
+ *    true once the cursor passed the last real bit. This matches what a
+ *    Huffman decoder needs to cleanly detect end-of-input.
+ *  - seek()/tell() address absolute BIT offsets.
+ */
+class BitReader
+{
+public:
+    static constexpr unsigned MAX_BIT_COUNT = 32;
+
+    BitReader( const std::uint8_t* data, std::size_t sizeInBytes ) noexcept :
+        m_data( data ),
+        m_sizeInBytes( sizeInBytes )
+    {}
+
+    /** Owning overload, e.g. for reading a whole compressed stream. */
+    explicit BitReader( std::vector<std::uint8_t> buffer ) :
+        m_ownedBuffer( std::move( buffer ) ),
+        m_data( m_ownedBuffer.data() ),
+        m_sizeInBytes( m_ownedBuffer.size() )
+    {}
+
+    BitReader( const BitReader& other ) :
+        m_ownedBuffer( other.m_ownedBuffer ),
+        m_data( m_ownedBuffer.empty() ? other.m_data : m_ownedBuffer.data() ),
+        m_sizeInBytes( other.m_sizeInBytes )
+    {
+        seek( other.tell() );
+    }
+
+    BitReader& operator=( const BitReader& ) = delete;
+    BitReader( BitReader&& ) = default;
+
+    /** Read @p bitCount (1..32) bits; the first bit read is the result's LSB. */
+    [[nodiscard]] std::uint64_t
+    read( unsigned bitCount )
+    {
+        assert( ( bitCount >= 1 ) && ( bitCount <= MAX_BIT_COUNT ) );
+        if ( m_bufferBits < bitCount ) {
+            refill();
+            if ( m_bufferBits < bitCount ) {
+                return readPastEnd( bitCount );
+            }
+        }
+        const auto result = m_buffer & maskLowBits( bitCount );
+        m_buffer >>= bitCount;
+        m_bufferBits -= bitCount;
+        return result;
+    }
+
+    /** Like read() but without consuming; zero-padded past the end. */
+    [[nodiscard]] std::uint64_t
+    peek( unsigned bitCount )
+    {
+        assert( ( bitCount >= 1 ) && ( bitCount <= MAX_BIT_COUNT ) );
+        if ( m_bufferBits < bitCount ) {
+            refill();
+        }
+        return m_buffer & maskLowBits( bitCount );
+    }
+
+    void
+    skip( unsigned bitCount )
+    {
+        assert( bitCount <= MAX_BIT_COUNT );
+        if ( m_bufferBits < bitCount ) {
+            refill();
+            if ( m_bufferBits < bitCount ) {
+                (void)readPastEnd( bitCount );
+                return;
+            }
+        }
+        m_buffer >>= bitCount;
+        m_bufferBits -= bitCount;
+    }
+
+    /** Absolute bit offset of the next bit to be returned. */
+    [[nodiscard]] std::size_t
+    tell() const noexcept
+    {
+        return m_byteOffset * 8U - m_bufferBits + m_overrunBits;
+    }
+
+    void
+    seek( std::size_t bitOffset )
+    {
+        const auto sizeBits = sizeInBits();
+        if ( bitOffset > sizeBits ) {
+            bitOffset = sizeBits;
+        }
+        m_byteOffset = bitOffset / 8U;
+        m_buffer = 0;
+        m_bufferBits = 0;
+        m_overrunBits = 0;
+        const auto subBit = static_cast<unsigned>( bitOffset % 8U );
+        if ( subBit > 0 ) {
+            refill();
+            m_buffer >>= subBit;
+            m_bufferBits -= subBit;
+        }
+    }
+
+    /**
+     * Cheap re-seek for probe loops (block finders test millions of candidate
+     * bit offsets with peek()): when @p bitOffset lies at or ahead of the
+     * cursor but still inside the refill buffer, reposition by shifting the
+     * buffer instead of reloading from memory — no committed read, no byte
+     * refetch. Falls back to a full seek() otherwise, so it is always safe to
+     * call with any target offset.
+     */
+    void
+    seekAfterPeek( std::size_t bitOffset )
+    {
+        const auto current = tell();
+        if ( ( bitOffset >= current ) && ( bitOffset - current <= m_bufferBits ) ) {
+            const auto delta = static_cast<unsigned>( bitOffset - current );
+            if ( delta >= 64U ) {
+                /* Shifting a uint64_t by 64 is undefined behavior; a full
+                 * 64-bit refill buffer can make delta exactly 64. */
+                m_buffer = 0;
+                m_bufferBits = 0;
+            } else {
+                m_buffer >>= delta;
+                m_bufferBits -= delta;
+            }
+            return;
+        }
+        seek( bitOffset );
+    }
+
+    /** Advance to the next byte boundary (gzip stored blocks, headers). */
+    void
+    alignToByte()
+    {
+        const auto position = tell();
+        const auto remainder = position % 8U;
+        if ( remainder != 0 ) {
+            seek( position + 8U - remainder );
+        }
+    }
+
+    [[nodiscard]] bool
+    eof() const noexcept
+    {
+        return tell() >= sizeInBits();
+    }
+
+    [[nodiscard]] std::size_t
+    sizeInBits() const noexcept
+    {
+        return m_sizeInBytes * 8U;
+    }
+
+    [[nodiscard]] std::size_t
+    bitsLeft() const noexcept
+    {
+        const auto position = tell();
+        const auto sizeBits = sizeInBits();
+        return position >= sizeBits ? 0 : sizeBits - position;
+    }
+
+private:
+    [[nodiscard]] static constexpr std::uint64_t
+    maskLowBits( unsigned bitCount ) noexcept
+    {
+        return ( std::uint64_t( 1 ) << bitCount ) - 1U;
+    }
+
+    void
+    refill() noexcept
+    {
+    #if defined( __BYTE_ORDER__ ) && ( __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__ )
+        /* Fast path: with an empty buffer, slurp 8 bytes at once. On a
+         * little-endian host the in-memory byte order already matches the
+         * LSB-first bit order Deflate requires. */
+        if ( ( m_bufferBits == 0 ) && ( m_byteOffset + sizeof( std::uint64_t ) <= m_sizeInBytes ) ) {
+            std::memcpy( &m_buffer, m_data + m_byteOffset, sizeof( std::uint64_t ) );
+            m_byteOffset += sizeof( std::uint64_t );
+            m_bufferBits = 64U;
+            return;
+        }
+    #endif
+        while ( ( m_bufferBits <= 56U ) && ( m_byteOffset < m_sizeInBytes ) ) {
+            m_buffer |= std::uint64_t( m_data[m_byteOffset++] ) << m_bufferBits;
+            m_bufferBits += 8U;
+        }
+    }
+
+    /** Cold path: consume the remaining real bits plus virtual zero padding. */
+    std::uint64_t
+    readPastEnd( unsigned bitCount ) noexcept
+    {
+        const auto result = m_buffer;  /* high bits are already zero */
+        m_overrunBits += bitCount - m_bufferBits;
+        m_buffer = 0;
+        m_bufferBits = 0;
+        return result;
+    }
+
+    std::vector<std::uint8_t> m_ownedBuffer;
+    const std::uint8_t* m_data{ nullptr };
+    std::size_t m_sizeInBytes{ 0 };
+
+    std::size_t m_byteOffset{ 0 };   /**< next byte to load into the buffer */
+    std::uint64_t m_buffer{ 0 };
+    unsigned m_bufferBits{ 0 };
+    std::size_t m_overrunBits{ 0 };  /**< virtual zero bits consumed past EOF */
+};
+
+}  // namespace rapidgzip_legacy

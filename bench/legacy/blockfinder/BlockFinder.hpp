@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace rapidgzip_legacy::blockfinder {
+
+/**
+ * Common contract of all block finders (paper §3.2): given a byte span and a
+ * starting BIT offset, return the bit offset of the first candidate block at
+ * or after it, or NOT_FOUND. Dynamic-block finders (the four DBF variants)
+ * report the offset of the BFINAL bit of a non-final Dynamic block header;
+ * the NonCompressedBlockFinder reports the byte-aligned offset of a stored
+ * block's LEN field (its 3 header bits lie unrecoverably in the padding
+ * before it).
+ *
+ * All finders are probabilistic in the same direction: a reported offset is
+ * only a *candidate* — validated downstream by actually decoding from it —
+ * but a real block start at or after `fromBit` is never skipped (zero false
+ * negatives), which is what makes decoding from guessed offsets sound.
+ */
+inline constexpr std::size_t NOT_FOUND = std::numeric_limits<std::size_t>::max();
+
+}  // namespace rapidgzip_legacy::blockfinder

@@ -1,0 +1,292 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "../bits/BitReader.hpp"
+#include "../common/Util.hpp"
+#include "../huffman/HuffmanCoding.hpp"
+#include "../deflate/definitions.hpp"
+#include "BlockFinder.hpp"
+
+namespace rapidgzip_legacy::blockfinder {
+
+/**
+ * Per-filter rejection counters for paper Table 1. Each counter tallies how
+ * many candidate positions the corresponding cascade stage rejected; stages
+ * are ordered cheapest-first so the expensive ones run on a sharply shrinking
+ * share of positions.
+ */
+struct FilterStatistics
+{
+    std::uint64_t positionsTested{ 0 };
+    std::uint64_t invalidFinalBlock{ 0 };
+    std::uint64_t invalidCompressionType{ 0 };
+    std::uint64_t invalidPrecodeSize{ 0 };
+    std::uint64_t invalidPrecodeCode{ 0 };
+    std::uint64_t nonOptimalPrecodeCode{ 0 };
+    std::uint64_t invalidPrecodeEncodedData{ 0 };
+    std::uint64_t invalidDistanceCode{ 0 };
+    std::uint64_t nonOptimalDistanceCode{ 0 };
+    std::uint64_t invalidLiteralCode{ 0 };
+    std::uint64_t nonOptimalLiteralCode{ 0 };
+    std::uint64_t validHeaders{ 0 };
+};
+
+/**
+ * "DBF rapidgzip_legacy" in paper Table 2 / §3.2: the cascaded-filter Dynamic block
+ * finder. It accepts exactly the headers deflate::readDynamicCodings accepts
+ * (zero false negatives vs the naive finder — enforced by testBlockFinder)
+ * but rejects the overwhelming majority of positions with a few peeked bits
+ * and NEVER builds the literal/distance lookup tables: after the precode
+ * stage, code validity is decided from Kraft sums over the length counts
+ * alone, which is the decisive cost difference vs the naive full parse.
+ */
+class DynamicBlockFinderRapid
+{
+public:
+    /**
+     * Run the full filter cascade on the candidate at @p position.
+     * Returns true when the position holds a valid non-final Dynamic block
+     * header. @p statistics may be nullptr.
+     */
+    [[nodiscard]] static bool
+    testCandidate( BufferView data, std::size_t position, FilterStatistics* statistics )
+    {
+        BitReader reader( data.data(), data.size() );
+        reader.seek( position );
+        return testHeader( reader, statistics );
+    }
+
+    /**
+     * Cascade on an already-positioned reader. The reader may consume bits;
+     * callers doing sliding-bit probes reposition with seekAfterPeek().
+     */
+    [[nodiscard]] static bool
+    testHeader( BitReader& reader, FilterStatistics* statistics )
+    {
+        FilterStatistics scratch;
+        auto& stats = statistics != nullptr ? *statistics : scratch;
+        ++stats.positionsTested;
+
+        if ( reader.bitsLeft() < deflate::MIN_DYNAMIC_HEADER_BITS ) {
+            ++stats.invalidFinalBlock;  /* position not even probeable */
+            return false;
+        }
+
+        /* Stage 1+2+3: one 8-bit peek covers BFINAL, BTYPE, and HLIT. */
+        const auto prefix = reader.peek( 8 );
+        if ( ( prefix & 0b1U ) != 0 ) {
+            ++stats.invalidFinalBlock;
+            return false;
+        }
+        if ( ( ( prefix >> 1U ) & 0b11U ) != deflate::BLOCK_TYPE_DYNAMIC ) {
+            ++stats.invalidCompressionType;
+            return false;
+        }
+        const auto hlit = ( prefix >> 3U ) & 0b11111U;
+        if ( hlit > 29 ) {
+            ++stats.invalidPrecodeSize;
+            return false;
+        }
+        reader.skip( 8 );
+        const auto hdist = static_cast<unsigned>( reader.read( 5 ) );
+        const auto precodeCount = 4 + static_cast<unsigned>( reader.read( 4 ) );
+
+        /* Stage 4: precode Kraft check straight from the 3-bit lengths. */
+        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> precodeLengths{};
+        if ( reader.bitsLeft() < precodeCount * deflate::PRECODE_BITS ) {
+            ++stats.invalidPrecodeCode;
+            return false;
+        }
+        std::array<std::uint8_t, 8> precodeCountPerLength{};
+        for ( unsigned i = 0; i < precodeCount; ++i ) {
+            const auto length = static_cast<std::uint8_t>( reader.read( deflate::PRECODE_BITS ) );
+            precodeLengths[deflate::PRECODE_ORDER[i]] = length;
+            ++precodeCountPerLength[length];
+        }
+        std::int32_t available = 1;
+        unsigned maxPrecodeLength = 0;
+        for ( unsigned length = 1; length <= 7; ++length ) {
+            available <<= 1;
+            available -= precodeCountPerLength[length];
+            if ( available < 0 ) {
+                ++stats.invalidPrecodeCode;
+                return false;
+            }
+            if ( precodeCountPerLength[length] > 0 ) {
+                maxPrecodeLength = length;
+            }
+        }
+        if ( maxPrecodeLength == 0 ) {
+            ++stats.invalidPrecodeCode;  /* no symbols at all */
+            return false;
+        }
+        /* Complete iff the Kraft remainder at the maximum used length is 0. */
+        if ( ( available >> ( 7 - maxPrecodeLength ) ) != 0 ) {
+            ++stats.nonOptimalPrecodeCode;
+            return false;
+        }
+
+        /* Stage 5: decode the run-length-encoded code lengths. Only length
+         * COUNTS are accumulated — no literal/distance table is ever built. */
+        HuffmanCoding precode;
+        if ( !precode.initializeFromLengths( { precodeLengths.data(), precodeLengths.size() } ) ) {
+            ++stats.invalidPrecodeCode;  /* unreachable after the checks above */
+            return false;
+        }
+        const std::size_t literalCount = 257 + hlit;
+        const std::size_t totalLengths = literalCount + 1 + hdist;
+        std::array<std::uint16_t, 16> literalCountPerLength{};
+        std::array<std::uint16_t, 16> distanceCountPerLength{};
+        std::size_t position = 0;
+        std::uint8_t previousLength = 0;
+        const auto record = [&] ( std::uint8_t length, std::size_t repeat ) {
+            if ( length > 0 ) {
+                /* Count into whichever side(s) of the literal/distance
+                 * boundary the run covers. */
+                while ( ( repeat > 0 ) && ( position < literalCount ) ) {
+                    ++literalCountPerLength[length];
+                    ++position;
+                    --repeat;
+                }
+                distanceCountPerLength[length] =
+                    static_cast<std::uint16_t>( distanceCountPerLength[length] + repeat );
+                position += repeat;
+            } else {
+                position += repeat;
+            }
+        };
+        while ( position < totalLengths ) {
+            const auto symbol = precode.decode( reader );
+            if ( symbol < 0 ) {
+                ++stats.invalidPrecodeEncodedData;
+                return false;
+            }
+            if ( symbol <= 15 ) {
+                record( static_cast<std::uint8_t>( symbol ), 1 );
+                previousLength = static_cast<std::uint8_t>( symbol );
+                continue;
+            }
+            std::size_t repeat = 0;
+            std::uint8_t value = 0;
+            if ( symbol == 16 ) {
+                if ( ( position == 0 ) || ( reader.bitsLeft() < 2 ) ) {
+                    ++stats.invalidPrecodeEncodedData;
+                    return false;
+                }
+                repeat = 3 + reader.read( 2 );
+                value = previousLength;
+            } else if ( symbol == 17 ) {
+                if ( reader.bitsLeft() < 3 ) {
+                    ++stats.invalidPrecodeEncodedData;
+                    return false;
+                }
+                repeat = 3 + reader.read( 3 );
+                previousLength = 0;  /* a following symbol 16 repeats the zero */
+            } else {
+                if ( reader.bitsLeft() < 7 ) {
+                    ++stats.invalidPrecodeEncodedData;
+                    return false;
+                }
+                repeat = 11 + reader.read( 7 );
+                previousLength = 0;
+            }
+            if ( position + repeat > totalLengths ) {
+                ++stats.invalidPrecodeEncodedData;
+                return false;
+            }
+            record( value, repeat );
+        }
+
+        /* Stage 6: distance code from counts (HDIST range folded in here,
+         * matching the paper's cascade order). */
+        if ( hdist > 29 ) {
+            ++stats.invalidDistanceCode;
+            return false;
+        }
+        if ( !checkCode( distanceCountPerLength, /* singleCodeMayBeIncomplete */ true,
+                         stats.invalidDistanceCode, stats.nonOptimalDistanceCode ) ) {
+            return false;
+        }
+
+        /* Stage 7: literal/length code from counts. */
+        if ( !checkCode( literalCountPerLength, /* singleCodeMayBeIncomplete */ false,
+                         stats.invalidLiteralCode, stats.nonOptimalLiteralCode ) ) {
+            return false;
+        }
+
+        ++stats.validHeaders;
+        return true;
+    }
+
+    /** Sliding probe over every bit offset; seekAfterPeek keeps the common
+     * reject path free of memory refetches. */
+    [[nodiscard]] std::size_t
+    find( BufferView data, std::size_t fromBit )
+    {
+        BitReader reader( data.data(), data.size() );
+        const auto sizeBits = reader.sizeInBits();
+        for ( auto offset = fromBit; offset + deflate::MIN_DYNAMIC_HEADER_BITS <= sizeBits;
+              ++offset ) {
+            reader.seekAfterPeek( offset );
+            if ( testHeader( reader, &m_statistics ) ) {
+                return offset;
+            }
+        }
+        return NOT_FOUND;
+    }
+
+    [[nodiscard]] const FilterStatistics&
+    statistics() const noexcept
+    {
+        return m_statistics;
+    }
+
+private:
+    /**
+     * Kraft-sum validity from per-length symbol counts: over-subscribed is
+     * invalid, incomplete is "non-optimal" (rejected — real encoders emit
+     * complete codes), except the legal single-symbol distance code.
+     */
+    [[nodiscard]] static bool
+    checkCode( const std::array<std::uint16_t, 16>& countPerLength,
+               bool singleCodeMayBeIncomplete,
+               std::uint64_t& invalidCounter,
+               std::uint64_t& nonOptimalCounter )
+    {
+        std::int32_t available = 1;
+        unsigned maxLength = 0;
+        std::size_t codeCount = 0;
+        for ( unsigned length = 1; length <= 15; ++length ) {
+            available <<= 1;
+            available -= countPerLength[length];
+            if ( available < 0 ) {
+                ++invalidCounter;
+                return false;
+            }
+            if ( countPerLength[length] > 0 ) {
+                maxLength = length;
+                codeCount += countPerLength[length];
+            }
+        }
+        if ( codeCount == 0 ) {
+            if ( singleCodeMayBeIncomplete ) {
+                return true;  /* no distance code at all is legal */
+            }
+            ++nonOptimalCounter;  /* empty literal code can never be complete */
+            return false;
+        }
+        const bool complete = ( available >> ( 15 - maxLength ) ) == 0;
+        if ( !complete && !( singleCodeMayBeIncomplete && ( codeCount == 1 ) ) ) {
+            ++nonOptimalCounter;
+            return false;
+        }
+        return true;
+    }
+
+    FilterStatistics m_statistics;
+};
+
+}  // namespace rapidgzip_legacy::blockfinder

@@ -1,0 +1,15 @@
+#pragma once
+
+/* Shim for the vendored pre-PR baseline (see ../README.md): the legacy
+ * headers were copied verbatim with their namespace renamed, so their
+ * `#include "../common/Error.hpp"` lands here; the error vocabulary itself
+ * is unchanged and simply aliased in from the live tree. */
+
+#include "common/Error.hpp"
+
+namespace rapidgzip_legacy {
+
+using rapidgzip::Error;
+using rapidgzip::toString;
+
+}  // namespace rapidgzip_legacy

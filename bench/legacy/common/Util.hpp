@@ -1,0 +1,17 @@
+#pragma once
+
+/* Shim for the vendored pre-PR baseline (see ../README.md): aliases the
+ * live tree's unchanged utility vocabulary into the legacy namespace. */
+
+#include "common/Util.hpp"
+
+namespace rapidgzip_legacy {
+
+using rapidgzip::KiB;
+using rapidgzip::MiB;
+using rapidgzip::GiB;
+using rapidgzip::ceilDiv;
+using rapidgzip::VectorView;
+using rapidgzip::BufferView;
+
+}  // namespace rapidgzip_legacy

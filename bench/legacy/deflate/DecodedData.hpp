@@ -2,14 +2,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <utility>
 #include <vector>
 
 #include "../common/Util.hpp"
 #include "definitions.hpp"
 
-namespace rapidgzip::deflate {
+namespace rapidgzip_legacy::deflate {
 
 /**
  * Two-stage decoding intermediate format (paper §3.3). A chunk decoded from
@@ -29,12 +27,10 @@ namespace rapidgzip::deflate {
  */
 inline constexpr std::uint16_t MARKER_BASE = 32768;
 
-/** One stretch of conventionally (8-bit) decoded output. FastVector: the
- * decoder's sinks size the buffer ahead of raw-cursor writes, so resize()
- * must not value-initialize. */
+/** One stretch of conventionally (8-bit) decoded output. */
 struct Segment
 {
-    FastVector<std::uint8_t> data;
+    std::vector<std::uint8_t> data;
 
     [[nodiscard]] std::size_t
     decodedSize() const noexcept
@@ -52,7 +48,7 @@ struct Segment
  */
 struct DecodedData
 {
-    FastVector<std::uint16_t> marked;
+    std::vector<std::uint16_t> marked;
     std::vector<Segment> plain;
 
     [[nodiscard]] std::size_t
@@ -64,96 +60,6 @@ struct DecodedData
         }
         return size;
     }
-
-    /** Clear contents but KEEP the allocations (the first plain segment's
-     * buffer and the marked buffer) — the reuse primitive the buffer pool
-     * is built on. */
-    void
-    reset()
-    {
-        marked.clear();
-        if ( plain.size() > 1 ) {
-            plain.resize( 1 );
-        }
-        if ( !plain.empty() ) {
-            plain.front().data.clear();
-        }
-    }
-};
-
-/**
- * Freelist of DecodedData buffers so steady-state chunk decoding does zero
- * heap allocation: a worker acquires a buffer whose vectors already hold
- * their steady-state capacity, decodes into it, and the consumer releases it
- * back after marker resolution. Producers and consumers are different
- * threads (pool workers decode, the stitch thread consumes), hence one
- * shared mutex-guarded freelist rather than thread-local caches; the lock is
- * taken twice per multi-megabyte chunk, which is noise.
- *
- * Buffers that never come back (error paths, tests, benches) are simply
- * destroyed by their owner — the pool holds only what was released, capped
- * at MAX_POOLED entries, itself bounded in practice by the in-flight batch.
- */
-class DecodedDataPool
-{
-public:
-    [[nodiscard]] static DecodedData
-    acquire()
-    {
-        auto& pool = instance();
-        const std::lock_guard<std::mutex> lock( pool.m_mutex );
-        if ( pool.m_free.empty() ) {
-            return {};
-        }
-        auto data = std::move( pool.m_free.back() );
-        pool.m_free.pop_back();
-        return data;
-    }
-
-    static void
-    release( DecodedData&& data )
-    {
-        /* Outliers (a pathological-ratio chunk's buffers) are destroyed
-         * instead of retained: the pool bounds its steady-state footprint
-         * to MAX_POOLED * MAX_POOLED_CAPACITY_BYTES worst case. */
-        const auto retainedBytes =
-            data.marked.capacity() * sizeof( std::uint16_t )
-            + ( data.plain.empty() ? 0 : data.plain.front().data.capacity() );
-        if ( retainedBytes > MAX_POOLED_CAPACITY_BYTES ) {
-            return;
-        }
-        data.reset();
-        auto& pool = instance();
-        const std::lock_guard<std::mutex> lock( pool.m_mutex );
-        if ( pool.m_free.size() < MAX_POOLED ) {
-            pool.m_free.push_back( std::move( data ) );
-        }
-    }
-
-    /** Drop every retained buffer — for callers that know the heavy
-     * decoding phase is over and want the memory back before process end. */
-    static void
-    clear()
-    {
-        auto& pool = instance();
-        const std::lock_guard<std::mutex> lock( pool.m_mutex );
-        pool.m_free.clear();
-        pool.m_free.shrink_to_fit();
-    }
-
-private:
-    static constexpr std::size_t MAX_POOLED = 64;
-    static constexpr std::size_t MAX_POOLED_CAPACITY_BYTES = std::size_t( 128 ) << 20U;
-
-    [[nodiscard]] static DecodedDataPool&
-    instance()
-    {
-        static DecodedDataPool pool;
-        return pool;
-    }
-
-    std::mutex m_mutex;
-    std::vector<DecodedData> m_free;
 };
 
 /**
@@ -214,4 +120,4 @@ resolveInto( const DecodedData& data,
     }
 }
 
-}  // namespace rapidgzip::deflate
+}  // namespace rapidgzip_legacy::deflate

@@ -1,0 +1,387 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "../bits/BitReader.hpp"
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "DecodedData.hpp"
+#include "DynamicHeader.hpp"
+#include "definitions.hpp"
+
+namespace rapidgzip_legacy::deflate {
+
+namespace detail {
+
+/** The fixed (BTYPE 01) codings, built once per process (magic static). */
+struct FixedCodings
+{
+    FixedCodings()
+    {
+        std::array<std::uint8_t, 288> literalLengths{};
+        for ( std::size_t i = 0; i < 144; ++i ) {
+            literalLengths[i] = 8;
+        }
+        for ( std::size_t i = 144; i < 256; ++i ) {
+            literalLengths[i] = 9;
+        }
+        for ( std::size_t i = 256; i < 280; ++i ) {
+            literalLengths[i] = 7;
+        }
+        for ( std::size_t i = 280; i < 288; ++i ) {
+            literalLengths[i] = 8;
+        }
+        std::array<std::uint8_t, 32> distanceLengths{};
+        distanceLengths.fill( 5 );
+        /* Both are complete by construction; failure is impossible. */
+        (void)codings.literal.initializeFromLengths( { literalLengths.data(),
+                                                       literalLengths.size() } );
+        (void)codings.distance.initializeFromLengths( { distanceLengths.data(),
+                                                        distanceLengths.size() } );
+        codings.distanceUsable = true;
+    }
+
+    DynamicHuffmanCodings codings;
+};
+
+[[nodiscard]] inline const DynamicHuffmanCodings&
+fixedCodings()
+{
+    static const FixedCodings instance;
+    return instance.codings;
+}
+
+}  // namespace detail
+
+/**
+ * From-scratch raw-Deflate decoder that can start at ANY bit offset — the
+ * first stage of the paper's two-stage scheme (§3.3). Two operating modes:
+ *
+ *  - window known (setInitialWindow): conventional 8-bit decoding into
+ *    DecodedData::plain — used for the first chunk of a stream and for
+ *    sequential re-decodes where the window has already been propagated;
+ *  - window unknown (default): 16-bit marker decoding into
+ *    DecodedData::marked, falling back to conventional decoding once the
+ *    trailing WINDOW_SIZE outputs are marker-free (every later
+ *    back-reference then provably resolves inside the chunk).
+ *
+ * decode() consumes whole blocks and stops at a block boundary: before a
+ * block whose header would start at or after @p untilBitOffset, after the
+ * final block (BFINAL), once @p maxBytes have been produced, or on error.
+ * The bit offset of the stopping boundary is reported so chunks can be
+ * stitched exactly.
+ */
+class Decoder
+{
+public:
+    struct Result
+    {
+        Error error{ Error::NONE };
+        bool reachedFinalBlock{ false };
+        /** Bit offset of the first unconsumed block boundary: where the next
+         * block (or the gzip footer, after BFINAL) begins. On error: the
+         * boundary before the failed block. */
+        std::size_t endBitOffset{ 0 };
+        std::size_t blockCount{ 0 };
+    };
+
+    /** Provide the up-to-WINDOW_SIZE bytes preceding the stream position;
+     * switches the decoder to conventional 8-bit decoding from the start.
+     * An empty view is a valid window (start of a gzip member). */
+    void
+    setInitialWindow( BufferView window )
+    {
+        const auto size = std::min( window.size(), WINDOW_SIZE );
+        m_windowSize = size;
+        for ( std::size_t i = 0; i < size; ++i ) {
+            m_window[i] = window[window.size() - size + i];
+        }
+        m_plainMode = true;
+    }
+
+    /** The next input is the LEN/NLEN field of a stored block whose 3
+     * header bits lie unreadably before the discovered offset (the
+     * NonCompressedBlockFinder reports the byte-aligned LEN position).
+     * BFINAL is assumed 0; a wrong assumption surfaces as a decode error in
+     * a later block and is handled by the chunk fetcher's re-decode path. */
+    void
+    setStartAtStoredData( bool startAtStoredData ) noexcept
+    {
+        m_startAtStoredData = startAtStoredData;
+    }
+
+    [[nodiscard]] Result
+    decode( BitReader& reader,
+            DecodedData& data,
+            std::size_t untilBitOffset = std::numeric_limits<std::size_t>::max(),
+            std::size_t maxBytes = std::numeric_limits<std::size_t>::max() )
+    {
+        if ( m_plainMode && data.plain.empty() ) {
+            data.plain.emplace_back();
+        }
+        /* Mid-block overrun allowance (saturating): blocks normally end well
+         * before this; only a runaway block from a false block-finder
+         * positive trips the in-block limit. */
+        constexpr auto LIMIT = std::numeric_limits<std::size_t>::max();
+        m_hardByteLimit = maxBytes > LIMIT - 2 * MAX_MATCH_LENGTH
+                          ? LIMIT
+                          : maxBytes + 2 * MAX_MATCH_LENGTH;
+
+        Result result;
+        result.endBitOffset = reader.tell();
+        bool pendingStoredData = m_startAtStoredData;
+        while ( true ) {
+            if ( ( reader.tell() >= untilBitOffset ) || ( m_totalDecoded >= maxBytes ) ) {
+                break;
+            }
+
+            std::uint64_t isFinal = 0;
+            std::uint64_t type = BLOCK_TYPE_STORED;
+            if ( pendingStoredData ) {
+                pendingStoredData = false;
+            } else {
+                if ( reader.bitsLeft() < 3 ) {
+                    result.error = Error::TRUNCATED_STREAM;
+                    break;
+                }
+                isFinal = reader.read( 1 );
+                type = reader.read( 2 );
+            }
+
+            switch ( type ) {
+            case BLOCK_TYPE_STORED:
+                result.error = decodeStoredBlock( reader, data );
+                break;
+            case BLOCK_TYPE_FIXED:
+                result.error = decodeHuffmanBlock( reader, data, detail::fixedCodings() );
+                break;
+            case BLOCK_TYPE_DYNAMIC:
+                result.error = readDynamicCodings( reader, m_codings );
+                if ( result.error == Error::NONE ) {
+                    result.error = decodeHuffmanBlock( reader, data, m_codings );
+                }
+                break;
+            default:
+                result.error = Error::INVALID_BLOCK_TYPE;
+                break;
+            }
+            if ( result.error != Error::NONE ) {
+                break;
+            }
+
+            ++result.blockCount;
+            result.endBitOffset = reader.tell();
+            maybeFallBackToPlain( data );
+            if ( isFinal != 0 ) {
+                result.reachedFinalBlock = true;
+                break;
+            }
+        }
+        return result;
+    }
+
+    [[nodiscard]] std::size_t
+    totalDecoded() const noexcept
+    {
+        return m_totalDecoded;
+    }
+
+    /** True once the decoder switched (or started) in conventional 8-bit mode. */
+    [[nodiscard]] bool
+    inPlainMode() const noexcept
+    {
+        return m_plainMode;
+    }
+
+private:
+    static constexpr std::size_t NO_MARKER = std::numeric_limits<std::size_t>::max();
+
+    [[nodiscard]] Error
+    decodeStoredBlock( BitReader& reader, DecodedData& data )
+    {
+        reader.alignToByte();
+        if ( reader.bitsLeft() < 32 ) {
+            return Error::TRUNCATED_STREAM;
+        }
+        const auto length = reader.read( 16 );
+        const auto complement = reader.read( 16 );
+        if ( ( length ^ complement ) != 0xFFFFU ) {
+            return Error::INVALID_STORED_LENGTH;
+        }
+        if ( reader.bitsLeft() < length * 8 ) {
+            return Error::TRUNCATED_STREAM;
+        }
+        for ( std::uint64_t i = 0; i < length; ++i ) {
+            emitLiteral( data, static_cast<std::uint8_t>( reader.read( 8 ) ) );
+            if ( m_totalDecoded >= m_hardByteLimit ) {
+                return Error::EXCEEDED_OUTPUT_LIMIT;
+            }
+        }
+        return Error::NONE;
+    }
+
+    [[nodiscard]] Error
+    decodeHuffmanBlock( BitReader& reader,
+                        DecodedData& data,
+                        const DynamicHuffmanCodings& codings )
+    {
+        while ( true ) {
+            const auto symbol = codings.literal.decode( reader );
+            if ( symbol < 0 ) {
+                return symbol == HuffmanCodingDoubleLUT::DECODE_EOF ? Error::TRUNCATED_STREAM
+                                                                    : Error::INVALID_SYMBOL;
+            }
+            if ( symbol < static_cast<int>( END_OF_BLOCK ) ) {
+                emitLiteral( data, static_cast<std::uint8_t>( symbol ) );
+            } else if ( symbol == static_cast<int>( END_OF_BLOCK ) ) {
+                return Error::NONE;
+            } else {
+                if ( symbol > 285 ) {
+                    return Error::INVALID_SYMBOL;
+                }
+                const auto lengthIndex = static_cast<std::size_t>( symbol - 257 );
+                const auto lengthExtra = LENGTH_EXTRA_BITS[lengthIndex];
+                if ( reader.bitsLeft() < lengthExtra ) {
+                    return Error::TRUNCATED_STREAM;
+                }
+                const std::size_t length = LENGTH_BASE[lengthIndex]
+                                           + ( lengthExtra > 0 ? reader.read( lengthExtra ) : 0 );
+
+                if ( !codings.distanceUsable ) {
+                    return Error::INVALID_DISTANCE;
+                }
+                const auto distanceSymbol = codings.distance.decode( reader );
+                if ( distanceSymbol < 0 ) {
+                    return distanceSymbol == HuffmanCodingDoubleLUT::DECODE_EOF
+                           ? Error::TRUNCATED_STREAM
+                           : Error::INVALID_DISTANCE;
+                }
+                if ( distanceSymbol > 29 ) {
+                    return Error::INVALID_DISTANCE;
+                }
+                const auto distanceExtra = DISTANCE_EXTRA_BITS[distanceSymbol];
+                if ( reader.bitsLeft() < distanceExtra ) {
+                    return Error::TRUNCATED_STREAM;
+                }
+                const std::size_t distance =
+                    DISTANCE_BASE[distanceSymbol]
+                    + ( distanceExtra > 0 ? reader.read( distanceExtra ) : 0 );
+
+                const auto error = emitMatch( data, length, distance );
+                if ( error != Error::NONE ) {
+                    return error;
+                }
+            }
+            if ( m_totalDecoded >= m_hardByteLimit ) {
+                return Error::EXCEEDED_OUTPUT_LIMIT;
+            }
+        }
+    }
+
+    void
+    emitLiteral( DecodedData& data, std::uint8_t byte )
+    {
+        if ( m_plainMode ) {
+            data.plain.back().data.push_back( byte );
+        } else {
+            data.marked.push_back( byte );
+        }
+        ++m_totalDecoded;
+    }
+
+    /**
+     * LZ77 copy. Byte-wise on purpose: overlapping copies (distance <
+     * length) replicate, and in 16-bit mode copied symbols may themselves be
+     * markers, which must propagate verbatim and keep the marker clock
+     * (m_lastMarkerPosition) honest.
+     */
+    [[nodiscard]] Error
+    emitMatch( DecodedData& data, std::size_t length, std::size_t distance )
+    {
+        if ( m_plainMode ) {
+            auto& out = data.plain.back().data;
+            const auto start = out.size();
+            if ( distance > start + m_windowSize ) {
+                return Error::EXCEEDED_WINDOW;
+            }
+            /* Seeded-window fast path: a back-reference reaching behind the
+             * chunk start takes a contiguous run from the seeded window (the
+             * window and the output never interleave within one match — once
+             * the copy position enters the output it stays there), then the
+             * remainder replicates byte-wise in-buffer, which handles the
+             * overlapping (distance < length) case. */
+            std::size_t copied = 0;
+            if ( distance > start ) {
+                const auto fromWindow = std::min( length, distance - start );
+                const auto* const source = m_window.data() + m_windowSize - ( distance - start );
+                out.insert( out.end(), source, source + fromWindow );
+                copied = fromWindow;
+            }
+            for ( ; copied < length; ++copied ) {
+                out.push_back( out[out.size() - distance] );
+            }
+        } else {
+            auto& out = data.marked;
+            /* distance <= 32768 and position >= 0 bound the marker offset. */
+            for ( std::size_t i = 0; i < length; ++i ) {
+                const auto position = out.size();
+                std::uint16_t symbol;
+                if ( distance <= position ) {
+                    symbol = out[position - distance];
+                } else {
+                    symbol = static_cast<std::uint16_t>(
+                        MARKER_BASE + ( WINDOW_SIZE - ( distance - position ) ) );
+                }
+                if ( symbol >= MARKER_BASE ) {
+                    m_lastMarkerPosition = position;
+                }
+                out.push_back( symbol );
+            }
+        }
+        m_totalDecoded += length;
+        return Error::NONE;
+    }
+
+    /**
+     * The paper's §3.3 fallback, checked at block granularity: once the
+     * trailing WINDOW_SIZE outputs contain no marker, materialize them as a
+     * real window and continue with plain 8-bit decoding — halving memory
+     * traffic and skipping stage two for the rest of the chunk.
+     */
+    void
+    maybeFallBackToPlain( DecodedData& data )
+    {
+        if ( m_plainMode ) {
+            return;
+        }
+        const auto size = data.marked.size();
+        if ( size < WINDOW_SIZE ) {
+            return;
+        }
+        if ( ( m_lastMarkerPosition != NO_MARKER )
+             && ( m_lastMarkerPosition + WINDOW_SIZE >= size ) ) {
+            return;  /* a marker is still inside the trailing window */
+        }
+        m_windowSize = WINDOW_SIZE;
+        for ( std::size_t i = 0; i < WINDOW_SIZE; ++i ) {
+            m_window[i] = static_cast<std::uint8_t>( data.marked[size - WINDOW_SIZE + i] );
+        }
+        data.plain.emplace_back();
+        m_plainMode = true;
+    }
+
+    DynamicHuffmanCodings m_codings;  /* reused across Dynamic blocks */
+
+    std::array<std::uint8_t, WINDOW_SIZE> m_window{};
+    std::size_t m_windowSize{ 0 };
+    bool m_plainMode{ false };
+    bool m_startAtStoredData{ false };
+    std::size_t m_lastMarkerPosition{ NO_MARKER };
+    std::size_t m_totalDecoded{ 0 };
+    std::size_t m_hardByteLimit{ std::numeric_limits<std::size_t>::max() };
+};
+
+}  // namespace rapidgzip_legacy::deflate

@@ -7,28 +7,21 @@
 #include "../bits/BitReader.hpp"
 #include "../common/Error.hpp"
 #include "../huffman/HuffmanCoding.hpp"
-#include "../huffman/HuffmanCodingDistanceCached.hpp"
 #include "../huffman/HuffmanCodingDoubleLUT.hpp"
-#include "../huffman/HuffmanCodingMultiCached.hpp"
 #include "definitions.hpp"
 
-namespace rapidgzip::deflate {
+namespace rapidgzip_legacy::deflate {
 
 /**
  * The literal/length and distance codings of one Dynamic block. The
  * distance coding may legally be absent (HDIST = 0 with a zero length) or a
  * single incomplete code (RFC 1951 §3.2.7); `distanceUsable` distinguishes
  * "no distance code defined" from "defined but the symbol was invalid".
- *
- * Both sides use cached LUTs whose fallback IS the two-level coding, so
- * accept/reject behavior and the reference decode path are unchanged: the
- * literal/length side packs two literals or a folded length+extra into one
- * lookup, the distance side folds the distance extra bits the same way.
  */
 struct DynamicHuffmanCodings
 {
-    HuffmanCodingMultiCached literal;
-    HuffmanCodingDistanceCached distance;
+    HuffmanCodingDoubleLUT literal;
+    HuffmanCodingDoubleLUT distance;
     bool distanceUsable{ false };
 };
 
@@ -45,8 +38,7 @@ struct DynamicHuffmanCodings
  * unless it has at most one symbol.
  */
 [[nodiscard]] inline Error
-readDynamicCodings( BitReader& reader, DynamicHuffmanCodings& codings,
-                    bool buildCachedTables = true )
+readDynamicCodings( BitReader& reader, DynamicHuffmanCodings& codings )
 {
     if ( reader.bitsLeft() < MIN_DYNAMIC_HEADER_BITS - 3 ) {
         return Error::TRUNCATED_STREAM;
@@ -130,8 +122,7 @@ readDynamicCodings( BitReader& reader, DynamicHuffmanCodings& codings,
     codings.distanceUsable = anyDistanceCode;
     if ( anyDistanceCode ) {
         if ( !codings.distance.initializeFromLengths( { lengths.data() + literalCount,
-                                                        distanceCount },
-                                                      buildCachedTables ) ) {
+                                                        distanceCount } ) ) {
             return Error::INVALID_DISTANCE_CODING;
         }
         if ( ( codings.distance.codeCount() > 1 ) && !codings.distance.isCompleteCode() ) {
@@ -139,8 +130,7 @@ readDynamicCodings( BitReader& reader, DynamicHuffmanCodings& codings,
         }
     }
 
-    if ( !codings.literal.initializeFromLengths( { lengths.data(), literalCount },
-                                                 buildCachedTables ) ) {
+    if ( !codings.literal.initializeFromLengths( { lengths.data(), literalCount } ) ) {
         return Error::INVALID_LITERAL_CODING;
     }
     if ( !codings.literal.isCompleteCode() ) {
@@ -149,4 +139,4 @@ readDynamicCodings( BitReader& reader, DynamicHuffmanCodings& codings,
     return Error::NONE;
 }
 
-}  // namespace rapidgzip::deflate
+}  // namespace rapidgzip_legacy::deflate

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rapidgzip_legacy::deflate {
+
+/**
+ * RFC 1951 constants shared by the decoder and the block finders. Kept in
+ * one place so a finder can never drift from what the decoder will actually
+ * accept — the "zero false negatives vs the full parse" property the rapid
+ * finder's cascaded filters depend on.
+ */
+
+inline constexpr std::size_t WINDOW_SIZE = 32768;       /**< LZ77 window (and max distance) */
+inline constexpr std::size_t MAX_MATCH_LENGTH = 258;
+
+inline constexpr unsigned MAX_LITERAL_SYMBOLS = 286;    /**< 257 + HLIT, HLIT <= 29 */
+inline constexpr unsigned MAX_DISTANCE_SYMBOLS = 30;    /**< 1 + HDIST, HDIST <= 29 */
+inline constexpr unsigned PRECODE_SYMBOLS = 19;
+inline constexpr unsigned PRECODE_BITS = 3;             /**< each precode length is 3 bits */
+inline constexpr unsigned END_OF_BLOCK = 256;
+
+/** Block types (2-bit BTYPE field). */
+inline constexpr std::uint64_t BLOCK_TYPE_STORED = 0;
+inline constexpr std::uint64_t BLOCK_TYPE_FIXED = 1;
+inline constexpr std::uint64_t BLOCK_TYPE_DYNAMIC = 2;
+
+/** Order in which the precode code lengths are transmitted (RFC 1951 §3.2.7). */
+inline constexpr std::array<std::uint8_t, PRECODE_SYMBOLS> PRECODE_ORDER = {
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15
+};
+
+/** Length symbol 257+i -> base length and extra bits. */
+inline constexpr std::array<std::uint16_t, 29> LENGTH_BASE = {
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+    35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258
+};
+
+inline constexpr std::array<std::uint8_t, 29> LENGTH_EXTRA_BITS = {
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+    3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0
+};
+
+/** Distance symbol 0..29 -> base distance and extra bits. */
+inline constexpr std::array<std::uint16_t, 30> DISTANCE_BASE = {
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+    257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577
+};
+
+inline constexpr std::array<std::uint8_t, 30> DISTANCE_EXTRA_BITS = {
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+    7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13
+};
+
+/** Smallest possible Dynamic block header: 3 + 5 + 5 + 4 + 4*3 bits. */
+inline constexpr std::size_t MIN_DYNAMIC_HEADER_BITS = 3 + 5 + 5 + 4 + 4 * PRECODE_BITS;
+
+}  // namespace rapidgzip_legacy::deflate

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "HuffmanCodingBase.hpp"
+
+namespace rapidgzip_legacy {
+
+/**
+ * Single-level full-length LUT decoder: one table with 2^maxCodeLength
+ * entries, each holding (symbol, code length), indexed directly by the
+ * peeked bits. Decoding is one load per symbol — the fastest possible — but
+ * construction fills 2^(maxLength - length) entries per symbol, which gets
+ * expensive for 15-bit codes. The ablation benchmark quantifies exactly this
+ * trade-off against the two-level layout.
+ */
+class HuffmanCoding final : public HuffmanCodingBase<HuffmanCoding>
+{
+    friend class HuffmanCodingBase<HuffmanCoding>;
+
+public:
+    [[nodiscard]] int
+    decode( BitReader& bitReader ) const
+    {
+        if ( bitReader.eof() ) {
+            return DECODE_EOF;
+        }
+        const auto bits = bitReader.peek( m_maxLength );
+        const auto entry = m_lookupTable[bits];
+        if ( entry.length == 0 ) {
+            return DECODE_INVALID;
+        }
+        if ( entry.length > bitReader.bitsLeft() ) {
+            return DECODE_EOF;  /* matched only thanks to EOF zero-padding */
+        }
+        bitReader.skip( entry.length );
+        return entry.symbol;
+    }
+
+private:
+    struct Entry
+    {
+        std::uint16_t symbol{ 0 };
+        std::uint8_t length{ 0 };  /* 0 = invalid bit pattern */
+    };
+
+    [[nodiscard]] bool
+    buildLookupTables()
+    {
+        m_lookupTable.assign( std::size_t( 1 ) << m_maxLength, Entry{} );
+        for ( const auto& code : m_codes ) {
+            const Entry entry{ code.symbol, code.length };
+            const auto stride = std::size_t( 1 ) << code.length;
+            for ( std::size_t index = code.reversedCode; index < m_lookupTable.size();
+                  index += stride ) {
+                m_lookupTable[index] = entry;
+            }
+        }
+        return true;
+    }
+
+    std::vector<Entry> m_lookupTable;
+};
+
+}  // namespace rapidgzip_legacy

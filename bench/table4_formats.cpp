@@ -129,6 +129,46 @@ main()
                    }),
                    "2.82 GB/s (P=16)");
 
+    /* Checkpoint-spacing trade-off (ROADMAP open item): sparser checkpoints
+     * shrink the serialized index — fewer compressed 32 KiB windows — but
+     * every random access must decode from a checkpoint further away. Sweep
+     * 2-3 spacings and measure index size plus cold-cache seek+read
+     * latency at scattered offsets. */
+    {
+        std::printf("\n  Index checkpoint spacing vs size and seek latency:\n");
+        Xorshift64 random(0x5EEC5);
+        for (const std::size_t spacingMiB : { std::size_t(0), std::size_t(4), std::size_t(16) }) {
+            auto configuration = config(P);
+            configuration.checkpointSpacingBytes = spacingMiB * MiB;
+
+            ParallelGzipReader builder(std::make_unique<MemoryFileReader>(gzipFile),
+                                       configuration);
+            const auto index = builder.exportIndex();
+            const auto serialized = index::serializeIndex(index);
+
+            /* Fresh reader per seek: cold chunk cache, so the latency is the
+             * true decode-from-checkpoint cost, not a cache hit. */
+            constexpr std::size_t SEEKS = 8;
+            std::uint8_t probe[4096];
+            Stopwatch stopwatch;
+            for (std::size_t i = 0; i < SEEKS; ++i) {
+                ParallelGzipReader reader(std::make_unique<MemoryFileReader>(gzipFile),
+                                          configuration);
+                reader.importIndex(index::deserializeIndex(
+                    { serialized.data(), serialized.size() }));
+                reader.seek(random.below(std::max<std::size_t>(1, data.size() - sizeof(probe))));
+                (void)reader.read(probe, sizeof(probe));
+            }
+            const auto seekLatency = stopwatch.elapsed() / SEEKS;
+
+            std::printf("    spacing %4zu MiB: %zu checkpoints, index %-10s"
+                        " %8.2f ms/seek(4 KiB, cold)\n",
+                        spacingMiB, index.checkpoints.size(),
+                        formatBytes(serialized.size()).c_str(), seekLatency * 1e3);
+            std::fflush(stdout);
+        }
+    }
+
     std::printf("\n  Expected shape (paper Table 4): single-threaded rapidgzip ≈ the\n"
                 "  sequential decoder and below zlib; with parallelism rapidgzip\n"
                 "  overtakes every single-threaded row, the prebuilt index beats the\n"

@@ -37,7 +37,7 @@ public:
                 continue;
             }
             reader.skip( 3 );
-            if ( readDynamicCodings( reader, codings ) == Error::NONE ) {
+            if ( readDynamicCodings( reader, codings, /* buildCachedTables */ false ) == Error::NONE ) {
                 return offset;
             }
         }

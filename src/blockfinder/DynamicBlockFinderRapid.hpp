@@ -1,8 +1,10 @@
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 
 #include "../bits/BitReader.hpp"
 #include "../common/Util.hpp"
@@ -11,6 +13,20 @@
 #include "BlockFinder.hpp"
 
 namespace rapidgzip::blockfinder {
+
+namespace detail {
+
+/** One packed-histogram increment (see PRECODE_HISTOGRAM_INCREMENT). */
+[[nodiscard]] constexpr std::uint64_t
+precodeHistogramIncrement( unsigned length, unsigned laneBits, unsigned kraftShift ) noexcept
+{
+    return length == 0
+           ? 0
+           : ( ( std::uint64_t( 1 ) << ( ( length - 1 ) * laneBits ) )
+               | ( ( std::uint64_t( 1 ) << ( 7 - length ) ) << kraftShift ) );
+}
+
+}  // namespace detail
 
 /**
  * Per-filter rejection counters for paper Table 1. Each counter tallies how
@@ -47,24 +63,230 @@ class DynamicBlockFinderRapid
 {
 public:
     /**
-     * Run the full filter cascade on the candidate at @p position.
-     * Returns true when the position holds a valid non-final Dynamic block
-     * header. @p statistics may be nullptr.
+     * Run the full filter cascade on the candidate at @p position. This is
+     * the hot entry point and it is POSITIONLESS: stages 1-4 read the
+     * candidate's bits with direct (peekAt-style) loads from the underlying
+     * memory — no BitReader state machine, no seek, no refill bookkeeping —
+     * which is both faster and far less sensitive to surrounding codegen
+     * than cursor-based probing. Only the rare stage-5 survivors construct
+     * a reader. Returns true when the position holds a valid non-final
+     * Dynamic block header. @p statistics may be nullptr.
      */
     [[nodiscard]] static bool
     testCandidate( BufferView data, std::size_t position, FilterStatistics* statistics )
     {
-        BitReader reader( data.data(), data.size() );
-        reader.seek( position );
-        return testHeader( reader, statistics );
+        FilterStatistics scratch;
+        auto& stats = statistics != nullptr ? *statistics : scratch;
+        ++stats.positionsTested;
+
+        const auto totalBits = data.size() * 8;
+        if ( ( position >= totalBits )
+             || ( totalBits - position < deflate::MIN_DYNAMIC_HEADER_BITS ) ) {
+            ++stats.invalidFinalBlock;  /* position not even probeable */
+            return false;
+        }
+        const auto bitsLeft = totalBits - position;
+
+        /* Stages 1-4 from ONE direct load: BFINAL, BTYPE, HLIT, HDIST,
+         * HCLEN, and the first 13 of up to 19 precode lengths all sit in
+         * the first 56 bits. The histogram lives in one 64-bit register
+         * with a single table-indexed addition per 3-bit length, and the
+         * SAME register accumulates the Kraft sum (see
+         * PRECODE_HISTOGRAM_INCREMENT): the overwhelmingly common rejection
+         * exits having executed one load, a handful of ALU ops, and zero
+         * stores. */
+        const auto header = loadBits( data.data(), data.size(), position, HEADER_PEEK_BITS );
+        if ( ( header & 0b1U ) != 0 ) {
+            ++stats.invalidFinalBlock;
+            return false;
+        }
+        if ( ( ( header >> 1U ) & 0b11U ) != deflate::BLOCK_TYPE_DYNAMIC ) {
+            ++stats.invalidCompressionType;
+            return false;
+        }
+        const auto hlit = static_cast<unsigned>( ( header >> 3U ) & 0b11111U );
+        if ( hlit > 29 ) {
+            ++stats.invalidPrecodeSize;
+            return false;
+        }
+        const auto hdist = static_cast<unsigned>( ( header >> 8U ) & 0b11111U );
+        const auto precodeCount = 4 + static_cast<unsigned>( ( header >> 13U ) & 0b1111U );
+        const auto precodeBits = precodeCount * deflate::PRECODE_BITS;
+        if ( bitsLeft < HEADER_PREFIX_BITS + precodeBits ) {
+            ++stats.invalidPrecodeCode;
+            return false;
+        }
+
+        /* Mask away bits past the transmitted lengths and run FIXED-trip
+         * accumulation loops with INDEPENDENT per-index shifts: masked-out
+         * lengths are 0 and contribute nothing, the constant trip counts
+         * unroll completely, and the independent shifts form an
+         * ILP-friendly reduction instead of a serial add/shift chain. */
+        std::uint64_t histogram = 0;
+        const auto firstBatch = std::min( precodeCount, FIRST_LENGTH_BATCH );
+        const auto lengthBits = ( header >> HEADER_PREFIX_BITS )
+                                & ( ( std::uint64_t( 1 )
+                                      << ( firstBatch * deflate::PRECODE_BITS ) ) - 1U );
+        for ( unsigned i = 0; i < FIRST_LENGTH_BATCH; ++i ) {
+            histogram += PRECODE_HISTOGRAM_INCREMENT[
+                ( lengthBits >> ( i * deflate::PRECODE_BITS ) ) & 0b111U];
+        }
+        if ( precodeCount > FIRST_LENGTH_BATCH ) {
+            /* Up to 6 more lengths (~1/3 of candidates): one more load. */
+            const auto tailLengthBits = loadBits(
+                data.data(), data.size(), position + HEADER_PEEK_BITS,
+                ( precodeCount - FIRST_LENGTH_BATCH ) * deflate::PRECODE_BITS );
+            for ( unsigned i = 0; i < deflate::PRECODE_SYMBOLS - FIRST_LENGTH_BATCH; ++i ) {
+                histogram += PRECODE_HISTOGRAM_INCREMENT[
+                    ( tailLengthBits >> ( i * deflate::PRECODE_BITS ) ) & 0b111U];
+            }
+        }
+
+        /* The whole validity decision from the packed register — no
+         * per-length loop, no early-exit branch chain. */
+        const auto kraftSum = histogram >> KRAFT_SHIFT;
+        if ( ( histogram == 0 ) || ( kraftSum > 128 ) ) {
+            ++stats.invalidPrecodeCode;  /* no symbols at all / over-subscribed */
+            return false;
+        }
+        if ( kraftSum != 128 ) {
+            ++stats.nonOptimalPrecodeCode;  /* incomplete code */
+            return false;
+        }
+
+        return testSurvivor( data, position, header, precodeCount, hlit, hdist, stats );
     }
 
     /**
-     * Cascade on an already-positioned reader. The reader may consume bits;
-     * callers doing sliding-bit probes reposition with seekAfterPeek().
+     * Cascade on an already-positioned reader (API-compatible wrapper over
+     * the positionless fast path; the reader is not consumed).
      */
     [[nodiscard]] static bool
     testHeader( BitReader& reader, FilterStatistics* statistics )
+    {
+        return testCandidate( { reader.data(), reader.sizeInBytes() }, reader.tell(),
+                              statistics );
+    }
+
+    /** The pre-optimization precode stage (19 checked 3-bit reads into a
+     * byte-array histogram), kept bit-exact for the before/after benchmark
+     * (bench/components_hotpath.cpp, table1) and the equivalence tests. */
+    [[nodiscard]] static bool
+    testHeaderScalar( BitReader& reader, FilterStatistics* statistics )
+    {
+        return testHeaderScalarImpl( reader, statistics );
+    }
+
+    [[nodiscard]] static bool
+    testCandidateScalar( BufferView data, std::size_t position, FilterStatistics* statistics )
+    {
+        BitReader reader( data.data(), data.size() );
+        reader.seek( position );
+        return testHeaderScalar( reader, statistics );
+    }
+
+private:
+    /**
+     * Packed-histogram increments: lengths 1..7 occupy 5-bit frequency
+     * lanes of one 64-bit accumulator (length 0 = unused symbol contributes
+     * nothing), and the SAME addition accumulates the Kraft sum
+     * sum(count[len] * 2^(7-len)) in the bits above KRAFT_SHIFT — so the
+     * full frequency histogram AND the validity decision cost exactly ONE
+     * table-indexed addition per 3-bit code length, no byte array, no
+     * per-symbol stores, no per-length loop afterwards:
+     *
+     *   over-subscribed  <=> Kraft sum > 128  (partial sums of nonnegative
+     *                        terms are monotone, so an intermediate-length
+     *                        violation always shows in the total)
+     *   complete         <=> Kraft sum == 128 (the sum is automatically a
+     *                        multiple of 2^(7-maxLength), so saturation at
+     *                        the maximum used length equals exact equality)
+     *
+     * Overflow guard: at most PRECODE_SYMBOLS = 19 codes exist and
+     * 19 < 2^5 - 1, so a frequency lane can never carry into its neighbor;
+     * the Kraft field's maximum 19 * 64 = 1216 fits its 11 bits with the
+     * lanes ending at bit 35 < KRAFT_SHIFT (static_asserts below).
+     */
+    static constexpr unsigned HISTOGRAM_LANE_BITS = 5;
+    static constexpr unsigned KRAFT_SHIFT = 40;
+    static constexpr std::array<std::uint64_t, 8> PRECODE_HISTOGRAM_INCREMENT = {
+        detail::precodeHistogramIncrement( 0, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 1, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 2, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 3, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 4, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 5, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 6, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+        detail::precodeHistogramIncrement( 7, HISTOGRAM_LANE_BITS, KRAFT_SHIFT ),
+    };
+    static_assert( deflate::PRECODE_SYMBOLS < ( 1U << HISTOGRAM_LANE_BITS ) - 1,
+                   "a histogram lane must never carry into its neighbor" );
+    static_assert( 7 * HISTOGRAM_LANE_BITS <= KRAFT_SHIFT,
+                   "frequency lanes must not reach into the Kraft field" );
+    static_assert( deflate::PRECODE_SYMBOLS * 64ULL < ( std::uint64_t( 1 ) << ( 64 - KRAFT_SHIFT ) ),
+                   "the Kraft field must not overflow" );
+    static_assert( deflate::PRECODE_SYMBOLS * deflate::PRECODE_BITS <= BitReader::MAX_ENSURE_BITS,
+                   "all precode lengths must fit one wide peek" );
+
+    /** BFINAL + BTYPE + HLIT + HDIST + HCLEN. */
+    static constexpr unsigned HEADER_PREFIX_BITS = 3 + 5 + 5 + 4;
+    /** One wide peek covers the prefix plus the first 13 precode lengths. */
+    static constexpr unsigned HEADER_PEEK_BITS = 56;
+    static constexpr unsigned FIRST_LENGTH_BATCH =
+        ( HEADER_PEEK_BITS - HEADER_PREFIX_BITS ) / deflate::PRECODE_BITS;
+
+    /** Positionless zero-padded load — one shared implementation lives on
+     * the reader. */
+    [[nodiscard]] static std::uint64_t
+    loadBits( const std::uint8_t* data, std::size_t sizeInBytes,
+              std::size_t bitOffset, unsigned bitCount ) noexcept
+    {
+        return BitReader::peekAt( data, sizeInBytes, bitOffset, bitCount );
+    }
+
+    /**
+     * Stage-4 survivor (~0.2% of positions entering the precode stage):
+     * materialize the per-symbol lengths and hand stages 5-7 a real reader.
+     * Out of line and cold so neither its stack traffic nor its size taxes
+     * the rejection path.
+     */
+#if defined( __GNUC__ ) || defined( __clang__ )
+    __attribute__(( noinline, cold ))
+#endif
+    [[nodiscard]] static bool
+    testSurvivor( BufferView data, std::size_t position, std::uint64_t header,
+                  unsigned precodeCount, unsigned hlit, unsigned hdist,
+                  FilterStatistics& stats )
+    {
+        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> precodeLengths{};
+        const auto firstBatch = std::min( precodeCount, FIRST_LENGTH_BATCH );
+        auto fillBits = header >> HEADER_PREFIX_BITS;
+        for ( unsigned i = 0; i < firstBatch; ++i ) {
+            precodeLengths[deflate::PRECODE_ORDER[i]] =
+                static_cast<std::uint8_t>( fillBits & 0b111U );
+            fillBits >>= deflate::PRECODE_BITS;
+        }
+        auto tailLengthBits = loadBits(
+            data.data(), data.size(), position + HEADER_PEEK_BITS,
+            deflate::PRECODE_SYMBOLS * deflate::PRECODE_BITS
+            - FIRST_LENGTH_BATCH * deflate::PRECODE_BITS );
+        for ( unsigned i = FIRST_LENGTH_BATCH; i < precodeCount; ++i ) {
+            precodeLengths[deflate::PRECODE_ORDER[i]] =
+                static_cast<std::uint8_t>( tailLengthBits & 0b111U );
+            tailLengthBits >>= deflate::PRECODE_BITS;
+        }
+
+        BitReader reader( data.data(), data.size() );
+        reader.seek( position + HEADER_PREFIX_BITS
+                     + precodeCount * deflate::PRECODE_BITS );
+        return testEncodedData( reader, hlit, hdist, precodeLengths, stats );
+    }
+
+    /** The pre-optimization implementation (checked reads, per-symbol
+     * counting), kept bit-exact for the before/after benchmarks and the
+     * equivalence tests. */
+    [[nodiscard]] static bool
+    testHeaderScalarImpl( BitReader& reader, FilterStatistics* statistics )
     {
         FilterStatistics scratch;
         auto& stats = statistics != nullptr ? *statistics : scratch;
@@ -76,6 +298,7 @@ public:
         }
 
         /* Stage 1+2+3: one 8-bit peek covers BFINAL, BTYPE, and HLIT. */
+        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> precodeLengths{};
         const auto prefix = reader.peek( 8 );
         if ( ( prefix & 0b1U ) != 0 ) {
             ++stats.invalidFinalBlock;
@@ -85,7 +308,7 @@ public:
             ++stats.invalidCompressionType;
             return false;
         }
-        const auto hlit = ( prefix >> 3U ) & 0b11111U;
+        const auto hlit = static_cast<unsigned>( ( prefix >> 3U ) & 0b11111U );
         if ( hlit > 29 ) {
             ++stats.invalidPrecodeSize;
             return false;
@@ -94,9 +317,9 @@ public:
         const auto hdist = static_cast<unsigned>( reader.read( 5 ) );
         const auto precodeCount = 4 + static_cast<unsigned>( reader.read( 4 ) );
 
-        /* Stage 4: precode Kraft check straight from the 3-bit lengths. */
-        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> precodeLengths{};
-        if ( reader.bitsLeft() < precodeCount * deflate::PRECODE_BITS ) {
+        /* Stage 4: per-symbol counting into a byte-array histogram. */
+        const auto precodeBits = precodeCount * deflate::PRECODE_BITS;
+        if ( reader.bitsLeft() < precodeBits ) {
             ++stats.invalidPrecodeCode;
             return false;
         }
@@ -123,12 +346,30 @@ public:
             ++stats.invalidPrecodeCode;  /* no symbols at all */
             return false;
         }
-        /* Complete iff the Kraft remainder at the maximum used length is 0. */
+        /* Complete iff the Kraft remainder at the max used length is 0. */
         if ( ( available >> ( 7 - maxPrecodeLength ) ) != 0 ) {
             ++stats.nonOptimalPrecodeCode;
             return false;
         }
+        return testEncodedData( reader, hlit, hdist, precodeLengths, stats );
+    }
 
+    /**
+     * Stages 5-7, reached by ~0.2% of the positions that enter stage 4:
+     * kept out of line (and out of the inliner's budget) so the hot packed
+     * prefix + histogram path stays small enough to inline into the probe
+     * loops — measurably decisive for the per-position cost.
+     */
+#if defined( __GNUC__ ) || defined( __clang__ )
+    __attribute__(( noinline, cold ))
+#endif
+    [[nodiscard]] static bool
+    testEncodedData( BitReader& reader,
+                     unsigned hlit,
+                     unsigned hdist,
+                     const std::array<std::uint8_t, deflate::PRECODE_SYMBOLS>& precodeLengths,
+                     FilterStatistics& stats )
+    {
         /* Stage 5: decode the run-length-encoded code lengths. Only length
          * COUNTS are accumulated — no literal/distance table is ever built. */
         HuffmanCoding precode;
@@ -221,17 +462,16 @@ public:
         return true;
     }
 
-    /** Sliding probe over every bit offset; seekAfterPeek keeps the common
-     * reject path free of memory refetches. */
+public:
+    /** Sliding probe over every bit offset — positionless, so each probe is
+     * a direct load with no cursor bookkeeping at all. */
     [[nodiscard]] std::size_t
     find( BufferView data, std::size_t fromBit )
     {
-        BitReader reader( data.data(), data.size() );
-        const auto sizeBits = reader.sizeInBits();
+        const auto sizeBits = data.size() * 8;
         for ( auto offset = fromBit; offset + deflate::MIN_DYNAMIC_HEADER_BITS <= sizeBits;
               ++offset ) {
-            reader.seekAfterPeek( offset );
-            if ( testHeader( reader, &m_statistics ) ) {
+            if ( testCandidate( data, offset, &m_statistics ) ) {
                 return offset;
             }
         }

@@ -4,8 +4,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "Error.hpp"
 
@@ -151,5 +154,46 @@ private:
 };
 
 using BufferView = VectorView<std::uint8_t>;
+
+/**
+ * Allocator adaptor that DEFAULT-initializes on construct() — for trivial
+ * element types that makes vector::resize() pure bookkeeping instead of a
+ * memset over the new region. The decode hot paths size their output
+ * buffers ahead of raw-cursor writes every block; with value-initialization
+ * that zeroing would rival the decoding itself (the bytes are overwritten
+ * immediately anyway). Only used via FastVector for buffers whose every
+ * live byte is written before being read.
+ */
+template<typename T, typename Allocator = std::allocator<T>>
+class DefaultInitAllocator : public Allocator
+{
+public:
+    template<typename U>
+    struct rebind
+    {
+        using other = DefaultInitAllocator<
+            U, typename std::allocator_traits<Allocator>::template rebind_alloc<U> >;
+    };
+
+    using Allocator::Allocator;
+
+    template<typename U>
+    void
+    construct( U* pointer ) noexcept( std::is_nothrow_default_constructible_v<U> )
+    {
+        ::new ( static_cast<void*>( pointer ) ) U;
+    }
+
+    template<typename U, typename... Args>
+    void
+    construct( U* pointer, Args&&... args )
+    {
+        std::allocator_traits<Allocator>::construct(
+            static_cast<Allocator&>( *this ), pointer, std::forward<Args>( args )... );
+    }
+};
+
+template<typename T>
+using FastVector = std::vector<T, DefaultInitAllocator<T> >;
 
 }  // namespace rapidgzip

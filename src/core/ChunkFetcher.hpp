@@ -45,6 +45,14 @@ struct ChunkFetcherConfiguration
     Strategy strategy{ Strategy::ADAPTIVE };
     /** Decoded chunks kept in the cache; 0 = derive from parallelism. */
     std::size_t cacheChunkCount{ 0 };
+    /**
+     * Minimum uncompressed distance between checkpoints the two-stage sweep
+     * harvests into the seek index (member starts are always kept); 0 keeps
+     * every chunk boundary. Larger spacings shrink the serialized index
+     * (fewer 32 KiB windows) at the price of longer decode spans per seek —
+     * bench/table4_formats.cpp reports the trade-off.
+     */
+    std::size_t checkpointSpacingBytes{ 0 };
 };
 
 struct FetcherStatistics

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -140,6 +141,22 @@ buildChunkTable( const FileReader& file,
 
 struct DecodedChunk
 {
+    /**
+     * A gzip member that ENDS inside this chunk, with everything a
+     * sequential consumer needs to verify it against its footer: the CRC32
+     * of the member's bytes WITHIN this chunk (the member may have started
+     * in an earlier chunk; the consumer crc32_combine()s across chunks),
+     * where those bytes end in `data`, and where the footer sits in the
+     * file. This is what makes per-member footer verification possible for
+     * concatenated members on every chunked path.
+     */
+    struct MemberEnd
+    {
+        std::size_t dataEndOffset{ 0 };    /**< end of the member's bytes in `data` */
+        std::uint32_t segmentCrc32{ 0 };   /**< CRC32 of data[previous end .. dataEndOffset) */
+        std::size_t footerStartByte{ 0 };  /**< absolute file offset of the member's footer */
+    };
+
     std::vector<std::uint8_t> data;
     std::uint32_t crc32{ 0 };          /**< CRC32 of data (zlib polynomial) */
     std::size_t memberRestarts{ 0 };   /**< gzip member transitions crossed inside the chunk */
@@ -148,6 +165,12 @@ struct DecodedChunk
      * reachedStreamEnd — where the gzip footer begins. Trailing bytes
      * beyond footer + padding are ignored, mirroring `gzip -d`. */
     std::size_t deflateEndOffset{ 0 };
+
+    /** Members ending inside this chunk, in stream order. */
+    std::vector<MemberEnd> memberEnds;
+    /** CRC32 of the bytes after the last member end (the whole chunk when
+     * no member ends inside it) — the carry into the next chunk. */
+    std::uint32_t trailingCrc32{ 0 };
 };
 
 namespace detail {
@@ -185,6 +208,41 @@ private:
  * the chunk (trailer + next member's header + fresh Deflate stream).
  * Throws InvalidGzipStreamError if zlib rejects the data.
  */
+/**
+ * Derive the whole-chunk CRC32 from the per-member segment CRCs via
+ * crc32_combine — O(log n) per segment instead of a second hashing pass.
+ * Falls back to re-hashing `data` on builds whose z_off_t cannot carry a
+ * segment length (cold, correctness only).
+ */
+[[nodiscard]] inline std::uint32_t
+combineSegmentCrcs( const DecodedChunk& chunk )
+{
+    auto combined = ::crc32( 0L, Z_NULL, 0 );
+    std::size_t begin = 0;
+    for ( const auto& memberEnd : chunk.memberEnds ) {
+        const auto length = memberEnd.dataEndOffset - begin;
+        if ( ( sizeof( z_off_t ) < sizeof( std::size_t ) )
+             && ( length > static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
+            return static_cast<std::uint32_t>(
+                ::crc32_z( ::crc32( 0L, Z_NULL, 0 ), chunk.data.data(), chunk.data.size() ) );
+        }
+        combined = ::crc32_combine( combined, memberEnd.segmentCrc32,
+                                    static_cast<z_off_t>( length ) );
+        begin = memberEnd.dataEndOffset;
+    }
+    const auto trailing = chunk.data.size() - begin;
+    if ( trailing > 0 ) {
+        if ( ( sizeof( z_off_t ) < sizeof( std::size_t ) )
+             && ( trailing > static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
+            return static_cast<std::uint32_t>(
+                ::crc32_z( ::crc32( 0L, Z_NULL, 0 ), chunk.data.data(), chunk.data.size() ) );
+        }
+        combined = ::crc32_combine( combined, chunk.trailingCrc32,
+                                    static_cast<z_off_t>( trailing ) );
+    }
+    return static_cast<std::uint32_t>( combined );
+}
+
 [[nodiscard]] inline DecodedChunk
 decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t end )
 {
@@ -203,7 +261,10 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
     auto& stream = inflater.get();
     detail::ZlibInputFeeder feeder( input.data(), input.size() );
 
-    result.crc32 = static_cast<std::uint32_t>( ::crc32( 0L, Z_NULL, 0 ) );
+    /* One running CRC per member SEGMENT (reset at member boundaries); the
+     * whole-chunk crc32 is combined from the segments afterwards, so
+     * per-member footer verification costs no second hashing pass. */
+    auto segmentCrc = ::crc32( 0L, Z_NULL, 0 );
     std::vector<std::uint8_t> buffer( 256 * 1024 );
     while ( true ) {
         feeder.feed( stream );
@@ -212,8 +273,7 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
         const auto code = inflate( &stream, Z_NO_FLUSH );
         const auto produced = buffer.size() - stream.avail_out;
         if ( produced > 0 ) {
-            result.crc32 = static_cast<std::uint32_t>(
-                ::crc32( result.crc32, buffer.data(), static_cast<uInt>( produced ) ) );
+            segmentCrc = ::crc32( segmentCrc, buffer.data(), static_cast<uInt>( produced ) );
             result.data.insert( result.data.end(), buffer.data(), buffer.data() + produced );
         }
 
@@ -221,6 +281,10 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
             result.reachedStreamEnd = true;
             const auto consumed = feeder.consumed( stream );
             result.deflateEndOffset = begin + consumed;
+            result.memberEnds.push_back( { result.data.size(),
+                                           static_cast<std::uint32_t>( segmentCrc ),
+                                           begin + consumed } );
+            segmentCrc = ::crc32( 0L, Z_NULL, 0 );
             /* A further gzip member may start inside this chunk. */
             const auto remaining = input.size() - consumed;
             if ( remaining > GZIP_FOOTER_SIZE + 2 ) {
@@ -254,6 +318,8 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
             break;  /* no forward progress possible (trailing partial marker bytes) */
         }
     }
+    result.trailingCrc32 = static_cast<std::uint32_t>( segmentCrc );
+    result.crc32 = combineSegmentCrcs( result );
     return result;
 }
 

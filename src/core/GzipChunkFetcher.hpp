@@ -104,13 +104,25 @@ public:
             return result;
         }
 
+        /* Zero-churn buffers: the compressed span lives in a per-thread
+         * buffer reused across chunks; the DecodedData comes from the shared
+         * pool, is pre-sized to the chunk's expected yield, and is reused
+         * across failed candidates — steady-state decoding allocates
+         * nothing. */
+        static thread_local std::vector<std::uint8_t> buffer;
+        auto data = deflate::DecodedDataPool::acquire();
+        const auto expectedYield =
+            std::min( { maxBytes, ( endBitGuess - startBitGuess ) / 8 * EXPECTED_RATIO + 64 * KiB,
+                        PRESIZE_CAP } );
+
         auto margin = INITIAL_DECODE_OVERSHOOT;
         while ( true ) {
             const auto startByte = startBitGuess / 8;
             const auto bufferEnd = std::min( fileSize, ceilDiv<std::size_t>( endBitGuess, 8 ) + margin );
-            std::vector<std::uint8_t> buffer( bufferEnd - startByte );
+            buffer.resize( bufferEnd - startByte );
             if ( file.pread( buffer.data(), buffer.size(), startByte ) != buffer.size() ) {
                 result.error = Error::TRUNCATED_STREAM;
+                deflate::DecodedDataPool::release( std::move( data ) );
                 return result;
             }
             const BufferView view( buffer.data(), buffer.size() );
@@ -139,7 +151,8 @@ public:
                     reader.seek( candidate );
                     deflate::Decoder decoder;
                     decoder.setStartAtStoredData( stored );
-                    deflate::DecodedData data;
+                    data.reset();
+                    data.marked.reserve( expectedYield );
                     const auto decoded = decoder.decode( reader, data, searchEndLocal, maxBytes );
                     if ( decoded.error == Error::NONE ) {
                         result.data = std::move( data );
@@ -156,6 +169,7 @@ public:
                          * wasted decode work. Report terminally; the caller
                          * re-decodes sequentially without a limit. */
                         result.error = Error::EXCEEDED_OUTPUT_LIMIT;
+                        deflate::DecodedDataPool::release( std::move( data ) );
                         return result;
                     }
                     if ( ( decoded.error == Error::TRUNCATED_STREAM ) && ( bufferEnd < fileSize ) ) {
@@ -175,6 +189,7 @@ public:
                 continue;
             }
             result.error = Error::BLOCK_NOT_FOUND;
+            deflate::DecodedDataPool::release( std::move( data ) );
             return result;
         }
     }
@@ -208,13 +223,22 @@ public:
             return result;
         }
 
+        static thread_local std::vector<std::uint8_t> buffer;
+        auto data = deflate::DecodedDataPool::acquire();
+        const auto expectedYield =
+            std::min( { maxBytes,
+                        ( std::max( untilBit, startBit + 8 ) - startBit ) / 8 * EXPECTED_RATIO
+                        + 64 * KiB,
+                        PRESIZE_CAP } );
+
         auto margin = INITIAL_DECODE_OVERSHOOT;
         while ( true ) {
             const auto startByte = startBit / 8;
             const auto bufferEnd = std::min( fileSize, ceilDiv<std::size_t>( untilBit, 8 ) + margin );
-            std::vector<std::uint8_t> buffer( bufferEnd - startByte );
+            buffer.resize( bufferEnd - startByte );
             if ( file.pread( buffer.data(), buffer.size(), startByte ) != buffer.size() ) {
                 result.error = Error::TRUNCATED_STREAM;
+                deflate::DecodedDataPool::release( std::move( data ) );
                 return result;
             }
             const auto baseBit = startByte * 8;
@@ -224,7 +248,11 @@ public:
             deflate::Decoder decoder;
             decoder.setInitialWindow( window );
             decoder.setStartAtStoredData( startAtStoredData );
-            deflate::DecodedData data;
+            data.reset();
+            if ( data.plain.empty() ) {
+                data.plain.emplace_back();
+            }
+            data.plain.front().data.reserve( expectedYield );
             const auto decoded = decoder.decode( reader, data, untilBit - baseBit, maxBytes );
             if ( ( decoded.error == Error::TRUNCATED_STREAM ) && ( bufferEnd < fileSize ) ) {
                 margin *= 4;
@@ -277,7 +305,12 @@ public:
         }
 
         DecodedChunk result;
-        result.crc32 = static_cast<std::uint32_t>( ::crc32( 0L, Z_NULL, 0 ) );
+
+        /* One running CRC per member SEGMENT within this chunk (reset at
+         * member boundaries), recorded in memberEnds so a sequential
+         * consumer can verify every concatenated member's footer; the
+         * whole-chunk crc32 is combined from the segments at the end. */
+        auto segmentCrc = ::crc32( 0L, Z_NULL, 0 );
 
         std::vector<std::uint8_t> memberWindow( window.begin(), window.end() );
         auto bit = startBits;
@@ -295,13 +328,13 @@ public:
 
             const auto before = result.data.size();
             deflate::resolveInto( chunk.data, windowView, result.data );
+            deflate::DecodedDataPool::release( std::move( chunk.data ) );
             for ( auto produced = before; produced < result.data.size(); ) {
                 const auto slice = std::min<std::size_t>(
                     result.data.size() - produced,
                     std::numeric_limits<uInt>::max() / 2 );
-                result.crc32 = static_cast<std::uint32_t>(
-                    ::crc32( result.crc32, result.data.data() + produced,
-                             static_cast<uInt>( slice ) ) );
+                segmentCrc = ::crc32( segmentCrc, result.data.data() + produced,
+                                      static_cast<uInt>( slice ) );
                 produced += slice;
             }
 
@@ -313,6 +346,10 @@ public:
              * another member whose Deflate data still belongs to this chunk. */
             const auto footerByte = ceilDiv<std::size_t>( chunk.decodedEndBit, 8 );
             result.deflateEndOffset = footerByte;
+            result.memberEnds.push_back( { result.data.size(),
+                                           static_cast<std::uint32_t>( segmentCrc ),
+                                           footerByte } );
+            segmentCrc = ::crc32( 0L, Z_NULL, 0 );
             const auto nextMember = footerByte + GZIP_FOOTER_SIZE;
             std::uint8_t magic[2];
             if ( ( nextMember + 2 > fileSize )
@@ -336,6 +373,8 @@ public:
             memberWindow.clear();  /* a fresh member starts with an empty window */
             bit = newBit;
         }
+        result.trailingCrc32 = static_cast<std::uint32_t>( segmentCrc );
+        result.crc32 = combineSegmentCrcs( result );
         return result;
     }
 
@@ -506,7 +545,11 @@ public:
             }
 
             expectedBit = chunk.decodedEndBit;
-            if ( chunk.reachedStreamEnd ) {
+            const auto endedStream = chunk.reachedStreamEnd;
+            /* The chunk's buffers are fully consumed (markers resolved,
+             * checkpoint harvested): recycle them for the next decode. */
+            deflate::DecodedDataPool::release( std::move( chunk.data ) );
+            if ( endedStream ) {
                 reachedStreamEnd = true;
                 break;
             }
@@ -527,6 +570,13 @@ private:
      * for the rare longer block, so a small start avoids per-chunk read
      * amplification. */
     static constexpr std::size_t INITIAL_DECODE_OVERSHOOT = 256 * KiB;
+
+    /* Pre-size heuristic for the decode buffers: gzip on text compresses
+     * ~3-4x, so reserving 4x the compressed span usually avoids every
+     * mid-decode reallocation; the cap bounds the speculative memory of a
+     * pathological ratio chunk (the buffer still grows on demand past it). */
+    static constexpr std::size_t EXPECTED_RATIO = 4;
+    static constexpr std::size_t PRESIZE_CAP = 32 * MiB;
 };
 
 }  // namespace rapidgzip

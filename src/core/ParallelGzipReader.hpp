@@ -93,13 +93,14 @@ public:
         ensureFetcher();
         while ( true ) {
             std::size_t total = 0;
-            std::size_t memberRestarts = 0;
             bool lastChunkEndedStream = false;
-            std::size_t footerOffset = 0;
-            bool crcComputable = true;
-            auto combinedCrc = ::crc32( 0L, Z_NULL, 0 );
             std::vector<std::size_t> sizes( m_fetcher->chunkCount() );
             std::size_t failedChunk = SIZE_MAX;
+            /* Per-MEMBER verification state: every concatenated member's
+             * CRC32 and ISIZE are checked against ITS footer, combined
+             * across chunk boundaries from the chunks' member segments. */
+            MemberVerifier verifier( *m_file );
+            bool checksumMismatch = false;
 
             for ( std::size_t i = 0; i < m_fetcher->chunkCount(); ++i ) {
                 ChunkFetcher::ChunkDataPtr chunk;
@@ -111,25 +112,26 @@ public:
                 }
                 sizes[i] = chunk->data.size();
                 total += chunk->data.size();
-                memberRestarts += chunk->memberRestarts;
                 lastChunkEndedStream = chunk->reachedStreamEnd;
-                footerOffset = chunk->deflateEndOffset;
-                if ( m_verifyChecksums && crcComputable ) {
-                    /* crc32_combine takes a z_off_t length; on builds where
-                     * that is 32-bit, huge chunks cannot be combined —
-                     * degrade to size-only verification, never a false
-                     * mismatch. */
-                    if ( ( sizeof( z_off_t ) >= sizeof( std::size_t ) )
-                         || ( chunk->data.size()
-                              <= static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
-                        combinedCrc = ::crc32_combine( combinedCrc, chunk->crc32,
-                                                       static_cast<z_off_t>( chunk->data.size() ) );
-                    } else {
-                        crcComputable = false;
-                    }
+                if ( m_verifyChecksums && !verifier.consume( *chunk ) ) {
+                    checksumMismatch = true;
+                    break;
                 }
             }
 
+            if ( checksumMismatch ) {
+                /* The parallel chunking produced wrong bytes (e.g. a false
+                 * restart point that decoded "cleanly"): poison the chunked
+                 * state so read()/seek() cannot serve the corrupt data, and
+                 * let the serial decode answer. */
+                m_parallelResultUntrusted = true;
+                m_offsetsKnown = false;
+                m_chunkTableKnown = false;
+                m_indexed = false;
+                m_index.reset();
+                m_fetcher.reset();
+                return serialDecompressCount();
+            }
             if ( failedChunk != SIZE_MAX ) {
                 if ( !mergeFalseBoundary( failedChunk ) ) {
                     return serialDecompressCount();
@@ -143,24 +145,6 @@ public:
             }
 
             recordChunkSizes( sizes );
-            if ( m_verifyChecksums ) {
-                try {
-                    verifyAgainstFooter( combinedCrc, crcComputable, total, memberRestarts,
-                                         footerOffset );
-                } catch ( const ChecksumError& ) {
-                    /* The parallel chunking produced wrong bytes (e.g. a
-                     * false restart point that decoded "cleanly"): poison
-                     * the chunked state so read()/seek() cannot serve the
-                     * corrupt data, and let the serial decode answer. */
-                    m_parallelResultUntrusted = true;
-                    m_offsetsKnown = false;
-                    m_chunkTableKnown = false;
-                    m_indexed = false;
-                    m_index.reset();
-                    m_fetcher.reset();
-                    return serialDecompressCount();
-                }
-            }
             return total;
         }
     }
@@ -341,7 +325,7 @@ private:
     decompressAllTwoStage()
     {
         const auto fileSize = m_file->size();
-        index::IndexBuilder builder;
+        index::IndexBuilder builder( m_configuration.checkpointSpacingBytes );
         std::size_t memberStart = 0;
         std::size_t total = 0;
         while ( true ) {
@@ -570,32 +554,84 @@ private:
         m_offsetsKnown = true;
     }
 
-    void
-    verifyAgainstFooter( uLong combinedCrc, bool crcComputable, std::size_t totalSize,
-                         std::size_t memberRestarts, std::size_t footerOffset ) const
+    /**
+     * Walks the chunks' member segments in stream order and checks every
+     * member — including each member of a concatenated stream — against ITS
+     * OWN footer: CRC32 (crc32_combine'd across the chunks a member spans)
+     * and ISIZE. consume() returns false on any mismatch or unreadable
+     * footer; the caller falls back to the authoritative serial decode.
+     */
+    class MemberVerifier
     {
-        /* Concatenated members each carry their own footer; per-member
-         * verification needs member boundaries, which the chunk sweep does
-         * not track yet. Verify the single-member case only. */
-        if ( memberRestarts > 0 ) {
-            return;
+    public:
+        explicit MemberVerifier( const FileReader& file ) noexcept :
+            m_file( file )
+        {}
+
+        [[nodiscard]] bool
+        consume( const DecodedChunk& chunk )
+        {
+            std::size_t segmentBegin = 0;
+            for ( const auto& memberEnd : chunk.memberEnds ) {
+                append( memberEnd.segmentCrc32, memberEnd.dataEndOffset - segmentBegin );
+                if ( !verifyFooter( memberEnd.footerStartByte ) ) {
+                    return false;
+                }
+                m_memberCrc = ::crc32( 0L, Z_NULL, 0 );
+                m_memberSize = 0;
+                m_crcComputable = true;
+                segmentBegin = memberEnd.dataEndOffset;
+            }
+            append( chunk.trailingCrc32, chunk.data.size() - segmentBegin );
+            return true;
         }
-        /* The footer sits right after the final Deflate byte — NOT at the
-         * end of the file, which may carry padding or trailing garbage
-         * that `gzip -d` also ignores. */
-        std::uint8_t footerBytes[GZIP_FOOTER_SIZE];
-        const auto fileSize = m_file->size();
-        if ( ( footerOffset + GZIP_FOOTER_SIZE > fileSize )
-             || ( m_file->pread( footerBytes, GZIP_FOOTER_SIZE, footerOffset )
-                  != GZIP_FOOTER_SIZE ) ) {
-            throw InvalidGzipStreamError( "Cannot read gzip footer" );
+
+    private:
+        void
+        append( std::uint32_t segmentCrc, std::size_t length )
+        {
+            if ( length == 0 ) {
+                return;
+            }
+            /* crc32_combine takes a z_off_t length; on builds where that is
+             * 32-bit, huge segments cannot be combined — degrade to
+             * size-only verification, never a false mismatch. */
+            if ( ( sizeof( z_off_t ) >= sizeof( std::size_t ) )
+                 || ( length <= static_cast<std::size_t>(
+                          std::numeric_limits<z_off_t>::max() ) ) ) {
+                m_memberCrc = ::crc32_combine( m_memberCrc, segmentCrc,
+                                               static_cast<z_off_t>( length ) );
+            } else {
+                m_crcComputable = false;
+            }
+            m_memberSize += length;
         }
-        const auto footer = parseGzipFooter( { footerBytes, GZIP_FOOTER_SIZE }, GZIP_FOOTER_SIZE );
-        if ( ( crcComputable && ( static_cast<std::uint32_t>( combinedCrc ) != footer.crc32 ) )
-             || ( static_cast<std::uint32_t>( totalSize ) != footer.uncompressedSizeModulo32 ) ) {
-            throw ChecksumError( "Parallel decode does not match the gzip footer" );
+
+        [[nodiscard]] bool
+        verifyFooter( std::size_t footerOffset ) const
+        {
+            /* The footer sits right after the member's final Deflate byte —
+             * NOT at the end of the file, which may carry padding or
+             * further members. */
+            std::uint8_t footerBytes[GZIP_FOOTER_SIZE];
+            if ( ( footerOffset + GZIP_FOOTER_SIZE > m_file.size() )
+                 || ( m_file.pread( footerBytes, GZIP_FOOTER_SIZE, footerOffset )
+                      != GZIP_FOOTER_SIZE ) ) {
+                return false;
+            }
+            const auto footer = parseGzipFooter( { footerBytes, GZIP_FOOTER_SIZE },
+                                                 GZIP_FOOTER_SIZE );
+            return ( !m_crcComputable
+                     || ( static_cast<std::uint32_t>( m_memberCrc ) == footer.crc32 ) )
+                   && ( static_cast<std::uint32_t>( m_memberSize )
+                        == footer.uncompressedSizeModulo32 );
         }
-    }
+
+        const FileReader& m_file;
+        uLong m_memberCrc{ ::crc32( 0L, Z_NULL, 0 ) };
+        std::size_t m_memberSize{ 0 };
+        bool m_crcComputable{ true };
+    };
 
     [[nodiscard]] std::size_t
     serialDecompressCount()

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "HuffmanCodingBase.hpp"
+#include "HuffmanCodingDoubleLUT.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Cached LUT for the Deflate distance alphabet — the distance-side
+ * counterpart of HuffmanCodingMultiCached: one lookup indexed by
+ * CACHE_BITS peeked bits resolves the common cases completely:
+ *
+ *  - a distance symbol INCLUDING its extra bits when code + extra fit into
+ *    the window (payload is the final distance 1..32768 — no second read);
+ *  - a distance symbol whose extra bits overflow the window (payload is the
+ *    base distance; the entry carries the extra-bit count for one more
+ *    read).
+ *
+ * Codes longer than CACHE_BITS, invalid patterns, and the invalid symbols
+ * 30/31 fall back to the embedded two-level HuffmanCodingDoubleLUT, which
+ * also serves the reference decode path via decode(). Matches dominate
+ * decode time on compressible data (two thirds of silesia's output bytes
+ * come from matches), so folding the extra-bits read into the same table
+ * hit pays exactly like it does for lengths.
+ */
+class HuffmanCodingDistanceCached final
+    : public HuffmanCodingBase<HuffmanCodingDistanceCached>
+{
+    friend class HuffmanCodingBase<HuffmanCodingDistanceCached>;
+
+public:
+    static constexpr unsigned CACHE_BITS = 11;
+
+    enum Kind : std::uint8_t
+    {
+        FALLBACK = 0,       /**< long code, invalid pattern, or symbol > 29: use fallback() */
+        DISTANCE = 1,       /**< payload = base distance; add extraBits() more stream bits
+                             *   (0 = final distance, extra already folded in) */
+    };
+
+    struct Entry
+    {
+        std::uint16_t payload{ 0 };
+        std::uint8_t bitsConsumed{ 0 };   /**< stream bits this entry accounts for */
+        std::uint8_t kindAndExtra{ 0 };   /**< kind in low nibble, extra-bit count in high */
+
+        [[nodiscard]] Kind kind() const noexcept
+        { return static_cast<Kind>( kindAndExtra & 0x0FU ); }
+
+        [[nodiscard]] unsigned extraBits() const noexcept
+        { return kindAndExtra >> 4U; }
+    };
+
+    /** @p buildCache false skips the cache build (see
+     * HuffmanCodingMultiCached::initializeFromLengths). */
+    [[nodiscard]] bool
+    initializeFromLengths( VectorView<std::uint8_t> codeLengths, bool buildCache = true )
+    {
+        if ( !m_fallback.initializeFromLengths( codeLengths ) ) {
+            return false;
+        }
+        m_buildCache = buildCache;
+        return HuffmanCodingBase<HuffmanCodingDistanceCached>::initializeFromLengths(
+            codeLengths );
+    }
+
+    [[nodiscard]] const Entry*
+    tableData() const noexcept
+    {
+        return m_table.data();
+    }
+
+    /** Reference single-symbol decode — identical semantics to the two-level
+     * LUT (it IS the two-level LUT). */
+    [[nodiscard]] int
+    decode( BitReader& bitReader ) const
+    {
+        return m_fallback.decode( bitReader );
+    }
+
+    [[nodiscard]] const HuffmanCodingDoubleLUT&
+    fallback() const noexcept
+    {
+        return m_fallback;
+    }
+
+private:
+    /** Deflate distance tables, duplicated from deflate/definitions.hpp so
+     * the huffman layer stays below the deflate layer; the Decoder's
+     * fast-vs-reference equivalence tests pin the two copies together. */
+    static constexpr std::uint16_t DISTANCE_BASES[30] = {
+        1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193,
+        257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577
+    };
+    static constexpr std::uint8_t DISTANCE_EXTRAS[30] = {
+        0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6,
+        7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13
+    };
+
+    [[nodiscard]] bool
+    buildLookupTables()
+    {
+        if ( !m_buildCache ) {
+            return true;
+        }
+        /* Wider than one code on purpose so short codes fold their extra
+         * bits into the same lookup. */
+        m_cacheBits = CACHE_BITS;
+
+        m_table.assign( std::size_t( 1 ) << m_cacheBits, Entry{} );
+        for ( const auto& code : m_codes ) {
+            if ( ( code.length > m_cacheBits ) || ( code.symbol > 29 ) ) {
+                continue;  /* FALLBACK entries (symbols 30/31 rejected downstream) */
+            }
+            const auto extra = DISTANCE_EXTRAS[code.symbol];
+            const auto stride = std::size_t( 1 ) << code.length;
+            if ( code.length + extra <= m_cacheBits ) {
+                /* Folded: enumerate every extra-bit pattern. */
+                const auto patterns = std::size_t( 1 ) << extra;
+                for ( std::size_t extraValue = 0; extraValue < patterns; ++extraValue ) {
+                    Entry entry;
+                    entry.payload = static_cast<std::uint16_t>( DISTANCE_BASES[code.symbol]
+                                                                + extraValue );
+                    entry.bitsConsumed = static_cast<std::uint8_t>( code.length + extra );
+                    entry.kindAndExtra = DISTANCE;
+                    const auto base = code.reversedCode
+                                      | ( extraValue << code.length );
+                    const auto combinedStride = stride << extra;
+                    for ( auto index = base; index < m_table.size();
+                          index += combinedStride ) {
+                        m_table[index] = entry;
+                    }
+                }
+            } else {
+                Entry entry;
+                entry.payload = DISTANCE_BASES[code.symbol];
+                entry.bitsConsumed = code.length;
+                entry.kindAndExtra = static_cast<std::uint8_t>( DISTANCE | ( extra << 4U ) );
+                for ( auto index = std::size_t( code.reversedCode ); index < m_table.size();
+                      index += stride ) {
+                    m_table[index] = entry;
+                }
+            }
+        }
+        return true;
+    }
+
+    HuffmanCodingDoubleLUT m_fallback;
+    std::vector<Entry> m_table;
+    unsigned m_cacheBits{ CACHE_BITS };
+    bool m_buildCache{ true };
+};
+
+}  // namespace rapidgzip

@@ -1,0 +1,267 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "HuffmanCodingBase.hpp"
+#include "HuffmanCodingDoubleLUT.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Multi-symbol cached LUT for the Deflate literal/length alphabet — the
+ * paper's "most decode time is symbol-by-symbol Huffman decoding" hot path
+ * (Table 2) collapsed into one table hit per 1-2 output bytes. One lookup
+ * indexed by cacheBits() peeked bits resolves the COMMON cases completely:
+ *
+ *  - two literal symbols whose codes both fit into the peeked window
+ *    (payload packs both bytes; one lookup emits two output bytes);
+ *  - one literal symbol;
+ *  - a length symbol INCLUDING its extra bits when code + extra fit into
+ *    the window (payload is the final match length 3..258 — no second read);
+ *  - a length symbol whose extra bits overflow the window (payload is the
+ *    base length; the entry carries the extra-bit count for one more read);
+ *  - end-of-block.
+ *
+ * Codes longer than cacheBits() (rare by construction: canonical codings put
+ * long codes on rare symbols) fall back to the embedded two-level
+ * HuffmanCodingDoubleLUT, which also serves the reference decode path —
+ * decode() delegates to it wholesale, so this class is a drop-in replacement
+ * wherever the two-level coding was used, with lookup() as the additional
+ * fast-path interface.
+ *
+ * Construction is by ENUMERATION, not by combining a per-index base table:
+ * singles, lengths, and EOB are stride-filled directly, then every
+ * compatible literal pair (len1 + len2 <= CACHE_BITS) upgrades its slots.
+ * The Kraft inequality bounds the total pair slots by the table size, so
+ * the whole build is O(2^CACHE_BITS) stores with no dependent loads —
+ * cheap enough to redo every Dynamic block (~every 30-100 KiB of output).
+ * CACHE_BITS = 12 balances reach (two 6-bit codes — base64's whole
+ * alphabet — and most length codes plus their extra bits) against the
+ * 16 KiB footprint that must share L1 with the distance table, the output
+ * stream, and the window.
+ */
+class HuffmanCodingMultiCached final : public HuffmanCodingBase<HuffmanCodingMultiCached>
+{
+    friend class HuffmanCodingBase<HuffmanCodingMultiCached>;
+
+public:
+    static constexpr unsigned CACHE_BITS = 12;
+
+    /**
+     * Entry kinds for lookup(). FALLBACK entries have bitsConsumed == 0, so
+     * an unconditional consumeUnsafe( bitsConsumed ) before dispatch is
+     * correct for every kind. Single and double literals share ONE kind —
+     * the emit path always writes both payload bytes and advances the
+     * cursor by count(), which keeps the hottest dispatch branch
+     * (literal vs not) highly predictable instead of a 1-vs-2-symbol coin
+     * flip. LENGTH entries with their extra bits folded in simply carry
+     * extraBits() == 0, unifying them with the overflow case.
+     */
+    enum Kind : std::uint8_t
+    {
+        FALLBACK = 0,      /**< long code, invalid pattern, or symbol > 285: use fallback() */
+        LITERALS = 1,      /**< payload = byte0 | byte1 << 8; emit count() bytes */
+        LENGTH = 2,        /**< payload = base length; add extraBits() more stream bits */
+        END_OF_BLOCK = 3,  /**< symbol 256 */
+    };
+
+    struct Entry
+    {
+        std::uint16_t payload{ 0 };
+        std::uint8_t bitsConsumed{ 0 };   /**< stream bits this entry accounts for */
+        std::uint8_t kindAndAux{ 0 };     /**< kind in low nibble, count/extra in high */
+
+        [[nodiscard]] Kind kind() const noexcept
+        { return static_cast<Kind>( kindAndAux & 0x0FU ); }
+
+        /** LITERALS: number of packed literal bytes (1 or 2). */
+        [[nodiscard]] unsigned count() const noexcept
+        { return kindAndAux >> 4U; }
+
+        /** LENGTH: extra bits still to read (0 = folded into payload). */
+        [[nodiscard]] unsigned extraBits() const noexcept
+        { return kindAndAux >> 4U; }
+    };
+
+    /** Build both the fallback two-level tables and the multi-symbol cache.
+     * Accept/reject behavior is identical to HuffmanCodingDoubleLUT.
+     * @p buildCache false skips the cache build (lookup() is then unusable):
+     * the reference decode path uses it so its per-block construction cost
+     * stays exactly the pre-optimization cost. */
+    [[nodiscard]] bool
+    initializeFromLengths( VectorView<std::uint8_t> codeLengths, bool buildCache = true )
+    {
+        if ( !m_fallback.initializeFromLengths( codeLengths ) ) {
+            return false;
+        }
+        m_buildCache = buildCache;
+        return HuffmanCodingBase<HuffmanCodingMultiCached>::initializeFromLengths( codeLengths );
+    }
+
+    /** Fast-path lookup; @p bits must hold at least cacheBits() peeked bits
+     * (extra high bits are ignored). */
+    [[nodiscard]] const Entry&
+    lookup( std::uint64_t bits ) const noexcept
+    {
+        return m_table[bits & m_cacheMask];
+    }
+
+    /** Raw table for hot loops that hoist the pointer into a local — going
+     * through lookup() would reload the vector's data pointer around every
+     * output store (byte stores alias everything). Index with
+     * peeked-bits & cacheMask(). */
+    [[nodiscard]] const Entry*
+    tableData() const noexcept
+    {
+        return m_table.data();
+    }
+
+    [[nodiscard]] std::uint64_t
+    cacheMask() const noexcept
+    {
+        return m_cacheMask;
+    }
+
+    [[nodiscard]] unsigned
+    cacheBits() const noexcept
+    {
+        return m_cacheBits;
+    }
+
+    /** Reference single-symbol decode — identical semantics to the two-level
+     * LUT (it IS the two-level LUT). */
+    [[nodiscard]] int
+    decode( BitReader& bitReader ) const
+    {
+        return m_fallback.decode( bitReader );
+    }
+
+    [[nodiscard]] const HuffmanCodingDoubleLUT&
+    fallback() const noexcept
+    {
+        return m_fallback;
+    }
+
+private:
+    /** Deflate length-symbol tables, duplicated from deflate/definitions.hpp
+     * so the huffman layer stays below the deflate layer; the Decoder's
+     * fast-vs-reference equivalence tests pin the two copies together. */
+    static constexpr std::uint16_t LENGTH_BASES[29] = {
+        3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31,
+        35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258
+    };
+    static constexpr std::uint8_t LENGTH_EXTRAS[29] = {
+        0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2,
+        3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0
+    };
+
+    [[nodiscard]] bool
+    buildLookupTables()
+    {
+        if ( !m_buildCache ) {
+            return true;
+        }
+        /* Deliberately NOT clamped to maxCodeLength(): the whole point is a
+         * window WIDER than one code so a second literal or the length's
+         * extra bits fit into the same lookup. */
+        m_cacheBits = CACHE_BITS;
+        m_cacheMask = ( std::uint64_t( 1 ) << m_cacheBits ) - 1U;
+        const auto tableSize = std::size_t( 1 ) << m_cacheBits;
+        m_table.assign( tableSize, Entry{} );
+
+        /* Pass 1: stride-fill per code — single literals, EOB, and lengths
+         * (extra bits folded when they fit); codes longer than cacheBits
+         * leave FALLBACK entries. Literal codes are also collected sorted by
+         * length for the pair pass. */
+        m_literalCodes.clear();
+        for ( const auto& code : m_codes ) {
+            if ( code.length > m_cacheBits ) {
+                continue;
+            }
+            const auto stride = std::size_t( 1 ) << code.length;
+            if ( code.symbol < 256 ) {
+                m_literalCodes.push_back( code );
+                const Entry entry{ code.symbol, code.length,
+                                   static_cast<std::uint8_t>( LITERALS | ( 1U << 4U ) ) };
+                for ( auto index = std::size_t( code.reversedCode ); index < tableSize;
+                      index += stride ) {
+                    m_table[index] = entry;
+                }
+            } else if ( code.symbol == 256 ) {
+                const Entry entry{ 0, code.length, END_OF_BLOCK };
+                for ( auto index = std::size_t( code.reversedCode ); index < tableSize;
+                      index += stride ) {
+                    m_table[index] = entry;
+                }
+            } else if ( code.symbol <= 285 ) {
+                const auto lengthIndex = static_cast<std::size_t>( code.symbol - 257 );
+                const auto extra = LENGTH_EXTRAS[lengthIndex];
+                if ( code.length + extra <= m_cacheBits ) {
+                    /* Folded: enumerate every extra-bit pattern. */
+                    const auto patterns = std::size_t( 1 ) << extra;
+                    const auto combinedStride = stride << extra;
+                    for ( std::size_t extraValue = 0; extraValue < patterns; ++extraValue ) {
+                        const Entry entry{
+                            static_cast<std::uint16_t>( LENGTH_BASES[lengthIndex] + extraValue ),
+                            static_cast<std::uint8_t>( code.length + extra ),
+                            LENGTH };
+                        for ( auto index = code.reversedCode | ( extraValue << code.length );
+                              index < tableSize; index += combinedStride ) {
+                            m_table[index] = entry;
+                        }
+                    }
+                } else {
+                    const Entry entry{ LENGTH_BASES[lengthIndex], code.length,
+                                       static_cast<std::uint8_t>( LENGTH | ( extra << 4U ) ) };
+                    for ( auto index = std::size_t( code.reversedCode ); index < tableSize;
+                          index += stride ) {
+                        m_table[index] = entry;
+                    }
+                }
+            }
+            /* else: 286/287 — valid code, invalid Deflate symbol. Left as a
+             * FALLBACK entry: the two-level decode returns the raw symbol
+             * and the decoder rejects it exactly like the reference path. */
+        }
+
+        /* Pass 2: upgrade compatible literal pairs. Kraft bounds the total
+         * filled slots by the table size, so this stays O(2^cacheBits)
+         * regardless of the coding shape. Sorting by length lets the inner
+         * loop stop at the first second-code that no longer fits. */
+        std::sort( m_literalCodes.begin(), m_literalCodes.end(),
+                   [] ( const CanonicalCode& a, const CanonicalCode& b ) {
+                       return a.length < b.length;
+                   } );
+        for ( const auto& first : m_literalCodes ) {
+            const auto remaining = m_cacheBits - first.length;
+            for ( const auto& second : m_literalCodes ) {
+                if ( second.length > remaining ) {
+                    break;  /* sorted: nothing further fits */
+                }
+                const Entry entry{ static_cast<std::uint16_t>(
+                                       first.symbol | ( second.symbol << 8U ) ),
+                                   static_cast<std::uint8_t>( first.length + second.length ),
+                                   static_cast<std::uint8_t>( LITERALS | ( 2U << 4U ) ) };
+                const auto base = first.reversedCode
+                                  | ( std::size_t( second.reversedCode ) << first.length );
+                const auto stride = std::size_t( 1 ) << ( first.length + second.length );
+                for ( auto index = base; index < tableSize; index += stride ) {
+                    m_table[index] = entry;
+                }
+            }
+        }
+        return true;
+    }
+
+    HuffmanCodingDoubleLUT m_fallback;
+    std::vector<Entry> m_table;
+    std::vector<CanonicalCode> m_literalCodes;  /* scratch, kept for reuse */
+    unsigned m_cacheBits{ CACHE_BITS };
+    std::uint64_t m_cacheMask{ 0 };
+    bool m_buildCache{ true };
+};
+
+}  // namespace rapidgzip

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "bits/BitReader.hpp"
+#include "common/Util.hpp"
+#include "workloads/DataGenerators.hpp"
 
 #include "TestHelpers.hpp"
 
@@ -171,6 +173,65 @@ main()
         std::vector<std::uint8_t> data{ 0xDE, 0xAD, 0xBE, 0xEF };
         BitReader reader( std::move( data ) );
         REQUIRE( reader.read( 32 ) == 0xEFBEADDEULL );
+    }
+
+    /* Guaranteed-bits contract (PR 4): an ensureBits/readUnsafe loop must
+     * reproduce a checked read() loop bit for bit, leave exactly the
+     * unguaranteeable tail, and agree through a RegisterCursor as well. */
+    {
+        const auto data = rapidgzip::workloads::randomData( 64 * KiB + 3, 0xFA57 );
+
+        BitReader checked( data.data(), data.size() );
+        BitReader unchecked( data.data(), data.size() );
+        while ( unchecked.ensureBits( 48 ) ) {
+            REQUIRE( unchecked.peekUnsafe( 11 ) == checked.peek( 11 ) );
+            REQUIRE( unchecked.readUnsafe( 11 ) == checked.read( 11 ) );
+            unchecked.consumeUnsafe( 7 );
+            (void)checked.read( 7 );
+            REQUIRE( checked.tell() == unchecked.tell() );  /* lockstep */
+        }
+        /* The tail is readable with the checked API and zero-padded. */
+        REQUIRE( unchecked.bufferedBits() < 48 );
+        while ( !unchecked.eof() ) {
+            REQUIRE( unchecked.read( 1 ) == checked.read( 1 ) );
+        }
+
+        BitReader cursorReader( data.data(), data.size() );
+        BitReader plainReader( data.data(), data.size() );
+        {
+            BitReader::RegisterCursor cursor( cursorReader );
+            for ( int i = 0; i < 1000 && cursor.ensureBits( 57 ); ++i ) {
+                REQUIRE( cursor.readUnsafe( 13 ) == plainReader.read( 13 ) );
+                REQUIRE( ( cursor.peekBufferUnsafe()
+                           & ( ( std::uint64_t( 1 ) << 5U ) - 1 ) ) == plainReader.peek( 5 ) );
+                cursor.consumeUnsafe( 5 );
+                (void)plainReader.read( 5 );
+            }
+        }  /* destructor syncs the cursor back */
+        REQUIRE( cursorReader.tell() == plainReader.tell() );
+        REQUIRE( cursorReader.read( 17 ) == plainReader.read( 17 ) );
+    }
+
+    /* peek64 and peekAt agree with seek + checked reads at any offset. */
+    {
+        const auto data = rapidgzip::workloads::randomData( 4 * KiB, 0xFA58 );
+        BitReader reader( data.data(), data.size() );
+        BitReader reference( data.data(), data.size() );
+        rapidgzip::Xorshift64 random( 0xFA59 );
+        for ( int i = 0; i < 2000; ++i ) {
+            const auto offset = random.below( data.size() * 8 + 64 );
+            const auto bits = 1 + static_cast<unsigned>( random.below( 56 ) );
+            reference.seek( offset );
+            std::uint64_t expected = 0;
+            for ( unsigned bit = 0; bit < bits; ++bit ) {
+                expected |= reference.read( 1 ) << bit;
+            }
+            REQUIRE( reader.peekAt( offset, bits ) == expected );
+            if ( bits <= BitReader::MAX_ENSURE_BITS ) {
+                reader.seek( offset );
+                REQUIRE( reader.peek64( bits ) == expected );
+            }
+        }
     }
 
     return rapidgzip::test::finish( "testBitReader" );

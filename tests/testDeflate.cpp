@@ -216,5 +216,115 @@ main()
         REQUIRE( headBytes == silesia );
     }
 
+    /* Fast loop vs reference loop (PR 4): bit-exact output equivalence on
+     * every workload, in both marker and plain mode, including the marker
+     * symbols themselves — the multi-symbol LUT, the unsafe BitReader path,
+     * the bulk LZ77 copies, and the cached distance table must be invisible. */
+    {
+        const auto decodeBoth = [] ( BufferView stream, std::size_t fromBit, bool windowKnown ) {
+            std::vector<deflate::DecodedData> results;
+            for ( const bool reference : { false, true } ) {
+                BitReader reader( stream.data(), stream.size() );
+                reader.seek( fromBit );
+                deflate::Decoder decoder;
+                decoder.setReferenceHuffmanDecoding( reference );
+                if ( windowKnown ) {
+                    decoder.setInitialWindow( {} );
+                }
+                deflate::DecodedData decoded;
+                const auto result = decoder.decode( reader, decoded );
+                REQUIRE( result.error == Error::NONE );
+                results.push_back( std::move( decoded ) );
+            }
+            REQUIRE( results[0].marked.size() == results[1].marked.size() );
+            REQUIRE( std::equal( results[0].marked.begin(), results[0].marked.end(),
+                                 results[1].marked.begin() ) );
+            REQUIRE( results[0].plain.size() == results[1].plain.size() );
+            for ( std::size_t i = 0; i < results[0].plain.size(); ++i ) {
+                REQUIRE( results[0].plain[i].data.size() == results[1].plain[i].data.size() );
+                REQUIRE( std::equal( results[0].plain[i].data.begin(),
+                                     results[0].plain[i].data.end(),
+                                     results[1].plain[i].data.begin() ) );
+            }
+        };
+
+        for ( const auto* workload : { &base64, &fastq, &silesia, &random } ) {
+            for ( const int level : { 1, 9 } ) {
+                const auto gz = compressGzipLike( { workload->data(), workload->size() }, level );
+                const auto stream = deflateStream( gz );
+                decodeBoth( stream, 0, /* windowKnown */ true );
+
+                const blockfinder::DynamicBlockFinderNaive finder;
+                const auto blockBit = finder.find( stream, stream.size() / 2 * 8 );
+                if ( blockBit != blockfinder::NOT_FOUND ) {
+                    decodeBoth( stream, blockBit, /* windowKnown */ false );
+                }
+            }
+        }
+    }
+
+    /* Unchecked-append path at exact capacity boundaries (PR 4): the fast
+     * sinks jump to the buffer's existing capacity and grow in slabs; seed
+     * the output buffers with adversarial capacities around the exact
+     * decoded size and around the sink's growth granularity, and require
+     * byte-identical output every time. */
+    {
+        const auto gz = compressGzipLike( { silesia.data(), silesia.size() }, 6 );
+        const auto stream = deflateStream( gz );
+
+        std::vector<std::uint8_t> expected;
+        {
+            BitReader reader( stream.data(), stream.size() );
+            deflate::Decoder decoder;
+            decoder.setInitialWindow( {} );
+            deflate::DecodedData decoded;
+            REQUIRE( decoder.decode( reader, decoded ).error == Error::NONE );
+            deflate::resolveInto( decoded, {}, expected );
+            REQUIRE( expected == silesia );
+        }
+
+        for ( const std::size_t capacity :
+              { std::size_t( 1 ), std::size_t( 2 ), std::size_t( 4095 ), std::size_t( 4096 ),
+                expected.size() - 1, expected.size(), expected.size() + 1,
+                expected.size() + deflate::MAX_MATCH_LENGTH } ) {
+            deflate::DecodedData decoded;
+            decoded.plain.emplace_back();
+            decoded.plain.front().data.reserve( capacity );
+            BitReader reader( stream.data(), stream.size() );
+            deflate::Decoder decoder;
+            decoder.setInitialWindow( {} );
+            REQUIRE( decoder.decode( reader, decoded ).error == Error::NONE );
+            std::vector<std::uint8_t> resolved;
+            deflate::resolveInto( decoded, {}, resolved );
+            REQUIRE( resolved == expected );
+        }
+
+        /* Same discipline for the 16-bit marker buffer. */
+        const blockfinder::DynamicBlockFinderNaive finder;
+        const auto blockBit = finder.find( stream, stream.size() / 2 * 8 );
+        REQUIRE( blockBit != blockfinder::NOT_FOUND );
+        deflate::DecodedData baseline;
+        {
+            BitReader reader( stream.data(), stream.size() );
+            reader.seek( blockBit );
+            deflate::Decoder decoder;
+            REQUIRE( decoder.decode( reader, baseline ).error == Error::NONE );
+            REQUIRE( baseline.totalSize() > 0 );
+        }
+        for ( const std::size_t capacity :
+              { std::size_t( 3 ), std::size_t( 8191 ), baseline.marked.size(),
+                baseline.marked.size() + 1 } ) {
+            deflate::DecodedData decoded;
+            decoded.marked.reserve( capacity );
+            BitReader reader( stream.data(), stream.size() );
+            reader.seek( blockBit );
+            deflate::Decoder decoder;
+            REQUIRE( decoder.decode( reader, decoded ).error == Error::NONE );
+            REQUIRE( decoded.marked.size() == baseline.marked.size() );
+            REQUIRE( std::equal( decoded.marked.begin(), decoded.marked.end(),
+                                 baseline.marked.begin() ) );
+        }
+    }
+
     return rapidgzip::test::finish( "testDeflate" );
 }

@@ -9,8 +9,11 @@
 #include <vector>
 
 #include "bits/BitReader.hpp"
+#include "deflate/DeflateDecoder.hpp"
+#include "deflate/definitions.hpp"
 #include "huffman/HuffmanCoding.hpp"
 #include "huffman/HuffmanCodingDoubleLUT.hpp"
+#include "huffman/HuffmanCodingMultiCached.hpp"
 #include "workloads/DataGenerators.hpp"
 
 #include "TestHelpers.hpp"
@@ -147,6 +150,167 @@ checkRoundTrip( const std::vector<std::uint8_t>& lengths, std::uint64_t seed )
     }
 }
 
+/**
+ * Decode @p data's bit stream to an EVENT stream over a Deflate-style
+ * literal/length alphabet: literal bytes as 0..255, end-of-block as 256,
+ * length symbols as 1000 + final length (base + extra bits read from the
+ * stream). Events are the right granularity for cross-implementation
+ * equivalence because the multi-symbol LUT may resolve two literals or a
+ * length INCLUDING its extra bits in one step — symbol-by-symbol streams
+ * would not be comparable.
+ */
+template<typename Coding>
+std::vector<int>
+decodeEventsReference( const Coding& coding, const std::vector<std::uint8_t>& data,
+                       std::size_t maxEvents )
+{
+    std::vector<int> events;
+    BitReader reader( data.data(), data.size() );
+    while ( events.size() < maxEvents ) {
+        const auto symbol = coding.decode( reader );
+        if ( symbol < 0 ) {
+            events.push_back( symbol );  /* DECODE_EOF / DECODE_INVALID terminator */
+            break;
+        }
+        if ( symbol < 256 ) {
+            events.push_back( symbol );
+        } else if ( symbol == 256 ) {
+            events.push_back( 256 );
+            break;
+        } else if ( symbol <= 285 ) {
+            const auto lengthIndex = static_cast<std::size_t>( symbol - 257 );
+            const auto extra = deflate::LENGTH_EXTRA_BITS[lengthIndex];
+            if ( reader.bitsLeft() < extra ) {
+                events.push_back( HuffmanCodingDoubleLUT::DECODE_EOF );
+                break;
+            }
+            const auto length = deflate::LENGTH_BASE[lengthIndex]
+                                + ( extra > 0 ? reader.read( extra ) : 0 );
+            events.push_back( 1000 + static_cast<int>( length ) );
+        } else {
+            events.push_back( HuffmanCodingDoubleLUT::DECODE_INVALID );
+            break;
+        }
+    }
+    return events;
+}
+
+/** The same event stream decoded through the multi-symbol LUT with the
+ * Decoder's fast-loop discipline (guaranteed-bits lookups, safe tail). */
+std::vector<int>
+decodeEventsMulti( const HuffmanCodingMultiCached& coding,
+                   const std::vector<std::uint8_t>& data, std::size_t maxEvents )
+{
+    std::vector<int> events;
+    BitReader reader( data.data(), data.size() );
+    constexpr unsigned GUARANTEED_BITS = 15 + 5;  /* max code + max length extra */
+    while ( events.size() < maxEvents ) {
+        if ( !reader.ensureBits( GUARANTEED_BITS ) ) {
+            /* Safe tail near EOF: the delegate path, symbol by symbol. */
+            const auto symbol = coding.decode( reader );
+            if ( symbol < 0 ) {
+                events.push_back( symbol );
+                break;
+            }
+            if ( symbol < 256 ) {
+                events.push_back( symbol );
+                continue;
+            }
+            if ( symbol == 256 ) {
+                events.push_back( 256 );
+                break;
+            }
+            if ( symbol > 285 ) {
+                events.push_back( HuffmanCodingDoubleLUT::DECODE_INVALID );
+                break;
+            }
+            const auto lengthIndex = static_cast<std::size_t>( symbol - 257 );
+            const auto extra = deflate::LENGTH_EXTRA_BITS[lengthIndex];
+            if ( reader.bitsLeft() < extra ) {
+                events.push_back( HuffmanCodingDoubleLUT::DECODE_EOF );
+                break;
+            }
+            events.push_back( 1000 + static_cast<int>(
+                deflate::LENGTH_BASE[lengthIndex]
+                + ( extra > 0 ? reader.read( extra ) : 0 ) ) );
+            continue;
+        }
+
+        const auto& entry = coding.lookup( reader.peekUnsafe( coding.cacheBits() ) );
+        reader.consumeUnsafe( entry.bitsConsumed );  /* 0 for FALLBACK */
+        const auto kind = entry.kind();
+        if ( kind == HuffmanCodingMultiCached::LITERALS ) {
+            events.push_back( entry.payload & 0xFFU );
+            if ( entry.count() == 2 ) {
+                events.push_back( entry.payload >> 8U );
+            }
+        } else if ( kind == HuffmanCodingMultiCached::LENGTH ) {
+            events.push_back( 1000 + static_cast<int>(
+                entry.payload + reader.readUnsafe( entry.extraBits() ) ) );
+        } else if ( kind == HuffmanCodingMultiCached::END_OF_BLOCK ) {
+            events.push_back( 256 );
+            break;
+        } else {
+            const auto symbol = coding.fallback().decodeUnsafe( reader );
+            if ( symbol < 0 ) {
+                events.push_back( symbol );
+                break;
+            }
+            if ( symbol < 256 ) {
+                events.push_back( symbol );
+            } else if ( symbol == 256 ) {
+                events.push_back( 256 );
+                break;
+            } else if ( symbol <= 285 ) {
+                const auto lengthIndex = static_cast<std::size_t>( symbol - 257 );
+                const auto extra = deflate::LENGTH_EXTRA_BITS[lengthIndex];
+                events.push_back( 1000 + static_cast<int>(
+                    deflate::LENGTH_BASE[lengthIndex] + reader.readUnsafe( extra ) ) );
+            } else {
+                events.push_back( HuffmanCodingDoubleLUT::DECODE_INVALID );
+                break;
+            }
+        }
+    }
+    return events;
+}
+
+/**
+ * The multi-symbol-LUT equivalence sweep: on the same coding and the same
+ * bits, the event streams of the naive single-level LUT, the two-level LUT,
+ * and the multi-symbol cached LUT must agree exactly — including the
+ * terminal EOF/INVALID event at a truncated (EOF-at-boundary) stream.
+ */
+void
+checkEventEquivalence( const std::vector<std::uint8_t>& lengths,
+                       const std::vector<std::uint8_t>& bits )
+{
+    HuffmanCoding naive;
+    HuffmanCodingDoubleLUT twoLevel;
+    HuffmanCodingMultiCached multi;
+    REQUIRE( naive.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+    REQUIRE( twoLevel.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+    REQUIRE( multi.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+
+    constexpr std::size_t MAX_EVENTS = 20000;
+    const auto naiveEvents = decodeEventsReference( naive, bits, MAX_EVENTS );
+    const auto twoLevelEvents = decodeEventsReference( twoLevel, bits, MAX_EVENTS );
+    const auto multiEvents = decodeEventsMulti( multi, bits, MAX_EVENTS );
+    REQUIRE( naiveEvents == twoLevelEvents );
+    REQUIRE( twoLevelEvents == multiEvents );
+
+    /* EOF at every boundary near the end: all three must agree bit-exactly
+     * on the truncated streams too. */
+    for ( std::size_t cut = 1; ( cut <= 8 ) && ( cut < bits.size() ); ++cut ) {
+        const std::vector<std::uint8_t> truncated( bits.begin(), bits.end() - cut );
+        const auto a = decodeEventsReference( naive, truncated, MAX_EVENTS );
+        const auto b = decodeEventsReference( twoLevel, truncated, MAX_EVENTS );
+        const auto c = decodeEventsMulti( multi, truncated, MAX_EVENTS );
+        REQUIRE( a == b );
+        REQUIRE( b == c );
+    }
+}
+
 }  // namespace
 
 int
@@ -222,6 +386,33 @@ main()
         REQUIRE( coding.initializeFromLengths( { lengths.data(), lengths.size() } ) );
         BitReader empty( static_cast<const std::uint8_t*>( nullptr ), 0 );
         REQUIRE( coding.decode( empty ) == HuffmanCoding::DECODE_EOF );
+    }
+
+    /* Multi-symbol LUT equivalence sweep (PR 4): naive vs two-level vs
+     * multi-symbol cached event streams on randomized dynamic codings over
+     * the full literal/length alphabet — including pathological 15-bit
+     * codes — plus the fixed coding, on random bits and on truncated
+     * streams (EOF at every boundary near the end). */
+    {
+        for ( const unsigned maxLength : { 9U, 10U, 12U, 15U } ) {
+            for ( std::uint64_t seed = 1; seed <= 3; ++seed ) {
+                const auto lengths =
+                    makeCompleteCode( 286, maxLength, 0x5EED0 + seed * 17 + maxLength );
+                const auto bits = workloads::randomData( 16 * KiB, seed * 31 + maxLength );
+                checkEventEquivalence( lengths, bits );
+            }
+        }
+        /* Small alphabets exercise deep multi-literal packing. */
+        checkEventEquivalence( makeCompleteCode( 64, 7, 0xAB1E ),
+                               workloads::randomData( 16 * KiB, 0xAB1F ) );
+
+        /* The fixed (BTYPE 01) literal coding. */
+        std::vector<std::uint8_t> fixedLengths( 288 );
+        for ( std::size_t i = 0; i < 144; ++i ) { fixedLengths[i] = 8; }
+        for ( std::size_t i = 144; i < 256; ++i ) { fixedLengths[i] = 9; }
+        for ( std::size_t i = 256; i < 280; ++i ) { fixedLengths[i] = 7; }
+        for ( std::size_t i = 280; i < 288; ++i ) { fixedLengths[i] = 8; }
+        checkEventEquivalence( fixedLengths, workloads::randomData( 16 * KiB, 0xF1E0 ) );
     }
 
     return rapidgzip::test::finish( "testHuffman" );
