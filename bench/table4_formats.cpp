@@ -4,24 +4,38 @@
  * beat gzip decoders; at P=128 rapidgzip(index) reaches 16.4 GB/s, twice
  * pzstd's 8.8 GB/s, because pzstd parallelizes poorly.
  *
- * Offline substitutions (DESIGN.md): the zstd/lz4/bzip2 rows are dropped —
- * no offline implementation is in scope — leaving the gzip-family formats
- * the paper's headline claims are about: arbitrary gzip with and without a
- * prebuilt index, and BGZF, whose BC fields make the index free. The index
- * rows exercise index::serializeIndex round trips, i.e. the reuse-from-disk
- * workflow, not just in-memory reuse.
+ * The formerly-dropped zstd/lz4/bzip2 rows are restored through the
+ * format-dispatch layer (src/formats/): each backend generates its own
+ * input with its writer (zstd seekable frames, lz4 independent blocks,
+ * bzip2 blocks at level 1) and decompresses through
+ * formats::makeDecompressor — frame/block-parallel where the container
+ * permits. Every multi-backend row also reports a cold random-access seek
+ * latency, the paper's seekability axis. gzip rows keep exercising
+ * index::serializeIndex round trips, i.e. the reuse-from-disk workflow.
  */
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/ParallelGzipReader.hpp"
+#include "formats/Formats.hpp"
 #include "gzip/BgzfWriter.hpp"
 #include "gzip/GzipReader.hpp"
 #include "gzip/ZlibCompressor.hpp"
 #include "index/IndexSerializer.hpp"
 #include "io/MemoryFileReader.hpp"
 #include "workloads/DataGenerators.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+#include "formats/ZstdWriter.hpp"
+#endif
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+#include "formats/Bzip2Writer.hpp"
+#endif
+#include "formats/Lz4Writer.hpp"
 
 #include "BenchmarkHelpers.hpp"
 
@@ -169,10 +183,84 @@ main()
         }
     }
 
+    /* --- multi-backend rows (restored Table 4 formats) ----------------
+     * Each backend writes its own parallel-friendly container, then
+     * decompresses through the dispatch layer at P=1 and P=4 plus 8 cold
+     * 4 KiB seeks at scattered offsets on a fresh reader each. */
+    {
+        struct BackendRow
+        {
+            std::string format;
+            std::string tool;
+            std::function<std::vector<std::uint8_t>()> write;
+            std::string paperP1;
+            std::string paperP;
+        };
+
+        std::vector<BackendRow> rows;
+        rows.push_back(
+            { "lz4", "formats (indep blocks)",
+              [&]() { return formats::writeLz4(span, formats::Lz4Writer::BlockMaxSize::KIB256); },
+              "3.56 GB/s", "n/a (lz4 has no parallel tool row)" });
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+        rows.push_back(
+            { "zstd", "formats (seekable)",
+              [&]() { return formats::writeZstdSeekable(span, 3, 1 * MiB); },
+              "1.05 GB/s", "8.8 GB/s (pzstd, P=128)" });
+#endif
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+        rows.push_back(
+            { "bzip2", "formats (block scan)",
+              [&]() { return formats::writeBzip2(span, 1); },
+              "0.048 GB/s", "1.3 GB/s (pbzip2, P=16)" });
+#endif
+
+        std::printf("\n  Restored multi-backend rows (decompress + cold seek):\n");
+        Xorshift64 random(0xBEEF5);
+        for (const auto& row : rows) {
+            const auto file = row.write();
+
+            const auto bandwidth1 = bench::measureBandwidth(data.size(), repeats, [&]() {
+                auto decompressor = formats::makeDecompressor(
+                    std::make_unique<MemoryFileReader>(file), config(1));
+                (void)decompressor->decompress({});
+            });
+            printFormatRow(row.format.c_str(), row.tool.c_str(), 1, ratioOf(file),
+                           bandwidth1, row.paperP1.c_str());
+
+            const auto bandwidthP = bench::measureBandwidth(data.size(), repeats, [&]() {
+                auto decompressor = formats::makeDecompressor(
+                    std::make_unique<MemoryFileReader>(file), config(P));
+                (void)decompressor->decompress({});
+            });
+            printFormatRow(row.format.c_str(), row.tool.c_str(), P, ratioOf(file),
+                           bandwidthP, row.paperP.c_str());
+
+            constexpr std::size_t SEEKS = 8;
+            std::uint8_t probe[4096];
+            Stopwatch stopwatch;
+            std::size_t seekPointCount = 0;
+            for (std::size_t i = 0; i < SEEKS; ++i) {
+                auto decompressor = formats::makeDecompressor(
+                    std::make_unique<MemoryFileReader>(file), config(P));
+                seekPointCount = decompressor->seekPoints().size();
+                (void)decompressor->readAt(
+                    random.below(std::max<std::size_t>(1, data.size() - sizeof(probe))),
+                    probe, sizeof(probe));
+            }
+            const auto seekLatency = stopwatch.elapsed() / SEEKS;
+            std::printf("  %-8s %-24s %zu seek points, %8.2f ms/seek(4 KiB, cold)\n",
+                        row.format.c_str(), "", seekPointCount, seekLatency * 1e3);
+            std::fflush(stdout);
+        }
+    }
+
     std::printf("\n  Expected shape (paper Table 4): single-threaded rapidgzip ≈ the\n"
                 "  sequential decoder and below zlib; with parallelism rapidgzip\n"
                 "  overtakes every single-threaded row, the prebuilt index beats the\n"
                 "  index-building first read, and BGZF parallelizes for free.\n"
-                "  zstd/lz4/bzip2 rows omitted offline; see EXPERIMENTS.md.\n");
+                "  zstd and lz4 beat every gzip row at P=1 (cheaper entropy stage);\n"
+                "  bzip2 is slowest serially but its independent blocks scale near-\n"
+                "  linearly; zstd's seek table gives the cheapest cold seeks.\n");
     return 0;
 }

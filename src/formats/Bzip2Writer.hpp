@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Util.hpp"
+#include "VendorBzip2.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+
+namespace rapidgzip::formats {
+
+/**
+ * bzip2 writer for benches and tests, wrapping vendor libbz2. The knob
+ * that matters for the parallel reader is @p blockSize100k: level 1 cuts
+ * the input into ~100 kB blocks (many independent units to fan out),
+ * level 9 into ~900 kB blocks. Multi-STREAM files (bzip2 -c a b >> both)
+ * are produced by concatenating writeBzip2 outputs — the reader's block
+ * scan handles them transparently.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeBzip2( BufferView data, int blockSize100k = 9 )
+{
+    return vendorBzip2Compress( data, blockSize100k );
+}
+
+}  // namespace rapidgzip::formats
+
+#endif  /* RAPIDGZIP_HAVE_VENDOR_BZIP2 */

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "Format.hpp"
+#include "Lz4Codec.hpp"
+#include "XxHash32.hpp"
+
+namespace rapidgzip::formats {
+
+/**
+ * LZ4 FRAME writer producing the parallel-friendly profile: INDEPENDENT
+ * blocks (B.Indep set — every block decodes standalone, which is what lets
+ * Lz4Decompressor fan blocks out over the chunk fetcher), block checksums
+ * (workers verify their own blocks), content size, and content checksum.
+ * Block data is compressed with the from-scratch lz4CompressBlock;
+ * incompressible slices are stored uncompressed (high bit of the block
+ * size), as the spec prescribes.
+ */
+class Lz4Writer
+{
+public:
+    /** Frame block max-size codes (BD byte). */
+    enum class BlockMaxSize : std::uint8_t
+    {
+        KIB64 = 4,
+        KIB256 = 5,
+        MIB1 = 6,
+        MIB4 = 7,
+    };
+
+    [[nodiscard]] static constexpr std::size_t
+    blockMaxSizeBytes( BlockMaxSize code ) noexcept
+    {
+        switch ( code ) {
+        case BlockMaxSize::KIB64:  return 64 * KiB;
+        case BlockMaxSize::KIB256: return 256 * KiB;
+        case BlockMaxSize::MIB1:   return 1 * MiB;
+        case BlockMaxSize::MIB4:   return 4 * MiB;
+        }
+        return 64 * KiB;
+    }
+
+    /** Write @p data as one LZ4 frame appended to @p out. */
+    static void
+    writeFrame( std::vector<std::uint8_t>& out,
+                BufferView data,
+                BlockMaxSize blockMaxSize = BlockMaxSize::KIB256 )
+    {
+        appendLE32( out, LZ4_FRAME_MAGIC );
+
+        /* FLG: version 01, B.Indep, B.Checksum, C.Size, C.Checksum. */
+        const std::uint8_t flg = ( 1U << 6U )   /* version */
+                                 | ( 1U << 5U ) /* independent blocks */
+                                 | ( 1U << 4U ) /* block checksums */
+                                 | ( 1U << 3U ) /* content size present */
+                                 | ( 1U << 2U ); /* content checksum */
+        const auto bd = static_cast<std::uint8_t>( static_cast<unsigned>( blockMaxSize ) << 4U );
+        const auto descriptorStart = out.size();
+        out.push_back( flg );
+        out.push_back( bd );
+        appendLE64( out, data.size() );
+        /* HC: second byte of XXH32 over the descriptor (FLG..content size). */
+        const auto headerChecksum = xxhash32( out.data() + descriptorStart,
+                                              out.size() - descriptorStart );
+        out.push_back( static_cast<std::uint8_t>( ( headerChecksum >> 8U ) & 0xFFU ) );
+
+        const auto sliceSize = blockMaxSizeBytes( blockMaxSize );
+        for ( std::size_t offset = 0; offset < data.size(); offset += sliceSize ) {
+            const auto slice = data.subView( offset, sliceSize );
+            auto compressed = lz4CompressBlock( slice );
+            if ( compressed.size() < slice.size() ) {
+                appendLE32( out, static_cast<std::uint32_t>( compressed.size() ) );
+                out.insert( out.end(), compressed.begin(), compressed.end() );
+                appendLE32( out, xxhash32( compressed.data(), compressed.size() ) );
+            } else {
+                /* Uncompressed block: high bit set; checksum covers the
+                 * stored bytes. */
+                appendLE32( out, static_cast<std::uint32_t>( slice.size() ) | 0x80000000U );
+                out.insert( out.end(), slice.begin(), slice.end() );
+                appendLE32( out, xxhash32( slice.data(), slice.size() ) );
+            }
+        }
+
+        appendLE32( out, 0 );  /* EndMark */
+        appendLE32( out, xxhash32( data.data(), data.size() ) );  /* content checksum */
+    }
+
+    /** Write a skippable frame (user metadata the decoder must ignore). */
+    static void
+    writeSkippableFrame( std::vector<std::uint8_t>& out, BufferView payload,
+                         std::uint8_t magicNibble = 0 )
+    {
+        appendLE32( out, ZSTD_SKIPPABLE_MAGIC_BASE | ( magicNibble & 0x0FU ) );
+        appendLE32( out, static_cast<std::uint32_t>( payload.size() ) );
+        out.insert( out.end(), payload.begin(), payload.end() );
+    }
+
+    static void
+    appendLE32( std::vector<std::uint8_t>& out, std::uint32_t value )
+    {
+        for ( unsigned i = 0; i < 4; ++i ) {
+            out.push_back( static_cast<std::uint8_t>( value >> ( 8U * i ) ) );
+        }
+    }
+
+    static void
+    appendLE64( std::vector<std::uint8_t>& out, std::uint64_t value )
+    {
+        for ( unsigned i = 0; i < 8; ++i ) {
+            out.push_back( static_cast<std::uint8_t>( value >> ( 8U * i ) ) );
+        }
+    }
+};
+
+/** Convenience: @p data as a single standalone LZ4 frame. */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeLz4( BufferView data,
+          Lz4Writer::BlockMaxSize blockMaxSize = Lz4Writer::BlockMaxSize::KIB256 )
+{
+    std::vector<std::uint8_t> result;
+    Lz4Writer::writeFrame( result, data, blockMaxSize );
+    return result;
+}
+
+}  // namespace rapidgzip::formats

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_LZ4 )
+
+/*
+ * Minimal stable-ABI declarations for liblz4's BLOCK API — the oracle the
+ * differential tests decode against. Only the runtime liblz4.so.1 is
+ * available (no lz4.h), so the two int-signature entry points are declared
+ * here; the frame API (LZ4F_*) is deliberately NOT used because it trades
+ * in library-version-sensitive structs. Framing is handled by this repo's
+ * own parser on both sides (see Lz4Decompressor.hpp), which is exactly
+ * what the differential test wants to exercise.
+ */
+extern "C" {
+
+int LZ4_compress_default( const char* src, char* dst, int srcSize, int dstCapacity );
+int LZ4_decompress_safe( const char* src, char* dst, int compressedSize, int dstCapacity );
+int LZ4_compressBound( int inputSize );
+
+}  /* extern "C" */
+
+namespace rapidgzip::formats {
+
+inline constexpr bool HAVE_VENDOR_LZ4 = true;
+
+/** Vendor-compress one block (no framing); empty result means incompressible
+ * at this size (the caller stores the block uncompressed). */
+[[nodiscard]] inline std::vector<std::uint8_t>
+vendorLz4CompressBlock( BufferView data )
+{
+    if ( data.size() > static_cast<std::size_t>( std::numeric_limits<int>::max() ) ) {
+        throw RapidgzipError( "LZ4 block too large for the vendor compressor" );
+    }
+    std::vector<std::uint8_t> result(
+        static_cast<std::size_t>( LZ4_compressBound( static_cast<int>( data.size() ) ) ) );
+    const auto written = LZ4_compress_default(
+        reinterpret_cast<const char*>( data.data() ),
+        reinterpret_cast<char*>( result.data() ),
+        static_cast<int>( data.size() ), static_cast<int>( result.size() ) );
+    if ( written <= 0 ) {
+        throw RapidgzipError( "LZ4_compress_default failed" );
+    }
+    result.resize( static_cast<std::size_t>( written ) );
+    return result;
+}
+
+/** Vendor-decode one block into exactly @p dstCapacity bytes or less;
+ * throws on malformed input. */
+[[nodiscard]] inline std::size_t
+vendorLz4DecompressBlock( BufferView block, std::uint8_t* dst, std::size_t dstCapacity )
+{
+    const auto written = LZ4_decompress_safe(
+        reinterpret_cast<const char*>( block.data() ), reinterpret_cast<char*>( dst ),
+        static_cast<int>( block.size() ), static_cast<int>( dstCapacity ) );
+    if ( written < 0 ) {
+        throw RapidgzipError( "LZ4_decompress_safe rejected the block" );
+    }
+    return static_cast<std::size_t>( written );
+}
+
+}  // namespace rapidgzip::formats
+
+#else  /* !RAPIDGZIP_HAVE_VENDOR_LZ4 */
+
+namespace rapidgzip::formats {
+
+inline constexpr bool HAVE_VENDOR_LZ4 = false;
+
+}  // namespace rapidgzip::formats
+
+#endif

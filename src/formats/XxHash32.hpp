@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace rapidgzip::formats {
+
+/**
+ * XXH32 (Yann Collet's xxHash, 32-bit variant), implemented from the public
+ * specification. The LZ4 frame format depends on it twice — the frame
+ * descriptor's header checksum byte and the optional block/content
+ * checksums — and the container images only ship liblz4's runtime .so,
+ * which does not export its embedded xxhash symbols. Verified against the
+ * specification's test vectors in testFormats.
+ *
+ * Streaming is not needed here: every hashed object (descriptor, block,
+ * whole content) is in memory, so a one-shot function keeps it simple.
+ */
+[[nodiscard]] inline std::uint32_t
+xxhash32( const void* input, std::size_t length, std::uint32_t seed = 0 ) noexcept
+{
+    constexpr std::uint32_t PRIME1 = 2654435761U;
+    constexpr std::uint32_t PRIME2 = 2246822519U;
+    constexpr std::uint32_t PRIME3 = 3266489917U;
+    constexpr std::uint32_t PRIME4 = 668265263U;
+    constexpr std::uint32_t PRIME5 = 374761393U;
+
+    const auto rotl = [] ( std::uint32_t value, unsigned count ) {
+        return ( value << count ) | ( value >> ( 32U - count ) );
+    };
+    const auto readLE32 = [] ( const std::uint8_t* p ) {
+        std::uint32_t value;
+        std::memcpy( &value, p, sizeof( value ) );
+#if defined( __BYTE_ORDER__ ) && ( __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__ )
+        value = __builtin_bswap32( value );
+#endif
+        return value;
+    };
+
+    const auto* p = static_cast<const std::uint8_t*>( input );
+    const auto* const end = p + length;
+    std::uint32_t hash;
+
+    if ( length >= 16 ) {
+        std::uint32_t acc1 = seed + PRIME1 + PRIME2;
+        std::uint32_t acc2 = seed + PRIME2;
+        std::uint32_t acc3 = seed;
+        std::uint32_t acc4 = seed - PRIME1;
+        const auto round = [&rotl] ( std::uint32_t acc, std::uint32_t lane ) {
+            return rotl( acc + lane * PRIME2, 13U ) * PRIME1;
+        };
+        do {
+            acc1 = round( acc1, readLE32( p ) );
+            acc2 = round( acc2, readLE32( p + 4 ) );
+            acc3 = round( acc3, readLE32( p + 8 ) );
+            acc4 = round( acc4, readLE32( p + 12 ) );
+            p += 16;
+        } while ( p + 16 <= end );
+        hash = rotl( acc1, 1U ) + rotl( acc2, 7U ) + rotl( acc3, 12U ) + rotl( acc4, 18U );
+    } else {
+        hash = seed + PRIME5;
+    }
+
+    hash += static_cast<std::uint32_t>( length );
+    while ( p + 4 <= end ) {
+        hash = rotl( hash + readLE32( p ) * PRIME3, 17U ) * PRIME4;
+        p += 4;
+    }
+    while ( p < end ) {
+        hash = rotl( hash + *p * PRIME5, 11U ) * PRIME1;
+        ++p;
+    }
+
+    hash ^= hash >> 15U;
+    hash *= PRIME2;
+    hash ^= hash >> 13U;
+    hash *= PRIME3;
+    hash ^= hash >> 16U;
+    return hash;
+}
+
+/**
+ * Streaming XXH32 for data that arrives span-by-span (the LZ4 content
+ * checksum is over the WHOLE decompressed stream, which flows through the
+ * sink in chunk-sized pieces). Produces bit-identical digests to the
+ * one-shot xxhash32() — asserted in testFormats.
+ */
+class Xxh32Streamer
+{
+public:
+    explicit Xxh32Streamer( std::uint32_t seed = 0 ) noexcept :
+        m_seed( seed ),
+        m_acc1( seed + PRIME1 + PRIME2 ),
+        m_acc2( seed + PRIME2 ),
+        m_acc3( seed ),
+        m_acc4( seed - PRIME1 )
+    {}
+
+    void
+    update( const void* input, std::size_t length ) noexcept
+    {
+        const auto* p = static_cast<const std::uint8_t*>( input );
+        m_totalLength += length;
+
+        if ( m_buffered + length < STRIPE ) {
+            std::memcpy( m_buffer + m_buffered, p, length );
+            m_buffered += length;
+            return;
+        }
+        if ( m_buffered > 0 ) {
+            const auto take = STRIPE - m_buffered;
+            std::memcpy( m_buffer + m_buffered, p, take );
+            consumeStripe( m_buffer );
+            p += take;
+            length -= take;
+            m_buffered = 0;
+        }
+        while ( length >= STRIPE ) {
+            consumeStripe( p );
+            p += STRIPE;
+            length -= STRIPE;
+        }
+        std::memcpy( m_buffer, p, length );
+        m_buffered = length;
+    }
+
+    [[nodiscard]] std::uint32_t
+    digest() const noexcept
+    {
+        const auto rotl = [] ( std::uint32_t value, unsigned count ) {
+            return ( value << count ) | ( value >> ( 32U - count ) );
+        };
+        std::uint32_t hash;
+        if ( m_totalLength >= STRIPE ) {
+            hash = rotl( m_acc1, 1U ) + rotl( m_acc2, 7U )
+                   + rotl( m_acc3, 12U ) + rotl( m_acc4, 18U );
+        } else {
+            hash = m_seed + PRIME5;
+        }
+        hash += static_cast<std::uint32_t>( m_totalLength );
+
+        const auto* p = m_buffer;
+        const auto* const end = m_buffer + m_buffered;
+        while ( p + 4 <= end ) {
+            hash = rotl( hash + readLane( p ) * PRIME3, 17U ) * PRIME4;
+            p += 4;
+        }
+        while ( p < end ) {
+            hash = rotl( hash + *p * PRIME5, 11U ) * PRIME1;
+            ++p;
+        }
+        hash ^= hash >> 15U;
+        hash *= PRIME2;
+        hash ^= hash >> 13U;
+        hash *= PRIME3;
+        hash ^= hash >> 16U;
+        return hash;
+    }
+
+private:
+    static constexpr std::size_t STRIPE = 16;
+    static constexpr std::uint32_t PRIME1 = 2654435761U;
+    static constexpr std::uint32_t PRIME2 = 2246822519U;
+    static constexpr std::uint32_t PRIME3 = 3266489917U;
+    static constexpr std::uint32_t PRIME4 = 668265263U;
+    static constexpr std::uint32_t PRIME5 = 374761393U;
+
+    [[nodiscard]] static std::uint32_t
+    readLane( const std::uint8_t* p ) noexcept
+    {
+        std::uint32_t value;
+        std::memcpy( &value, p, sizeof( value ) );
+#if defined( __BYTE_ORDER__ ) && ( __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__ )
+        value = __builtin_bswap32( value );
+#endif
+        return value;
+    }
+
+    void
+    consumeStripe( const std::uint8_t* stripe ) noexcept
+    {
+        const auto rotl = [] ( std::uint32_t value, unsigned count ) {
+            return ( value << count ) | ( value >> ( 32U - count ) );
+        };
+        const auto round = [&rotl] ( std::uint32_t acc, std::uint32_t lane ) {
+            return rotl( acc + lane * PRIME2, 13U ) * PRIME1;
+        };
+        m_acc1 = round( m_acc1, readLane( stripe ) );
+        m_acc2 = round( m_acc2, readLane( stripe + 4 ) );
+        m_acc3 = round( m_acc3, readLane( stripe + 8 ) );
+        m_acc4 = round( m_acc4, readLane( stripe + 12 ) );
+    }
+
+    std::uint32_t m_seed;
+    std::uint32_t m_acc1, m_acc2, m_acc3, m_acc4;
+    std::uint64_t m_totalLength{ 0 };
+    std::uint8_t m_buffer[STRIPE]{};
+    std::size_t m_buffered{ 0 };
+};
+
+}  // namespace rapidgzip::formats

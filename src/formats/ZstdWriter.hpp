@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "Format.hpp"
+#include "VendorZstd.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+
+namespace rapidgzip::formats {
+
+inline constexpr std::uint32_t ZSTD_SEEKABLE_FOOTER_MAGIC = 0x8F92EAB1U;
+/** The seek table rides in a skippable frame with low nibble 0xE. */
+inline constexpr std::uint32_t ZSTD_SEEKABLE_TABLE_MAGIC = ZSTD_SKIPPABLE_MAGIC_BASE | 0xEU;
+inline constexpr std::size_t ZSTD_SEEKABLE_FOOTER_SIZE = 9;
+
+/**
+ * zstd SEEKABLE-format writer: the input is cut into independently
+ * compressed frames of @p frameSize uncompressed bytes, followed by one
+ * skippable frame carrying the seek table (per-frame compressed and
+ * decompressed sizes + the 9-byte footer with the 0x8F92EAB1 magic) — the
+ * layout pzstd/t2sz readers and the contrib seekable API consume. Every
+ * data frame is a plain zstd frame, so non-seekable-aware decoders
+ * (`zstd -d`, ZSTD_decompressStream) read the stream unchanged and skip
+ * the table.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeZstdSeekable( BufferView data, int level = 3, std::size_t frameSize = 1 * MiB )
+{
+    if ( frameSize == 0 ) {
+        throw RapidgzipError( "zstd seekable frame size must be nonzero" );
+    }
+
+    const auto appendLE32 = [] ( std::vector<std::uint8_t>& out, std::uint32_t value ) {
+        for ( unsigned i = 0; i < 4; ++i ) {
+            out.push_back( static_cast<std::uint8_t>( value >> ( 8U * i ) ) );
+        }
+    };
+
+    std::vector<std::uint8_t> result;
+    std::vector<std::pair<std::uint32_t, std::uint32_t> > table;  /* (cSize, dSize) */
+    for ( std::size_t offset = 0; ( offset < data.size() ) || data.empty(); offset += frameSize ) {
+        const auto slice = data.subView( offset, frameSize );
+        const auto frame = vendorZstdCompress( slice, level );
+        result.insert( result.end(), frame.begin(), frame.end() );
+        table.emplace_back( static_cast<std::uint32_t>( frame.size() ),
+                            static_cast<std::uint32_t>( slice.size() ) );
+        if ( data.empty() ) {
+            break;  /* one empty frame so the stream is well-formed */
+        }
+    }
+
+    /* Seek table: skippable header, 8 bytes per frame (no checksums), then
+     * footer = frame count, descriptor byte (bit 7 = checksum flag, clear),
+     * seekable magic. */
+    const auto tableContentSize = 8 * table.size() + ZSTD_SEEKABLE_FOOTER_SIZE;
+    appendLE32( result, ZSTD_SEEKABLE_TABLE_MAGIC );
+    appendLE32( result, static_cast<std::uint32_t>( tableContentSize ) );
+    for ( const auto& [compressedSize, decompressedSize] : table ) {
+        appendLE32( result, compressedSize );
+        appendLE32( result, decompressedSize );
+    }
+    appendLE32( result, static_cast<std::uint32_t>( table.size() ) );
+    result.push_back( 0 );  /* descriptor: no per-frame checksums */
+    appendLE32( result, ZSTD_SEEKABLE_FOOTER_MAGIC );
+    return result;
+}
+
+/** Plain (non-seekable) single- or multi-frame zstd: frames of @p frameSize
+ * back to back with no seek table — exercises the frame-header-walking
+ * fallback of ZstdDecompressor. */
+[[nodiscard]] inline std::vector<std::uint8_t>
+writeZstdFrames( BufferView data, int level = 3, std::size_t frameSize = 1 * MiB )
+{
+    std::vector<std::uint8_t> result;
+    for ( std::size_t offset = 0; ( offset < data.size() ) || data.empty(); offset += frameSize ) {
+        const auto slice = data.subView( offset, frameSize );
+        const auto frame = vendorZstdCompress( slice, level );
+        result.insert( result.end(), frame.begin(), frame.end() );
+        if ( data.empty() ) {
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace rapidgzip::formats
+
+#endif  /* RAPIDGZIP_HAVE_VENDOR_ZSTD */

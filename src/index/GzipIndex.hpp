@@ -35,6 +35,14 @@ struct GzipIndex
      * (gztool-format imports do not record it). */
     std::size_t compressedSizeBytes{ 0 };
     std::size_t uncompressedSizeBytes{ 0 };
+    /**
+     * Which container the checkpoints index, using formats::Format values
+     * (1 = gzip, kept as a plain byte so the index layer does not depend
+     * on the dispatch layer). Serialized by the native RGZIDX02 format so
+     * an index built for one backend is never replayed against another;
+     * legacy RGZIDX01 files load as gzip.
+     */
+    std::uint8_t formatTag{ 1 /* formats::Format::GZIP */ };
 
     [[nodiscard]] bool
     empty() const noexcept
@@ -48,7 +56,8 @@ struct GzipIndex
         return ( a.checkpoints == b.checkpoints )
                && ( a.windows == b.windows )
                && ( a.compressedSizeBytes == b.compressedSizeBytes )
-               && ( a.uncompressedSizeBytes == b.uncompressedSizeBytes );
+               && ( a.uncompressedSizeBytes == b.uncompressedSizeBytes )
+               && ( a.formatTag == b.formatTag );
     }
 };
 

@@ -22,11 +22,16 @@ namespace rapidgzip::index {
 /**
  * On-disk index formats.
  *
- * NATIVE ("RGZIDX01", little-endian): records everything the in-memory
- * index holds — both stream sizes, bit-granular checkpoints, and the
+ * NATIVE ("RGZIDX02", little-endian): records everything the in-memory
+ * index holds — a format tag naming the container the checkpoints index
+ * (gzip/zstd/lz4/bzip2, so an index is never replayed against the wrong
+ * backend), both stream sizes, bit-granular checkpoints, and the
  * zlib-compressed windows verbatim (compressed AND decompressed sizes, so
- * loading never has to guess buffer sizes). Versioned via the magic's
- * trailing digits.
+ * loading never has to guess buffer sizes). The whole file is covered by
+ * a trailing CRC32, so ANY flipped byte is rejected at load time — the
+ * property the index property tests pin down. Versioned via the magic's
+ * trailing digits; version-01 files (no tag, no CRC) still import, as
+ * gzip.
  *
  * GZTOOL ("gzipindx", big-endian): import/export of the index format used
  * by gztool (and readable by indexed_gzip), so indexes interoperate with
@@ -48,9 +53,18 @@ namespace rapidgzip::index {
  */
 
 inline constexpr std::array<std::uint8_t, 8> NATIVE_INDEX_MAGIC =
+    { 'R', 'G', 'Z', 'I', 'D', 'X', '0', '2' };
+inline constexpr std::array<std::uint8_t, 8> NATIVE_INDEX_MAGIC_V1 =
     { 'R', 'G', 'Z', 'I', 'D', 'X', '0', '1' };
 inline constexpr std::array<std::uint8_t, 8> GZTOOL_INDEX_MAGIC =
     { 'g', 'z', 'i', 'p', 'i', 'n', 'd', 'x' };
+
+/** Format-tag byte values for the native header (formats::Format, kept as
+ * literals so the index layer stays independent of the dispatch layer). */
+inline constexpr std::uint8_t FORMAT_TAG_GZIP = 1;
+inline constexpr std::uint8_t FORMAT_TAG_ZSTD = 2;
+inline constexpr std::uint8_t FORMAT_TAG_LZ4 = 3;
+inline constexpr std::uint8_t FORMAT_TAG_BZIP2 = 4;
 
 namespace detail {
 
@@ -142,6 +156,10 @@ serializeIndex( const GzipIndex& index )
 {
     std::vector<std::uint8_t> out;
     out.insert( out.end(), NATIVE_INDEX_MAGIC.begin(), NATIVE_INDEX_MAGIC.end() );
+    out.push_back( index.formatTag );
+    out.push_back( 0 );  /* reserved */
+    out.push_back( 0 );
+    out.push_back( 0 );
     detail::appendLE<std::uint64_t>( out, index.compressedSizeBytes );
     detail::appendLE<std::uint64_t>( out, index.uncompressedSizeBytes );
     detail::appendLE<std::uint64_t>( out, index.checkpoints.size() );
@@ -157,6 +175,12 @@ serializeIndex( const GzipIndex& index )
         detail::appendLE<std::uint32_t>( out, static_cast<std::uint32_t>( window.zlibData.size() ) );
         out.insert( out.end(), window.zlibData.begin(), window.zlibData.end() );
     }
+    /* Whole-file CRC32 (zlib polynomial) so any on-disk corruption —
+     * including flips in offset fields no structural check could catch —
+     * is rejected at load time. */
+    const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), out.data(),
+                              static_cast<uInt>( out.size() ) );
+    detail::appendLE<std::uint32_t>( out, static_cast<std::uint32_t>( crc ) );
     return out;
 }
 
@@ -165,11 +189,37 @@ deserializeIndex( BufferView data )
 {
     detail::FieldReader reader( data );
     const auto magic = reader.readBytes( NATIVE_INDEX_MAGIC.size() );
-    if ( !std::equal( magic.begin(), magic.end(), NATIVE_INDEX_MAGIC.begin() ) ) {
+    const bool legacy = std::equal( magic.begin(), magic.end(), NATIVE_INDEX_MAGIC_V1.begin() );
+    if ( !legacy && !std::equal( magic.begin(), magic.end(), NATIVE_INDEX_MAGIC.begin() ) ) {
         throw RapidgzipError( "Not a rapidgzip index file (bad magic)" );
     }
 
     GzipIndex index;
+    if ( !legacy ) {
+        /* Verify the trailing CRC over everything before it FIRST: all
+         * further parsing then works on authenticated bytes. */
+        if ( data.size() < NATIVE_INDEX_MAGIC.size() + 4 + 3 * 8 + 4 ) {
+            throw RapidgzipError( "Truncated gzip index file" );
+        }
+        const auto payloadSize = data.size() - 4;
+        const auto expected = static_cast<std::uint32_t>(
+            data[payloadSize]
+            | ( static_cast<std::uint32_t>( data[payloadSize + 1] ) << 8U )
+            | ( static_cast<std::uint32_t>( data[payloadSize + 2] ) << 16U )
+            | ( static_cast<std::uint32_t>( data[payloadSize + 3] ) << 24U ) );
+        const auto actual = ::crc32( ::crc32( 0L, Z_NULL, 0 ), data.data(),
+                                     static_cast<uInt>( payloadSize ) );
+        if ( static_cast<std::uint32_t>( actual ) != expected ) {
+            throw RapidgzipError( "Gzip index file failed its CRC32 — corrupt or truncated" );
+        }
+        index.formatTag = reader.readLE<std::uint8_t>();
+        (void)reader.readBytes( 3 );  /* reserved */
+        if ( ( index.formatTag < FORMAT_TAG_GZIP ) || ( index.formatTag > FORMAT_TAG_BZIP2 ) ) {
+            throw RapidgzipError( "Gzip index file names an unknown format tag" );
+        }
+    } else {
+        index.formatTag = FORMAT_TAG_GZIP;
+    }
     index.compressedSizeBytes = reader.readLE<std::uint64_t>();
     index.uncompressedSizeBytes = reader.readLE<std::uint64_t>();
     const auto checkpointCount = reader.readLE<std::uint64_t>();

@@ -102,6 +102,76 @@ fastqData( std::size_t size, std::uint64_t seed )
 }
 
 /**
+ * Long byte runs with geometrically distributed lengths — the RLE-heavy
+ * extreme every entropy coder special-cases (bzip2's RLE1 stage, LZ4's
+ * overlapping offset-1 matches, Deflate's length-258 chains). Exercises
+ * exactly the code paths a uniform random corpus never touches: maximal
+ * match lengths, overlap copies, and bzip2's run-length escape at 251+
+ * repeats.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+runsData( std::size_t size, std::uint64_t seed )
+{
+    std::vector<std::uint8_t> result;
+    result.reserve( size );
+    Xorshift64 random( seed );
+    while ( result.size() < size ) {
+        const auto value = static_cast<std::uint8_t>( random.below( 8 ) * 31 );
+        /* Geometric-ish: mostly short runs, occasionally thousands long. */
+        auto length = 1 + random.below( 16 );
+        if ( random.below( 8 ) == 0 ) {
+            length = 64 + random.below( 4096 );
+        }
+        length = std::min( length, size - result.size() );
+        result.insert( result.end(), length, value );
+    }
+    return result;
+}
+
+/**
+ * Boundary-heavy LZ windows: repeated phrases whose lengths hover around
+ * the writers' block/frame boundaries (64 KiB, 256 KiB) so back-references
+ * constantly WANT to cross chunk borders. For formats cut into independent
+ * blocks this is the adversarial input — the compressor must cut matches
+ * at each boundary and the reader must not let state leak across — and for
+ * the gzip two-stage decoder it maximizes surviving markers. Phrase
+ * distances are drawn near 1, 2^15 (the Deflate window), and 2^16 (the LZ4
+ * offset limit) to sit on every off-by-one edge.
+ */
+[[nodiscard]] inline std::vector<std::uint8_t>
+lzBoundaryData( std::size_t size, std::uint64_t seed )
+{
+    std::vector<std::uint8_t> result;
+    result.reserve( size );
+    Xorshift64 random( seed );
+
+    static constexpr std::size_t EDGES[] = { 1, 2, 7, 8,
+                                             32 * KiB - 1, 32 * KiB, 32 * KiB + 1,
+                                             64 * KiB - 1, 64 * KiB };
+    while ( result.size() < size ) {
+        if ( ( result.size() < 64 ) || ( random.below( 4 ) == 0 ) ) {
+            /* Fresh literal material. */
+            const auto length = std::min<std::size_t>( 16 + random.below( 64 ),
+                                                       size - result.size() );
+            for ( std::size_t i = 0; i < length; ++i ) {
+                result.push_back( static_cast<std::uint8_t>( random.below( 256 ) ) );
+            }
+            continue;
+        }
+        /* Copy from an edge-case distance back; lengths may exceed the
+         * distance, producing overlapping (RLE-like) matches. */
+        auto distance = EDGES[random.below( sizeof( EDGES ) / sizeof( EDGES[0] ) )];
+        distance = std::min( distance, result.size() );
+        const auto length = std::min<std::size_t>( 4 + random.below( 512 ),
+                                                   size - result.size() );
+        for ( std::size_t i = 0; i < length; ++i ) {
+            result.push_back( result[result.size() - distance] );
+        }
+    }
+    return result;
+}
+
+/**
  * Mixed text/binary corpus standing in for Silesia (Fig. 10; see DESIGN.md):
  * alternating 64 KiB segments of English-like text, binary records with
  * non-ASCII bytes, LZ-friendly near-repeats of earlier content, and random

@@ -1,0 +1,53 @@
+/**
+ * libFuzzer target: DynamicBlockFinderRapid (cascaded packed-histogram
+ * filters) vs DynamicBlockFinderNaive (full header parse) must accept
+ * EXACTLY the same bit offsets on arbitrary input — the cascade is an
+ * acceleration, not an approximation. Any divergence is a finder bug by
+ * construction, no oracle needed beyond the naive parse.
+ *
+ * Build (Clang only): cmake -DRAPIDGZIP_FUZZ=ON, target fuzz_blockfinder.
+ * Run: ./fuzz_blockfinder tests/fuzz/corpus/blockfinder -max_total_time=60
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "blockfinder/DynamicBlockFinderNaive.hpp"
+#include "blockfinder/DynamicBlockFinderRapid.hpp"
+#include "blockfinder/DynamicBlockFinderSkipLUT.hpp"
+
+extern "C" int
+LLVMFuzzerTestOneInput( const std::uint8_t* data, std::size_t size )
+{
+    if ( ( size < 8 ) || ( size > 64 * 1024 ) ) {
+        return 0;
+    }
+    /* First byte steers the start offset so byte-misaligned scans get
+     * coverage; the rest is the scanned window. */
+    const std::size_t fromBit = data[0] % 8;
+    const rapidgzip::BufferView view( data + 1, size - 1 );
+
+    const rapidgzip::blockfinder::DynamicBlockFinderNaive naive;
+    rapidgzip::blockfinder::DynamicBlockFinderRapid rapid;
+    const rapidgzip::blockfinder::DynamicBlockFinderSkipLUT skipLut;
+
+    auto cursor = fromBit;
+    for ( int matches = 0; matches < 16; ++matches ) {
+        const auto expected = naive.find( view, cursor );
+        const auto fromRapid = rapid.find( view, cursor );
+        const auto fromSkipLut = skipLut.find( view, cursor );
+        if ( ( fromRapid != expected ) || ( fromSkipLut != expected ) ) {
+            std::fprintf( stderr,
+                          "finder divergence at fromBit %zu: naive %zu rapid %zu skipLUT %zu\n",
+                          cursor, expected, fromRapid, fromSkipLut );
+            std::abort();
+        }
+        if ( expected == rapidgzip::blockfinder::NOT_FOUND ) {
+            break;
+        }
+        cursor = expected + 1;
+    }
+    return 0;
+}

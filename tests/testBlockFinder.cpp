@@ -43,6 +43,182 @@ checkFindsKnownOffsets( Finder&& finder,
     }
 }
 
+/** LSB-first bit writer matching Deflate's value bit order; Huffman codes
+ * go through putCode (Deflate writes codes MSB-of-code-first). */
+class DeflateBitWriter
+{
+public:
+    void
+    put( std::uint32_t value, std::size_t count )
+    {
+        for ( std::size_t i = 0; i < count; ++i ) {
+            if ( m_fill == 8 ) {
+                m_bytes.push_back( 0 );
+                m_fill = 0;
+            }
+            m_bytes.back() = static_cast<std::uint8_t>(
+                m_bytes.back() | ( ( ( value >> i ) & 1U ) << m_fill ) );
+            ++m_fill;
+        }
+    }
+
+    void
+    putCode( std::uint32_t code, std::size_t count )
+    {
+        for ( std::size_t i = count; i > 0; --i ) {
+            put( ( code >> ( i - 1 ) ) & 1U, 1 );
+        }
+    }
+
+    [[nodiscard]] std::vector<std::uint8_t>
+    finish( std::size_t padBytes )
+    {
+        auto result = m_bytes;
+        if ( result.empty() ) {
+            result.push_back( 0 );
+        }
+        result.insert( result.end(), padBytes, 0 );
+        return result;
+    }
+
+    DeflateBitWriter()
+    {
+        m_bytes.push_back( 0 );
+        m_fill = 0;
+    }
+
+private:
+    std::vector<std::uint8_t> m_bytes;
+    std::size_t m_fill{ 0 };
+};
+
+/**
+ * Crafted Dynamic headers aimed at the rapid finder's SURVIVOR TAIL — the
+ * cold out-of-line stages 5-7 that only candidates passing the packed
+ * precode filter reach. Each case passes stages 1-4 by construction and is
+ * then accepted or rejected by the later stages; all three custom finders
+ * must agree with the naive full parse on the exact result, offset for
+ * offset. The simple precode has symbols {0, 8} with 1-bit codes
+ * (canonical: 0 → code 0, 8 → code 1).
+ */
+struct CraftedHeader
+{
+    const char* name;
+    bool valid;
+    std::vector<std::uint8_t> bytes;
+};
+
+[[nodiscard]] CraftedHeader
+craftHeader( const char* name,
+             bool valid,
+             std::size_t lengthEightLiterals,   /* precode sym 8 emissions (literal side) */
+             std::size_t zeroLengthLiterals,    /* precode sym 0 emissions (literal side) */
+             std::size_t hdist,                 /* HDIST field: hdist + 1 distance entries */
+             std::size_t lengthEightDistances ) /* sym 8 emissions on the distance side */
+{
+    DeflateBitWriter writer;
+    writer.put( 0, 1 );   /* BFINAL = 0 */
+    writer.put( 2, 2 );   /* BTYPE = Dynamic */
+    writer.put( 0, 5 );   /* HLIT = 0 → 257 literal entries */
+    writer.put( static_cast<std::uint32_t>( hdist ), 5 );
+    writer.put( 1, 4 );   /* HCLEN = 1 → 5 precode lengths: 16 17 18 0 8 */
+    writer.put( 0, 3 );   /* length(16) = 0 */
+    writer.put( 0, 3 );   /* length(17) = 0 */
+    writer.put( 0, 3 );   /* length(18) = 0 */
+    writer.put( 1, 3 );   /* length(0)  = 1 → canonical code 0 */
+    writer.put( 1, 3 );   /* length(8)  = 1 → canonical code 1 */
+
+    for ( std::size_t i = 0; i < lengthEightLiterals; ++i ) {
+        writer.putCode( 1, 1 );  /* literal entry of code length 8 */
+    }
+    for ( std::size_t i = 0; i < zeroLengthLiterals; ++i ) {
+        writer.putCode( 0, 1 );  /* literal entry of code length 0 */
+    }
+    for ( std::size_t i = 0; i < 1 + hdist; ++i ) {
+        writer.putCode( i < lengthEightDistances ? 1 : 0, 1 );
+    }
+    return { name, valid, writer.finish( 64 ) };
+}
+
+/** Stage-5 overflow case: precode {18:1, 0:2, 8:2}; a symbol-18 run of
+ * 11 + 127 zeros overruns the 258 total entries. */
+[[nodiscard]] CraftedHeader
+craftRepeatOverflowHeader()
+{
+    DeflateBitWriter writer;
+    writer.put( 0, 1 );
+    writer.put( 2, 2 );
+    writer.put( 0, 5 );   /* HLIT = 0 */
+    writer.put( 0, 5 );   /* HDIST = 0 */
+    writer.put( 1, 4 );   /* HCLEN = 1 → lengths for 16 17 18 0 8 */
+    writer.put( 0, 3 );   /* length(16) = 0 */
+    writer.put( 0, 3 );   /* length(17) = 0 */
+    writer.put( 1, 3 );   /* length(18) = 1 → canonical code 0 */
+    writer.put( 2, 3 );   /* length(0)  = 2 → canonical code 10 */
+    writer.put( 2, 3 );   /* length(8)  = 2 → canonical code 11 */
+
+    for ( std::size_t i = 0; i < 200; ++i ) {
+        writer.putCode( 0b11U, 2 );  /* 200 length-8 literal entries */
+    }
+    writer.putCode( 0, 1 );          /* symbol 18 ... */
+    writer.put( 127, 7 );            /* ... repeat 11 + 127 → 200 + 138 > 258 */
+    return { "stage-5 repeat overflow", false, writer.finish( 64 ) };
+}
+
+void
+testCraftedAlmostValidHeaders()
+{
+    const std::vector<CraftedHeader> cases = {
+        /* 256 length-8 literals + EOB length 0: Kraft sum exactly 1. */
+        craftHeader( "valid control", true, 256, 1, 0, 0 ),
+        /* 257 length-8 literals: Kraft 257/256 — over-subscribed (stage 7). */
+        craftHeader( "over-subscribed literal code", false, 257, 0, 0, 0 ),
+        /* 255 length-8 literals: Kraft 255/256 — incomplete (stage 7). */
+        craftHeader( "incomplete literal code", false, 255, 2, 0, 0 ),
+        /* Valid literals but TWO length-8 distance codes: incomplete with
+         * more than one symbol (stage 6; one symbol would be legal). */
+        craftHeader( "non-optimal distance code", false, 256, 1, 1, 2 ),
+        /* Valid literals and exactly ONE distance code: legal single-code
+         * incompleteness — must be ACCEPTED (the stage-6 exemption). */
+        craftHeader( "single distance code", true, 256, 1, 0, 1 ),
+        craftRepeatOverflowHeader(),
+    };
+
+    for ( const auto& crafted : cases ) {
+        const BufferView view( crafted.bytes.data(), crafted.bytes.size() );
+        const blockfinder::DynamicBlockFinderNaive naive;
+        blockfinder::DynamicBlockFinderRapid rapid;
+        const blockfinder::DynamicBlockFinderSkipLUT skipLut;
+
+        const auto naiveResult = naive.find( view, 0 );
+        const auto rapidResult = rapid.find( view, 0 );
+        const auto skipResult = skipLut.find( view, 0 );
+        REQUIRE( rapidResult == naiveResult );
+        REQUIRE( skipResult == naiveResult );
+        if ( crafted.valid ) {
+            REQUIRE( naiveResult == 0 );
+        } else {
+            REQUIRE( naiveResult != 0 );
+            REQUIRE( !blockfinder::DynamicBlockFinderRapid::testCandidate( view, 0, nullptr ) );
+        }
+        if ( naiveResult != 0 ) {
+            continue;
+        }
+
+        /* The accepted cases must also survive at a non-byte-aligned start:
+         * re-emit at bit offset 3. */
+        DeflateBitWriter shifted;
+        shifted.put( 0b101U, 3 );  /* arbitrary preamble bits */
+        for ( const auto byte : crafted.bytes ) {
+            shifted.put( byte, 8 );
+        }
+        const auto shiftedBytes = shifted.finish( 8 );
+        const BufferView shiftedView( shiftedBytes.data(), shiftedBytes.size() );
+        REQUIRE( rapid.find( shiftedView, 3 ) == 3 );
+        REQUIRE( naive.find( shiftedView, 3 ) == 3 );
+    }
+}
+
 }  // namespace
 
 int
@@ -182,6 +358,11 @@ main()
             REQUIRE( finder.find( storedStream, lenBit ) == lenBit );
         }
     }
+
+    /* Survivor-tail negative tests: crafted almost-valid headers that pass
+     * the packed stages 1-4 and must be decided — identically across
+     * finders — by the cold stages 5-7. */
+    testCraftedAlmostValidHeaders();
 
     return rapidgzip::test::finish( "testBlockFinder" );
 }

@@ -1,0 +1,388 @@
+/**
+ * Differential decompression suite: every backend's writer feeds every
+ * corpus through OUR reader and through the VENDOR decoder, byte-exact.
+ * This is the randomized cross-check the PR 2-4 spot tests lacked — the
+ * corpus generator is seeded-PRNG (base64, long runs, incompressible
+ * random, boundary-heavy LZ windows), so failures reproduce from the seed
+ * printed by the harness.
+ *
+ * Per format:
+ *   gzip  — ParallelGzipReader (two-stage pipeline) vs zlib inflate;
+ *   zstd  — frame-parallel dispatch reader vs ZSTD_decompressStream;
+ *   lz4   — from-scratch frame+block decoder vs LZ4_decompress_safe per
+ *           block (both directions: our writer → vendor, vendor → ours);
+ *   bzip2 — block-scan parallel reader vs libbz2 whole-stream streaming.
+ *
+ * Plus, per the acceptance criteria: multi-frame/member/stream inputs and
+ * truncated-input rejection (every truncation must throw RapidgzipError —
+ * never crash, never return success with wrong bytes).
+ *
+ * RAPIDGZIP_DIFF_SCALE scales the corpus sizes (default 0.01 for quick
+ * ctest runs; the nightly CI job runs 0.05).
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/ParallelGzipReader.hpp"
+#include "formats/Formats.hpp"
+#include "formats/Lz4Codec.hpp"
+#include "formats/Lz4Writer.hpp"
+#include "formats/VendorLz4.hpp"
+#include "formats/VendorZstd.hpp"
+#include "formats/VendorBzip2.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+#include "formats/ZstdWriter.hpp"
+#endif
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+#include "formats/Bzip2Writer.hpp"
+#endif
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+[[nodiscard]] double
+diffScale()
+{
+    if ( const auto* value = std::getenv( "RAPIDGZIP_DIFF_SCALE" ) ) {
+        const auto parsed = std::atof( value );
+        if ( parsed > 0.0 ) {
+            return parsed;
+        }
+    }
+    return 0.01;
+}
+
+[[nodiscard]] std::size_t
+scaled( std::size_t bytes )
+{
+    const auto result = static_cast<std::size_t>( static_cast<double>( bytes ) * diffScale() );
+    return std::max<std::size_t>( result, 16 * KiB );
+}
+
+struct Corpus
+{
+    std::string name;
+    std::vector<std::uint8_t> data;
+};
+
+[[nodiscard]] std::vector<Corpus>
+buildCorpora( std::uint64_t seed )
+{
+    const auto size = scaled( 32 * MiB );
+    return {
+        { "base64", workloads::base64Data( size, seed ) },
+        { "runs", workloads::runsData( size, seed + 1 ) },
+        { "random", workloads::randomData( size, seed + 2 ) },
+        { "lz-boundary", workloads::lzBoundaryData( size, seed + 3 ) },
+    };
+}
+
+[[nodiscard]] ChunkFetcherConfiguration
+config()
+{
+    ChunkFetcherConfiguration result;
+    result.parallelism = 4;
+    result.chunkSizeBytes = 256 * KiB;
+    return result;
+}
+
+/** Decompress @p file through the dispatch layer, collecting all bytes. */
+[[nodiscard]] std::vector<std::uint8_t>
+decompressOurs( const std::vector<std::uint8_t>& file )
+{
+    auto decompressor = formats::makeDecompressor(
+        std::make_unique<MemoryFileReader>( file ), config() );
+    std::vector<std::uint8_t> result;
+    const auto total = decompressor->decompress( [&result] ( BufferView span ) {
+        result.insert( result.end(), span.begin(), span.end() );
+    } );
+    REQUIRE( total == result.size() );
+    return result;
+}
+
+/** Every strict prefix of @p file must be REJECTED (throw), never crash and
+ * never decode "successfully". Sampled stride keeps the quadratic cost down;
+ * boundaries (±1 byte) are always included. */
+void
+requireTruncationsRejected( const std::vector<std::uint8_t>& file,
+                            const std::vector<std::uint8_t>& original )
+{
+    std::vector<std::size_t> cuts;
+    for ( std::size_t cut = 1; cut < file.size();
+          cut += std::max<std::size_t>( 1, file.size() / 37 ) ) {
+        cuts.push_back( cut );
+    }
+    cuts.push_back( file.size() - 1 );
+    cuts.push_back( file.size() / 2 );
+
+    for ( const auto cut : cuts ) {
+        const std::vector<std::uint8_t> truncated( file.begin(),
+                                                   file.begin()
+                                                   + static_cast<std::ptrdiff_t>( cut ) );
+        bool rejected = false;
+        try {
+            const auto decoded = decompressOurs( truncated );
+            /* A truncated multi-frame container can decode VALIDLY to a
+             * prefix (e.g. cut exactly between gzip members/zstd frames) —
+             * then the bytes must be a clean prefix of the original, never
+             * garbage. */
+            rejected = true;
+            REQUIRE( decoded.size() <= original.size() );
+            REQUIRE( std::equal( decoded.begin(), decoded.end(), original.begin() ) );
+        } catch ( const RapidgzipError& ) {
+            rejected = true;
+        }
+        REQUIRE( rejected );
+    }
+}
+
+void
+testGzipDifferential( const Corpus& corpus )
+{
+    /* Our parallel reader vs the vendor (zlib) oracle, single member. */
+    const auto file = compressGzipLike( { corpus.data.data(), corpus.data.size() }, 6 );
+    REQUIRE( formats::detectFormat( { file.data(), file.size() } ) == formats::Format::GZIP );
+    REQUIRE( decompressOurs( file ) == corpus.data );
+    REQUIRE( decompressWithZlib( { file.data(), file.size() } ) == corpus.data );
+
+    /* Multi-member (concatenated gzip). */
+    auto concatenated = file;
+    const auto second = compressGzipLike( { corpus.data.data(), corpus.data.size() / 2 }, 1 );
+    concatenated.insert( concatenated.end(), second.begin(), second.end() );
+    std::vector<std::uint8_t> expected = corpus.data;
+    expected.insert( expected.end(), corpus.data.begin(),
+                     corpus.data.begin() + static_cast<std::ptrdiff_t>( corpus.data.size() / 2 ) );
+    REQUIRE( decompressOurs( concatenated ) == expected );
+
+    requireTruncationsRejected( file, corpus.data );
+}
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_LZ4 )
+/** Frame walk mirroring the spec (not our reader), bytes via vendor
+ * blocks: replays the file as liblz4 would see each block. Only the
+ * profile our writer emits needs supporting here. */
+class Lz4BlockOracle
+{
+public:
+    explicit Lz4BlockOracle( std::vector<std::uint8_t> file ) :
+        m_file( std::move( file ) )
+    {}
+
+    [[nodiscard]] std::vector<std::uint8_t>
+    decodeAll()
+    {
+        std::vector<std::uint8_t> result;
+        std::size_t offset = 0;
+        const auto le32 = [this] ( std::size_t at ) {
+            return formats::readLE32( m_file.data() + at );
+        };
+        while ( offset < m_file.size() ) {
+            const auto magic = le32( offset );
+            if ( ( magic & formats::ZSTD_SKIPPABLE_MAGIC_MASK )
+                 == formats::ZSTD_SKIPPABLE_MAGIC_BASE ) {
+                offset += 8 + le32( offset + 4 );
+                continue;
+            }
+            REQUIRE( magic == formats::LZ4_FRAME_MAGIC );
+            const auto flg = m_file[offset + 4];
+            const auto bd = m_file[offset + 5];
+            const bool blockChecksums = ( flg & 0x10U ) != 0;
+            const bool contentSize = ( flg & 0x08U ) != 0;
+            const bool contentChecksum = ( flg & 0x04U ) != 0;
+            const auto blockMaxSize = formats::Lz4Writer::blockMaxSizeBytes(
+                static_cast<formats::Lz4Writer::BlockMaxSize>( ( bd >> 4U ) & 0x7U ) );
+            offset += 4 + 2 + ( contentSize ? 8 : 0 ) + 1;
+
+            while ( true ) {
+                const auto header = le32( offset );
+                offset += 4;
+                if ( header == 0 ) {
+                    break;
+                }
+                const bool stored = ( header & 0x80000000U ) != 0;
+                const auto dataSize = header & 0x7FFFFFFFU;
+                if ( stored ) {
+                    result.insert( result.end(),
+                                   m_file.begin() + static_cast<std::ptrdiff_t>( offset ),
+                                   m_file.begin()
+                                   + static_cast<std::ptrdiff_t>( offset + dataSize ) );
+                } else {
+                    std::vector<std::uint8_t> decoded( blockMaxSize );
+                    const auto size = formats::vendorLz4DecompressBlock(
+                        { m_file.data() + offset, dataSize }, decoded.data(), decoded.size() );
+                    result.insert( result.end(), decoded.begin(),
+                                   decoded.begin() + static_cast<std::ptrdiff_t>( size ) );
+                }
+                offset += dataSize + ( blockChecksums ? 4 : 0 );
+            }
+            offset += contentChecksum ? 4 : 0;
+        }
+        return result;
+    }
+
+private:
+    std::vector<std::uint8_t> m_file;
+};
+#endif
+
+void
+testLz4Differential( const Corpus& corpus )
+{
+    const BufferView span{ corpus.data.data(), corpus.data.size() };
+
+    /* Block-level differential, both directions, before any framing. */
+#if defined( RAPIDGZIP_HAVE_VENDOR_LZ4 )
+    {
+        const auto blockInput = span.subView( 0, 64 * KiB );
+        const auto ourBlock = formats::lz4CompressBlock( blockInput );
+        std::vector<std::uint8_t> vendorDecoded( blockInput.size() );
+        const auto vendorSize = formats::vendorLz4DecompressBlock(
+            { ourBlock.data(), ourBlock.size() }, vendorDecoded.data(), vendorDecoded.size() );
+        REQUIRE( vendorSize == blockInput.size() );
+        REQUIRE( std::equal( vendorDecoded.begin(), vendorDecoded.end(), blockInput.begin() ) );
+
+        const auto vendorBlock = formats::vendorLz4CompressBlock( blockInput );
+        std::vector<std::uint8_t> ourDecoded;
+        formats::lz4DecompressBlock( { vendorBlock.data(), vendorBlock.size() }, ourDecoded,
+                                     0, blockInput.size() );
+        REQUIRE( ourDecoded.size() == blockInput.size() );
+        REQUIRE( std::equal( ourDecoded.begin(), ourDecoded.end(), blockInput.begin() ) );
+    }
+#endif
+
+    /* Frame level: our writer → our parallel reader, both block sizes. */
+    for ( const auto blockSize : { formats::Lz4Writer::BlockMaxSize::KIB64,
+                                   formats::Lz4Writer::BlockMaxSize::KIB256 } ) {
+        const auto file = formats::writeLz4( span, blockSize );
+        REQUIRE( formats::detectFormat( { file.data(), file.size() } ) == formats::Format::LZ4 );
+        REQUIRE( decompressOurs( file ) == corpus.data );
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_LZ4 )
+        /* Vendor oracle on every framed block our writer produced: parse
+         * with the frame walk (shared), decode blocks with liblz4. */
+        Lz4BlockOracle oracle( file );
+        REQUIRE( oracle.decodeAll() == corpus.data );
+#endif
+    }
+
+    /* Multi-frame: two frames back to back plus a skippable frame. */
+    {
+        std::vector<std::uint8_t> file;
+        formats::Lz4Writer::writeFrame( file, span, formats::Lz4Writer::BlockMaxSize::KIB64 );
+        const std::vector<std::uint8_t> metadata{ 'm', 'e', 't', 'a' };
+        formats::Lz4Writer::writeSkippableFrame( file, { metadata.data(), metadata.size() } );
+        formats::Lz4Writer::writeFrame( file, span.subView( 0, corpus.data.size() / 2 ),
+                                        formats::Lz4Writer::BlockMaxSize::KIB64 );
+        std::vector<std::uint8_t> expected = corpus.data;
+        expected.insert( expected.end(), corpus.data.begin(),
+                         corpus.data.begin()
+                         + static_cast<std::ptrdiff_t>( corpus.data.size() / 2 ) );
+        REQUIRE( decompressOurs( file ) == expected );
+        requireTruncationsRejected( file, expected );
+    }
+}
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+void
+testZstdDifferential( const Corpus& corpus )
+{
+    const BufferView span{ corpus.data.data(), corpus.data.size() };
+
+    /* Seekable (frame-parallel) and plain multi-frame layouts. */
+    for ( const bool seekable : { true, false } ) {
+        const auto file = seekable ? formats::writeZstdSeekable( span, 3, 256 * KiB )
+                                   : formats::writeZstdFrames( span, 3, 256 * KiB );
+        REQUIRE( formats::detectFormat( { file.data(), file.size() } ) == formats::Format::ZSTD );
+
+        /* Ours vs vendor streaming oracle vs ground truth. */
+        REQUIRE( decompressOurs( file ) == corpus.data );
+        REQUIRE( formats::vendorZstdDecompressAll( { file.data(), file.size() } )
+                 == corpus.data );
+
+        auto decompressor = formats::makeDecompressor(
+            std::make_unique<MemoryFileReader>( file ), config() );
+        REQUIRE( decompressor->parallelizable() );
+        REQUIRE( decompressor->size() == corpus.data.size() );
+    }
+
+    const auto file = formats::writeZstdSeekable( span, 3, 256 * KiB );
+    requireTruncationsRejected( file, corpus.data );
+}
+#endif
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+void
+testBzip2Differential( const Corpus& corpus )
+{
+    const BufferView span{ corpus.data.data(), corpus.data.size() };
+
+    for ( const int level : { 1, 9 } ) {
+        const auto file = formats::writeBzip2( span, level );
+        REQUIRE( formats::detectFormat( { file.data(), file.size() } )
+                 == formats::Format::BZIP2 );
+        REQUIRE( decompressOurs( file ) == corpus.data );
+        REQUIRE( formats::vendorBzip2DecompressAll( { file.data(), file.size() } )
+                 == corpus.data );
+    }
+
+    /* Multi-stream (bzip2 -c a >> out; bzip2 -c b >> out). */
+    {
+        auto file = formats::writeBzip2( span, 1 );
+        const auto second = formats::writeBzip2( span.subView( 0, corpus.data.size() / 2 ), 1 );
+        file.insert( file.end(), second.begin(), second.end() );
+        std::vector<std::uint8_t> expected = corpus.data;
+        expected.insert( expected.end(), corpus.data.begin(),
+                         corpus.data.begin()
+                         + static_cast<std::ptrdiff_t>( corpus.data.size() / 2 ) );
+
+        auto decompressor = formats::makeDecompressor(
+            std::make_unique<MemoryFileReader>( file ), config() );
+        REQUIRE( decompressor->parallelizable() );  /* scan follows both streams */
+        std::vector<std::uint8_t> decoded;
+        (void)decompressor->decompress( [&decoded] ( BufferView view ) {
+            decoded.insert( decoded.end(), view.begin(), view.end() );
+        } );
+        REQUIRE( decoded == expected );
+    }
+
+    const auto file = formats::writeBzip2( span, 1 );
+    requireTruncationsRejected( file, corpus.data );
+}
+#endif
+
+}  // namespace
+
+int
+main()
+{
+    const std::uint64_t seed = 0xD1FFE2E47ULL;
+    std::printf( "differential scale %.3f, seed %llu\n", diffScale(),
+                 static_cast<unsigned long long>( seed ) );
+
+    for ( const auto& corpus : buildCorpora( seed ) ) {
+        std::printf( "  corpus %-12s (%zu bytes)\n", corpus.name.c_str(), corpus.data.size() );
+        std::fflush( stdout );
+        testGzipDifferential( corpus );
+        testLz4Differential( corpus );
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+        testZstdDifferential( corpus );
+#endif
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+        testBzip2Differential( corpus );
+#endif
+    }
+    return rapidgzip::test::finish( "testDifferential" );
+}

@@ -7,6 +7,7 @@
  * checkpoints (never the serial single-chunk fallback).
  */
 
+#include <algorithm>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -89,6 +90,73 @@ testWindowMap()
     REQUIRE( sparseShort.size() == shortWindow.size() );
     REQUIRE( sparseShort[0] == 0x42 );
     REQUIRE( sparseShort[1] == 0 );
+
+    /* --- sparse-insert NEGATIVE cases: marker-referenced bytes must NOT
+     * be zeroed, whatever the referenced-set shape -------------------- */
+
+    /* Every byte referenced → insertSparse must be byte-identical to a
+     * plain insert: zeroing anything here would corrupt later decodes. */
+    {
+        const auto pattern = [] ( std::size_t i ) {
+            return static_cast<std::uint8_t>( ( i * 131 + 7 ) & 0xFFU );
+        };
+        std::vector<std::uint8_t> full( deflate::WINDOW_SIZE );
+        for ( std::size_t i = 0; i < full.size(); ++i ) {
+            full[i] = pattern( i );
+        }
+        const std::vector<bool> allReferenced( deflate::WINDOW_SIZE, true );
+        windows.insertSparse( 5005, { full.data(), full.size() }, allReferenced );
+        REQUIRE( windows.get( 5005 ) == full );
+    }
+
+    /* Nothing referenced (empty vector AND all-false vector) → everything
+     * zeroed, but the SIZE must stay intact (a resume point's window length
+     * is load-bearing even when its bytes are not). */
+    {
+        std::vector<std::uint8_t> full( deflate::WINDOW_SIZE, 0xCD );
+        windows.insertSparse( 6006, { full.data(), full.size() }, {} );
+        const auto zeroed = windows.get( 6006 );
+        REQUIRE( zeroed.size() == full.size() );
+        REQUIRE( std::count( zeroed.begin(), zeroed.end(), 0 )
+                 == static_cast<std::ptrdiff_t>( zeroed.size() ) );
+        windows.insertSparse( 6006, { full.data(), full.size() },
+                              std::vector<bool>( deflate::WINDOW_SIZE, false ) );
+        REQUIRE( windows.get( 6006 ).size() == full.size() );
+    }
+
+    /* Short-window offset mapping boundaries: for a 100-byte window the
+     * valid marker offsets are [WINDOW_SIZE - 100, WINDOW_SIZE); a mark
+     * JUST BELOW the window start must not bleed into window[0], and the
+     * last byte maps to WINDOW_SIZE - 1 exactly. Off-by-one in `missing`
+     * would zero a referenced byte — the corruption class this pins. */
+    {
+        std::vector<std::uint8_t> window100( 100, 0x42 );
+        std::vector<bool> marks( deflate::WINDOW_SIZE, false );
+        marks[deflate::WINDOW_SIZE - 101] = true;  /* before the window: no effect */
+        marks[deflate::WINDOW_SIZE - 1] = true;    /* last byte: preserved */
+        windows.insertSparse( 7007, { window100.data(), window100.size() }, marks );
+        const auto mapped = windows.get( 7007 );
+        REQUIRE( mapped.size() == 100 );
+        REQUIRE( mapped[0] == 0 );     /* only the out-of-window mark pointed near it */
+        REQUIRE( mapped[99] == 0x42 ); /* referenced — must NOT be zeroed */
+        for ( std::size_t i = 1; i < 99; ++i ) {
+            REQUIRE( mapped[i] == 0 );
+        }
+    }
+
+    /* Re-inserting sparsely over an existing full window must OVERWRITE:
+     * stale bytes from the previous insert may not resurface. */
+    {
+        std::vector<std::uint8_t> full( deflate::WINDOW_SIZE, 0x11 );
+        windows.insert( 8008, { full.data(), full.size() } );
+        std::vector<bool> one( deflate::WINDOW_SIZE, false );
+        one[0] = true;
+        std::vector<std::uint8_t> replacement( deflate::WINDOW_SIZE, 0x22 );
+        windows.insertSparse( 8008, { replacement.data(), replacement.size() }, one );
+        const auto overwritten = windows.get( 8008 );
+        REQUIRE( overwritten[0] == 0x22 );
+        REQUIRE( overwritten[1] == 0 );  /* NOT 0x11 from the stale window */
+    }
 }
 
 [[nodiscard]] GzipIndex

@@ -1,0 +1,160 @@
+/**
+ * Property tests for index/IndexSerializer: round-trip arbitrary
+ * checkpoint/window sets through both on-disk formats, and pin down the
+ * rejection paths — EVERY truncation and EVERY single-byte flip of a
+ * native index file must throw (the RGZIDX02 trailing CRC32 makes the
+ * flip property total; before it, flips inside offset fields loaded
+ * silently). Legacy RGZIDX01 files must keep importing, as gzip.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "index/GzipIndex.hpp"
+#include "index/IndexSerializer.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/** Arbitrary-but-valid index: strictly increasing checkpoints, windows of
+ * random sizes (0 = none) at checkpoint offsets, random format tag. */
+[[nodiscard]] GzipIndex
+randomIndex( Xorshift64& random )
+{
+    GzipIndex index;
+    index.formatTag = static_cast<std::uint8_t>( 1 + random.below( 4 ) );
+    const auto checkpointCount = random.below( 12 );
+    std::size_t compressedBits = 8;
+    std::size_t uncompressedOffset = 0;
+    for ( std::size_t i = 0; i < checkpointCount; ++i ) {
+        index.checkpoints.push_back( { compressedBits, uncompressedOffset } );
+        if ( random.below( 3 ) != 0 ) {
+            const auto windowSize = 1 + random.below( deflate::WINDOW_SIZE );
+            const auto window = workloads::randomData( windowSize, random() );
+            index.windows.insert( compressedBits, { window.data(), window.size() } );
+        }
+        compressedBits += 1 + random.below( 100000 );
+        uncompressedOffset += random.below( 200000 );
+    }
+    index.compressedSizeBytes = ceilDiv<std::size_t>( compressedBits, 8 ) + random.below( 1000 );
+    index.uncompressedSizeBytes = uncompressedOffset + random.below( 100000 );
+    return index;
+}
+
+void
+testNativeRoundTrip()
+{
+    Xorshift64 random( 0x1DBEEFULL );
+    for ( int iteration = 0; iteration < 50; ++iteration ) {
+        const auto index = randomIndex( random );
+        const auto serialized = index::serializeIndex( index );
+        const auto loaded = index::deserializeIndex( { serialized.data(), serialized.size() } );
+        REQUIRE( loaded == index );
+        REQUIRE( loaded.formatTag == index.formatTag );
+    }
+}
+
+void
+testGztoolRoundTrip()
+{
+    Xorshift64 random( 0x677AA11ULL );
+    for ( int iteration = 0; iteration < 25; ++iteration ) {
+        auto index = randomIndex( random );
+        /* gztool's format predates the tag — only gzip indexes export. */
+        index.formatTag = index::FORMAT_TAG_GZIP;
+        const auto exported = index::exportGztoolIndex( index );
+        const auto imported = index::importGztoolIndex( { exported.data(), exported.size() } );
+        REQUIRE( imported.checkpoints == index.checkpoints );
+        REQUIRE( imported.windows == index.windows );
+        REQUIRE( imported.uncompressedSizeBytes == index.uncompressedSizeBytes );
+        REQUIRE( imported.compressedSizeBytes == 0 );  /* not recorded by the format */
+        REQUIRE( imported.formatTag == index::FORMAT_TAG_GZIP );
+    }
+}
+
+void
+testTruncationRejection()
+{
+    Xorshift64 random( 0x7A7A7ULL );
+    const auto index = randomIndex( random );
+    const auto serialized = index::serializeIndex( index );
+    REQUIRE( serialized.size() > 32 );
+
+    /* EVERY strict prefix must throw — walk all of them for a small index,
+     * since this is the property, not a sample. */
+    for ( std::size_t cut = 0; cut < serialized.size(); ++cut ) {
+        REQUIRE_THROWS_AS(
+            (void)index::deserializeIndex( { serialized.data(), cut } ),
+            RapidgzipError );
+    }
+}
+
+void
+testFlippedByteRejection()
+{
+    Xorshift64 random( 0xF11ED );
+    const auto index = randomIndex( random );
+    const auto serialized = index::serializeIndex( index );
+
+    /* The trailing CRC32 catches EVERY single-byte flip, wherever it
+     * lands: magic, format tag, offsets, window bytes, or the CRC itself. */
+    for ( std::size_t position = 0; position < serialized.size(); ++position ) {
+        auto corrupt = serialized;
+        corrupt[position] ^= static_cast<std::uint8_t>( 1 + random.below( 255 ) );
+        REQUIRE_THROWS_AS(
+            (void)index::deserializeIndex( { corrupt.data(), corrupt.size() } ),
+            RapidgzipError );
+    }
+}
+
+void
+testLegacyV1Import()
+{
+    Xorshift64 random( 0x01D );
+    auto index = randomIndex( random );
+    index.formatTag = index::FORMAT_TAG_GZIP;  /* v1 files can only mean gzip */
+
+    /* A v1 file is the v2 payload without tag/reserved/CRC, under the old
+     * magic: reconstruct one byte-exactly from the v2 serialization. */
+    const auto v2 = index::serializeIndex( index );
+    std::vector<std::uint8_t> v1( index::NATIVE_INDEX_MAGIC_V1.begin(),
+                                  index::NATIVE_INDEX_MAGIC_V1.end() );
+    v1.insert( v1.end(),
+               v2.begin() + static_cast<std::ptrdiff_t>( index::NATIVE_INDEX_MAGIC.size() + 4 ),
+               v2.end() - 4 );
+
+    const auto loaded = index::deserializeIndex( { v1.data(), v1.size() } );
+    REQUIRE( loaded == index );
+    REQUIRE( loaded.formatTag == index::FORMAT_TAG_GZIP );
+}
+
+void
+testFormatTagValidation()
+{
+    Xorshift64 random( 0x7A6 );
+    auto index = randomIndex( random );
+    index.formatTag = 99;  /* out of range */
+    const auto serialized = index::serializeIndex( index );
+    REQUIRE_THROWS_AS(
+        (void)index::deserializeIndex( { serialized.data(), serialized.size() } ),
+        RapidgzipError );
+}
+
+}  // namespace
+
+int
+main()
+{
+    testNativeRoundTrip();
+    testGztoolRoundTrip();
+    testTruncationRejection();
+    testFlippedByteRejection();
+    testLegacyV1Import();
+    testFormatTagValidation();
+    return rapidgzip::test::finish( "testIndexProperties" );
+}
