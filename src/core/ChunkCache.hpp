@@ -1,0 +1,259 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "DeflateChunks.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Identifies one decoded chunk across EVERY reader in the process. The
+ * token folds together the archive identity (path + size + mtime hash, see
+ * serve/ArchiveRegistry.hpp) and the reader's chunk-table geometry
+ * (ChunkFetcher mixes in chunk count, chunk size, and chunking mode), so a
+ * re-chunked reader — after a false-boundary merge or an index adoption —
+ * can never hit entries from the stale table, and two readers share entries
+ * exactly when their decodes are byte-identical.
+ */
+struct ChunkCacheKey
+{
+    std::uint64_t token{ 0 };
+    std::size_t chunkIndex{ 0 };
+
+    [[nodiscard]] bool
+    operator==( const ChunkCacheKey& other ) const noexcept
+    {
+        return ( token == other.token ) && ( chunkIndex == other.chunkIndex );
+    }
+
+    [[nodiscard]] bool
+    operator<( const ChunkCacheKey& other ) const noexcept
+    {
+        return token != other.token ? token < other.token : chunkIndex < other.chunkIndex;
+    }
+};
+
+/** splitmix64 finalizer — the standard cheap 64-bit bit mixer. */
+[[nodiscard]] constexpr std::uint64_t
+mixHash( std::uint64_t value ) noexcept
+{
+    value += 0x9E3779B97F4A7C15ULL;
+    value = ( value ^ ( value >> 30U ) ) * 0xBF58476D1CE4E5B9ULL;
+    value = ( value ^ ( value >> 27U ) ) * 0x94D049BB133111EBULL;
+    return value ^ ( value >> 31U );
+}
+
+struct ChunkCacheStatistics
+{
+    std::size_t hits{ 0 };
+    std::size_t misses{ 0 };
+    std::size_t insertions{ 0 };
+    std::size_t evictions{ 0 };
+    /** Inserts skipped because one chunk alone exceeds the byte budget. */
+    std::size_t oversizedRejections{ 0 };
+    std::size_t currentBytes{ 0 };
+    std::size_t capacityBytes{ 0 };
+
+    [[nodiscard]] double
+    hitRate() const noexcept
+    {
+        const auto total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>( hits ) / static_cast<double>( total );
+    }
+};
+
+/**
+ * Storage interface for decoded chunks, shared by the per-reader tier and
+ * the process-wide tier (serve daemon): ChunkFetcher talks only to this.
+ * Implementations must be safe to call from many threads — the fetcher
+ * consults the cache from pool workers.
+ */
+class ChunkCache
+{
+public:
+    using ChunkDataPtr = std::shared_ptr<const DecodedChunk>;
+    using Decode = std::function<ChunkDataPtr()>;
+
+    virtual ~ChunkCache() = default;
+
+    /** nullptr on miss. A hit refreshes the entry's recency. */
+    [[nodiscard]] virtual ChunkDataPtr
+    get( const ChunkCacheKey& key ) = 0;
+
+    virtual void
+    insert( const ChunkCacheKey& key, ChunkDataPtr chunk ) = 0;
+
+    [[nodiscard]] virtual ChunkCacheStatistics
+    statistics() const = 0;
+
+    /**
+     * Cache-through decode. The default is get-else-decode-and-insert;
+     * implementations with single-flight dedup (LruChunkCache) override it
+     * so concurrent callers of the same cold key decode exactly once.
+     * @p decode may throw; the error propagates to every waiting caller.
+     */
+    [[nodiscard]] virtual ChunkDataPtr
+    getOrDecode( const ChunkCacheKey& key, const Decode& decode )
+    {
+        if ( auto chunk = get( key ) ) {
+            return chunk;
+        }
+        auto chunk = decode();
+        insert( key, chunk );
+        return chunk;
+    }
+};
+
+/**
+ * Thread-safe byte-bounded LRU over decoded chunks with single-flight
+ * decode dedup — the process-wide cache tier of the serve daemon, and the
+ * reference ChunkCache for standalone readers. Eviction is strictly
+ * least-recently-used and never lets the resident total exceed the byte
+ * budget; a chunk larger than the whole budget is returned to the caller
+ * but not retained (caching it would evict everything for one entry).
+ */
+class LruChunkCache final : public ChunkCache
+{
+public:
+    /** Rough per-entry bookkeeping cost charged on top of the chunk data. */
+    static constexpr std::size_t PER_ENTRY_OVERHEAD = 256;
+
+    explicit LruChunkCache( std::size_t capacityBytes ) :
+        m_capacityBytes( capacityBytes )
+    {}
+
+    [[nodiscard]] ChunkDataPtr
+    get( const ChunkCacheKey& key ) override
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        return lockedGet( key );
+    }
+
+    void
+    insert( const ChunkCacheKey& key, ChunkDataPtr chunk ) override
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        lockedInsert( key, std::move( chunk ) );
+    }
+
+    [[nodiscard]] ChunkCacheStatistics
+    statistics() const override
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        auto result = m_statistics;
+        result.currentBytes = m_currentBytes;
+        result.capacityBytes = m_capacityBytes;
+        return result;
+    }
+
+    [[nodiscard]] ChunkDataPtr
+    getOrDecode( const ChunkCacheKey& key, const Decode& decode ) override
+    {
+        auto promise = std::make_shared<std::promise<ChunkDataPtr> >();
+        std::shared_future<ChunkDataPtr> pending;
+        {
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            if ( auto chunk = lockedGet( key ) ) {
+                return chunk;
+            }
+            if ( const auto match = m_inFlight.find( key ); match != m_inFlight.end() ) {
+                /* Another thread is decoding this key right now: wait for
+                 * ITS result instead of decoding again. Counted as a hit —
+                 * no second decode happens. */
+                ++m_statistics.hits;
+                pending = match->second;
+            } else {
+                m_inFlight.emplace( key, promise->get_future().share() );
+            }
+        }
+        if ( pending.valid() ) {
+            return pending.get();
+        }
+
+        /* This thread won the single-flight race: decode OUTSIDE the lock. */
+        ChunkDataPtr chunk;
+        try {
+            chunk = decode();
+        } catch ( ... ) {
+            promise->set_exception( std::current_exception() );
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            m_inFlight.erase( key );
+            throw;
+        }
+        {
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            lockedInsert( key, chunk );
+            m_inFlight.erase( key );
+        }
+        promise->set_value( chunk );
+        return chunk;
+    }
+
+private:
+    [[nodiscard]] static std::size_t
+    chargedBytes( const ChunkDataPtr& chunk ) noexcept
+    {
+        return ( chunk ? chunk->data.size() : 0 ) + PER_ENTRY_OVERHEAD;
+    }
+
+    /** Caller must hold m_mutex. */
+    [[nodiscard]] ChunkDataPtr
+    lockedGet( const ChunkCacheKey& key )
+    {
+        const auto match = m_index.find( key );
+        if ( match == m_index.end() ) {
+            ++m_statistics.misses;
+            return nullptr;
+        }
+        ++m_statistics.hits;
+        m_lru.splice( m_lru.begin(), m_lru, match->second );
+        return match->second->second;
+    }
+
+    /** Caller must hold m_mutex. */
+    void
+    lockedInsert( const ChunkCacheKey& key, ChunkDataPtr chunk )
+    {
+        if ( const auto existing = m_index.find( key ); existing != m_index.end() ) {
+            /* Refresh in place; sizes are identical for identical keys. */
+            m_lru.splice( m_lru.begin(), m_lru, existing->second );
+            return;
+        }
+        const auto bytes = chargedBytes( chunk );
+        if ( bytes > m_capacityBytes ) {
+            ++m_statistics.oversizedRejections;
+            return;
+        }
+        while ( m_currentBytes + bytes > m_capacityBytes ) {
+            const auto& victim = m_lru.back();
+            m_currentBytes -= chargedBytes( victim.second );
+            m_index.erase( victim.first );
+            m_lru.pop_back();
+            ++m_statistics.evictions;
+        }
+        m_lru.emplace_front( key, std::move( chunk ) );
+        m_index.emplace( key, m_lru.begin() );
+        m_currentBytes += bytes;
+        ++m_statistics.insertions;
+    }
+
+    using LruList = std::list<std::pair<ChunkCacheKey, ChunkDataPtr> >;
+
+    mutable std::mutex m_mutex;
+    LruList m_lru;  /**< most recent first */
+    std::map<ChunkCacheKey, LruList::iterator> m_index;
+    std::map<ChunkCacheKey, std::shared_future<ChunkDataPtr> > m_inFlight;
+    std::size_t m_currentBytes{ 0 };
+    std::size_t m_capacityBytes;
+    ChunkCacheStatistics m_statistics;
+};
+
+}  // namespace rapidgzip

@@ -16,6 +16,7 @@
 #include "../common/ThreadPool.hpp"
 #include "../common/Util.hpp"
 #include "../io/FileReader.hpp"
+#include "ChunkCache.hpp"
 #include "DeflateChunks.hpp"
 
 namespace rapidgzip {
@@ -53,6 +54,23 @@ struct ChunkFetcherConfiguration
      * bench/table4_formats.cpp reports the trade-off.
      */
     std::size_t checkpointSpacingBytes{ 0 };
+    /**
+     * Optional process-wide cache tier (serve daemon). When set, decodes
+     * run through ChunkCache::getOrDecode — concurrent requests for the
+     * same cold chunk decode once — and the per-reader map only bridges a
+     * decode to its first consumption: repeat accesses are served by the
+     * shared tier so chunk residency is accounted, bounded, and evicted in
+     * one place. When unset (the default), behavior is exactly the classic
+     * per-reader cache.
+     */
+    std::shared_ptr<ChunkCache> sharedCache{};
+    /**
+     * Folded into every shared-cache key; must uniquely identify the
+     * compressed archive (e.g. hash of path + size + mtime). Readers of the
+     * same archive with the same chunking share entries; anything else can
+     * never collide. Ignored without @ref sharedCache.
+     */
+    std::uint64_t cacheIdentity{ 0 };
 };
 
 struct FetcherStatistics
@@ -60,7 +78,8 @@ struct FetcherStatistics
     std::size_t prefetchDispatched{ 0 };  /**< speculative chunk decodes submitted */
     std::size_t prefetchHits{ 0 };        /**< accesses served by a speculative decode */
     std::size_t onDemandDecodes{ 0 };     /**< accesses that had to decode synchronously */
-    std::size_t cacheHits{ 0 };           /**< repeat accesses to an already-counted chunk */
+    std::size_t cacheHits{ 0 };           /**< repeat accesses served from a cache tier */
+    std::size_t evictions{ 0 };           /**< ready chunks dropped by the per-reader LRU */
 };
 
 /**
@@ -88,6 +107,7 @@ public:
         m_cacheCapacity( configuration.cacheChunkCount > 0
                          ? configuration.cacheChunkCount
                          : std::max<std::size_t>( 2 * configuration.parallelism + 4, 8 ) ),
+        m_cacheToken( makeCacheToken( configuration, m_chunkCount, /* boundary mode */ 1 ) ),
         m_threadPool( std::max<std::size_t>( 1, configuration.parallelism ) )
     {}
 
@@ -105,6 +125,7 @@ public:
         m_cacheCapacity( configuration.cacheChunkCount > 0
                          ? configuration.cacheChunkCount
                          : std::max<std::size_t>( 2 * configuration.parallelism + 4, 8 ) ),
+        m_cacheToken( makeCacheToken( configuration, m_chunkCount, /* index mode */ 2 ) ),
         m_threadPool( std::max<std::size_t>( 1, configuration.parallelism ) )
     {}
 
@@ -138,7 +159,27 @@ public:
                     ++m_statistics.cacheHits;
                 }
                 future = match->second.future;
+                if ( m_configuration.sharedCache
+                     && ( future.wait_for( std::chrono::seconds( 0 ) )
+                          == std::future_status::ready ) ) {
+                    /* Shared-tier mode: the per-reader map only bridges a
+                     * decode to its first consumption — drop the ready
+                     * entry so repeats are served (and accounted) by the
+                     * shared tier, where residency is byte-bounded. */
+                    m_cache.erase( match );
+                }
             } else {
+                ChunkDataPtr sharedChunk;
+                if ( m_configuration.sharedCache ) {
+                    sharedChunk = m_configuration.sharedCache->get(
+                        ChunkCacheKey{ m_cacheToken, index } );
+                }
+                if ( sharedChunk ) {
+                    ++m_statistics.cacheHits;
+                    dispatchPrefetches( index );
+                    evictStaleEntries( index );
+                    return sharedChunk;
+                }
                 ++m_statistics.onDemandDecodes;
                 future = insertDecodeTask( index, /* prefetched */ false );
             }
@@ -178,24 +219,44 @@ private:
         bool counted{ false };
     };
 
+    [[nodiscard]] static std::uint64_t
+    makeCacheToken( const ChunkFetcherConfiguration& configuration,
+                    std::size_t chunkCount,
+                    std::uint64_t modeTag )
+    {
+        /* Chunk-table geometry is folded in so a re-chunked reader — e.g.
+         * after a false-boundary merge rebuilt the fetcher — can never hit
+         * entries keyed under the stale table. */
+        return mixHash( configuration.cacheIdentity )
+               ^ mixHash( ( static_cast<std::uint64_t>( chunkCount ) << 8U ) | modeTag )
+               ^ mixHash( configuration.chunkSizeBytes + 3 * configuration.checkpointSpacingBytes );
+    }
+
     /** Caller must hold m_mutex. */
     std::shared_future<ChunkDataPtr>
     insertDecodeTask( std::size_t index, bool prefetched )
     {
-        std::shared_future<ChunkDataPtr> future;
+        std::function<ChunkDataPtr()> decode;
         if ( m_decoder ) {
-            future = m_threadPool.submit( [file = m_file, decoder = m_decoder, index] ()
-                                          -> ChunkDataPtr {
+            decode = [file = m_file, decoder = m_decoder, index] () -> ChunkDataPtr {
                 return std::make_shared<const DecodedChunk>( decoder( *file, index ) );
-            } ).share();
+            };
         } else {
             const auto boundary = m_chunks[index];
-            future = m_threadPool.submit( [file = m_file, boundary] () -> ChunkDataPtr {
+            decode = [file = m_file, boundary] () -> ChunkDataPtr {
                 return std::make_shared<const DecodedChunk>(
                     decodeRawDeflateChunk( *file, boundary.compressedBegin,
                                            boundary.compressedEnd ) );
-            } ).share();
+            };
         }
+        if ( m_configuration.sharedCache ) {
+            decode = [cache = m_configuration.sharedCache,
+                      key = ChunkCacheKey{ m_cacheToken, index },
+                      inner = std::move( decode )] () -> ChunkDataPtr {
+                return cache->getOrDecode( key, inner );
+            };
+        }
+        auto future = m_threadPool.submit( std::move( decode ) ).share();
         CacheEntry entry;
         entry.future = future;
         entry.lastUse = m_accessClock;
@@ -310,6 +371,7 @@ private:
                 break;  /* everything else is still decoding */
             }
             m_cache.erase( victim );
+            ++m_statistics.evictions;
         }
     }
 
@@ -326,6 +388,7 @@ private:
     ChunkDecoder m_decoder;               /**< index mode only */
     ChunkFetcherConfiguration m_configuration;
     std::size_t m_cacheCapacity;
+    std::uint64_t m_cacheToken;
 
     std::mutex m_mutex;
     std::map<std::size_t, CacheEntry> m_cache;

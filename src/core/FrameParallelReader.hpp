@@ -178,6 +178,49 @@ public:
         return m_fetcher->statistics();
     }
 
+    /**
+     * Adopt chunk offsets from a previously exported index (the sidecar
+     * fast path): @p seekPoints must be exactly what chunkSeekPoints()
+     * returned when the index was built — one (compressed bit offset,
+     * uncompressed offset) per chunk. Every compressed offset is validated
+     * against the freshly scanned frame table (the geometry scan is pure
+     * header arithmetic and always runs; what adoption skips is the
+     * MEASURING decode sweep unsized formats pay in ensureOffsetsKnown).
+     * Returns false — leaving the reader untouched — when the geometry
+     * disagrees: stale sidecar, different chunking configuration.
+     */
+    [[nodiscard]] bool
+    adoptChunkOffsets( const std::vector<std::pair<std::size_t, std::size_t> >& seekPoints,
+                       std::size_t uncompressedSize )
+    {
+        if ( m_offsetsKnown ) {
+            return true;  /* nothing left to save */
+        }
+        if ( seekPoints.size() != m_chunkToFrames.size() ) {
+            return false;
+        }
+        for ( std::size_t i = 0; i < seekPoints.size(); ++i ) {
+            const auto firstFrame = m_chunkToFrames[i].first;
+            if ( seekPoints[i].first != ( *m_frames )[firstFrame].compressedBeginBits ) {
+                return false;
+            }
+            if ( ( i > 0 ) && ( seekPoints[i].second < seekPoints[i - 1].second ) ) {
+                return false;
+            }
+        }
+        if ( !seekPoints.empty() && ( uncompressedSize < seekPoints.back().second ) ) {
+            return false;
+        }
+        std::vector<std::size_t> sizes( seekPoints.size() );
+        for ( std::size_t i = 0; i < seekPoints.size(); ++i ) {
+            const auto next = i + 1 < seekPoints.size() ? seekPoints[i + 1].second
+                                                        : uncompressedSize;
+            sizes[i] = next - seekPoints[i].second;
+        }
+        recordChunkSizes( sizes );
+        return true;
+    }
+
 private:
     /** [first, end) frame range per chunk. Greedy: frames are admitted
      * while the chunk stays within chunkSizeBytes, so chunks span at MOST

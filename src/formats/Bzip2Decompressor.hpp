@@ -136,6 +136,21 @@ public:
         return result;
     }
 
+    [[nodiscard]] bool
+    importSeekPoints( const std::vector<SeekPoint>& seekPoints,
+                      std::size_t uncompressedSizeBytes ) override
+    {
+        if ( !m_parallelUsable ) {
+            return false;
+        }
+        std::vector<std::pair<std::size_t, std::size_t> > points;
+        points.reserve( seekPoints.size() );
+        for ( const auto& point : seekPoints ) {
+            points.emplace_back( point.compressedOffsetBits, point.uncompressedOffset );
+        }
+        return m_parallel->adoptChunkOffsets( points, uncompressedSizeBytes );
+    }
+
     [[nodiscard]] std::size_t
     blockCount() const noexcept
     {

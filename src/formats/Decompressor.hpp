@@ -81,6 +81,25 @@ public:
     {
         return false;
     }
+
+    /**
+     * Adopt seek points previously exported from the SAME archive (a fresh
+     * RGZIDX02 sidecar) so size()/readAt() skip the measuring decode sweep
+     * that backends without recorded sizes (lz4 blocks, bzip2 blocks)
+     * otherwise pay on first access. Offsets are validated against the
+     * freshly scanned container geometry; returns false — leaving the
+     * reader untouched — when the backend cannot use them or the geometry
+     * disagrees (stale index). Gzip resumption needs the checkpoint
+     * WINDOWS too and therefore imports the full index via
+     * ParallelGzipReader::importIndex instead of this entry point (see
+     * Sidecar.hpp for the dispatch).
+     */
+    [[nodiscard]] virtual bool
+    importSeekPoints( const std::vector<SeekPoint>& /* seekPoints */,
+                      std::size_t /* uncompressedSizeBytes */ )
+    {
+        return false;
+    }
 };
 
 namespace detail {

@@ -120,6 +120,23 @@ public:
         return result;
     }
 
+    [[nodiscard]] bool
+    importSeekPoints( const std::vector<SeekPoint>& seekPoints,
+                      std::size_t uncompressedSizeBytes ) override
+    {
+        /* Without per-frame sizes there is no parallel reader to hand the
+         * offsets to (frame decodes need exact destination sizes). */
+        if ( !m_allSized ) {
+            return false;
+        }
+        std::vector<std::pair<std::size_t, std::size_t> > points;
+        points.reserve( seekPoints.size() );
+        for ( const auto& point : seekPoints ) {
+            points.emplace_back( point.compressedOffsetBits, point.uncompressedOffset );
+        }
+        return m_parallel->adoptChunkOffsets( points, uncompressedSizeBytes );
+    }
+
     /** True when a seekable-format seek table was found and adopted. */
     [[nodiscard]] bool
     hasSeekTable() const noexcept

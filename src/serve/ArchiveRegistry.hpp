@@ -1,0 +1,240 @@
+#pragma once
+
+#include <sys/stat.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "../common/Error.hpp"
+#include "../core/ChunkCache.hpp"
+#include "../formats/Sidecar.hpp"
+
+namespace rapidgzip::serve {
+
+/** Thrown when a request names something outside the served tree or not
+ * present on disk — the server maps it to 404. */
+class ArchiveNotFoundError : public RapidgzipError
+{
+public:
+    using RapidgzipError::RapidgzipError;
+};
+
+/**
+ * What makes an archive THE archive: its resolved path plus the size and
+ * mtime observed at open. The token feeds ChunkFetcher's shared-cache
+ * keys, so replacing a file on disk (same path, new content ⇒ new
+ * size/mtime) changes the identity and strands the stale cache entries
+ * instead of serving them.
+ */
+struct ArchiveIdentity
+{
+    std::string path;
+    std::size_t sizeBytes{ 0 };
+    std::int64_t mtime{ 0 };
+
+    [[nodiscard]] std::uint64_t
+    token() const noexcept
+    {
+        /* FNV-1a over the path, then splitmix the stat fields in. */
+        std::uint64_t hash = 0xCBF29CE484222325ULL;
+        for ( const auto character : path ) {
+            hash = ( hash ^ static_cast<std::uint8_t>( character ) ) * 0x100000001B3ULL;
+        }
+        return mixHash( hash )
+               ^ mixHash( sizeBytes )
+               ^ mixHash( static_cast<std::uint64_t>( mtime ) );
+    }
+
+    [[nodiscard]] bool
+    operator==( const ArchiveIdentity& other ) const noexcept
+    {
+        return ( path == other.path ) && ( sizeBytes == other.sizeBytes )
+               && ( mtime == other.mtime );
+    }
+};
+
+/**
+ * The daemon's table of open archives: URL path → lazily opened
+ * Decompressor, bounded by an LRU over open readers. Every open flows
+ * through formats::openArchive, so format detection and sidecar-index
+ * adoption apply uniformly, and every reader is wired to the process-wide
+ * chunk cache with its identity token.
+ *
+ * Decompressors are single-consumer objects (one consumer thread; the
+ * parallelism is the chunk decoding underneath), so a Lease holds the
+ * entry's mutex for the duration of a request — concurrent requests to
+ * the SAME archive serialize at the reader while different archives
+ * proceed in parallel, and cross-request reuse of decoded chunks happens
+ * in the shared cache tier below.
+ */
+class ArchiveRegistry
+{
+public:
+    ArchiveRegistry( std::string rootDirectory,
+                     std::size_t maxArchives,
+                     std::shared_ptr<ChunkCache> sharedCache,
+                     ChunkFetcherConfiguration readerConfiguration ) :
+        m_rootDirectory( std::move( rootDirectory ) ),
+        m_maxArchives( std::max<std::size_t>( 1, maxArchives ) ),
+        m_sharedCache( std::move( sharedCache ) ),
+        m_readerConfiguration( std::move( readerConfiguration ) )
+    {}
+
+    struct Entry
+    {
+        ArchiveIdentity identity;
+        std::unique_ptr<formats::Decompressor> decompressor;
+        std::mutex consumerMutex;  /**< serializes the single-consumer reader */
+        std::uint64_t lastUse{ 0 };
+    };
+
+    class Lease
+    {
+    public:
+        Lease( std::shared_ptr<Entry> entry, std::unique_lock<std::mutex> lock ) :
+            m_entry( std::move( entry ) ),
+            m_lock( std::move( lock ) )
+        {}
+
+        [[nodiscard]] formats::Decompressor&
+        decompressor() const noexcept
+        {
+            return *m_entry->decompressor;
+        }
+
+    private:
+        std::shared_ptr<Entry> m_entry;
+        std::unique_lock<std::mutex> m_lock;
+    };
+
+    /**
+     * Open (or reuse) the archive behind @p urlPath — "/name.gz" relative
+     * to the served root. Throws ArchiveNotFoundError for traversal
+     * attempts and missing files; format errors (unknown magic, vendor
+     * library absent) propagate as their own types.
+     */
+    [[nodiscard]] Lease
+    open( const std::string& urlPath )
+    {
+        const auto filePath = resolve( urlPath );
+        const auto identity = identify( filePath );
+
+        std::shared_ptr<Entry> entry;
+        {
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            ++m_useClock;
+            const auto match = m_entries.find( filePath );
+            if ( ( match != m_entries.end() ) && ( match->second->identity == identity ) ) {
+                match->second->lastUse = m_useClock;
+                entry = match->second;
+            } else {
+                if ( match != m_entries.end() ) {
+                    m_entries.erase( match );  /* file changed on disk: reopen */
+                }
+                entry = std::make_shared<Entry>();
+                entry->identity = identity;
+                entry->lastUse = m_useClock;
+                m_entries.emplace( filePath, entry );
+                evictOverflow();
+            }
+        }
+
+        /* The open itself (possibly a discovery sweep) runs outside the
+         * registry lock, under the entry's consumer mutex, so opening one
+         * slow archive never blocks requests for others. */
+        std::unique_lock<std::mutex> consumerLock( entry->consumerMutex );
+        if ( !entry->decompressor ) {
+            auto configuration = m_readerConfiguration;
+            configuration.sharedCache = m_sharedCache;
+            configuration.cacheIdentity = identity.token();
+            entry->decompressor = formats::openArchive( filePath, configuration );
+        }
+        return Lease( std::move( entry ), std::move( consumerLock ) );
+    }
+
+    [[nodiscard]] std::size_t
+    openCount() const
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        return m_entries.size();
+    }
+
+private:
+    /** Reject traversal; map "/name" under the served root. */
+    [[nodiscard]] std::string
+    resolve( const std::string& urlPath ) const
+    {
+        if ( urlPath.empty() || ( urlPath.front() != '/' )
+             || ( urlPath.find( '\0' ) != std::string::npos ) ) {
+            throw ArchiveNotFoundError( "Malformed request path" );
+        }
+        /* Component-wise ".." check — catches "/../x", "/a/../../x", … */
+        std::size_t begin = 1;
+        while ( begin <= urlPath.size() ) {
+            auto end = urlPath.find( '/', begin );
+            if ( end == std::string::npos ) {
+                end = urlPath.size();
+            }
+            if ( urlPath.compare( begin, end - begin, ".." ) == 0 ) {
+                throw ArchiveNotFoundError( "Path traversal rejected" );
+            }
+            begin = end + 1;
+        }
+        return m_rootDirectory + urlPath;
+    }
+
+    [[nodiscard]] static ArchiveIdentity
+    identify( const std::string& filePath )
+    {
+        struct stat fileStat{};
+        if ( ( ::stat( filePath.c_str(), &fileStat ) != 0 ) || !S_ISREG( fileStat.st_mode ) ) {
+            throw ArchiveNotFoundError( "No such archive: " + filePath );
+        }
+        ArchiveIdentity identity;
+        identity.path = filePath;
+        identity.sizeBytes = static_cast<std::size_t>( fileStat.st_size );
+        identity.mtime = static_cast<std::int64_t>( fileStat.st_mtime );
+        return identity;
+    }
+
+    /** Caller must hold m_mutex. Evicts least-recently-used entries that
+     * are not currently leased (shared_ptr keeps leased ones alive either
+     * way; skipping them keeps the table honest about what is open). */
+    void
+    evictOverflow()
+    {
+        while ( m_entries.size() > m_maxArchives ) {
+            auto victim = m_entries.end();
+            for ( auto it = m_entries.begin(); it != m_entries.end(); ++it ) {
+                if ( it->second.use_count() > 1 ) {
+                    continue;  /* leased right now */
+                }
+                if ( ( victim == m_entries.end() )
+                     || ( it->second->lastUse < victim->second->lastUse ) ) {
+                    victim = it;
+                }
+            }
+            if ( victim == m_entries.end() ) {
+                break;  /* everything is leased; stay oversized briefly */
+            }
+            m_entries.erase( victim );
+        }
+    }
+
+    std::string m_rootDirectory;
+    std::size_t m_maxArchives;
+    std::shared_ptr<ChunkCache> m_sharedCache;
+    ChunkFetcherConfiguration m_readerConfiguration;
+
+    mutable std::mutex m_mutex;
+    std::map<std::string, std::shared_ptr<Entry> > m_entries;
+    std::uint64_t m_useClock{ 0 };
+};
+
+}  // namespace rapidgzip::serve

@@ -1,0 +1,402 @@
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../common/Util.hpp"
+
+namespace rapidgzip::serve {
+
+/**
+ * Minimal HTTP/1.1 request side for the serve daemon: an incremental
+ * parser (bytes arrive in arbitrary splits on non-blocking sockets, and
+ * pipelined requests arrive concatenated) plus the Range-header algebra
+ * of RFC 9110 §14. Deliberately supports exactly what a range-request
+ * front end needs — GET/HEAD, keep-alive, single byte ranges — and maps
+ * everything else to the RFC-sanctioned fallbacks rather than erroring:
+ * multi-range and syntactically invalid Range headers are IGNORED (the
+ * full representation is served with 200), only a syntactically valid but
+ * unsatisfiable range earns a 416.
+ */
+
+struct HttpRequest
+{
+    std::string method;
+    std::string target;
+    int versionMinor{ 1 };  /**< 0 for HTTP/1.0, 1 for HTTP/1.1 */
+    /** (lowercased-name, value) in arrival order. */
+    std::vector<std::pair<std::string, std::string> > headers;
+
+    /** First value of @p name (lowercase), or "" when absent. */
+    [[nodiscard]] std::string
+    header( const std::string& name ) const
+    {
+        for ( const auto& [key, value] : headers ) {
+            if ( key == name ) {
+                return value;
+            }
+        }
+        return {};
+    }
+
+    /** Keep-alive by version default (1.1: yes, 1.0: no), overridden by an
+     * explicit Connection header either way. */
+    [[nodiscard]] bool
+    keepAlive() const
+    {
+        auto connection = header( "connection" );
+        std::transform( connection.begin(), connection.end(), connection.begin(),
+                        [] ( unsigned char c ) { return std::tolower( c ); } );
+        if ( connection.find( "close" ) != std::string::npos ) {
+            return false;
+        }
+        if ( connection.find( "keep-alive" ) != std::string::npos ) {
+            return true;
+        }
+        return versionMinor >= 1;
+    }
+};
+
+/**
+ * Incremental request parser. feed() buffers bytes; next() extracts one
+ * complete request at a time, leaving any pipelined surplus buffered for
+ * the following call. Malformed input is sticky: once failed() reports
+ * true the connection should answer with failureStatus() and close.
+ */
+class RequestParser
+{
+public:
+    /** Request line + headers cap — oversized header blocks earn a 431. */
+    static constexpr std::size_t MAX_HEADER_BYTES = 16 * KiB;
+
+    void
+    feed( const char* data, std::size_t size )
+    {
+        m_buffer.append( data, size );
+    }
+
+    /** True when a full request was parsed into @p request. */
+    [[nodiscard]] bool
+    next( HttpRequest& request )
+    {
+        if ( m_failed ) {
+            return false;
+        }
+        const auto headerEnd = findHeaderEnd();
+        if ( headerEnd == std::string::npos ) {
+            if ( m_buffer.size() > MAX_HEADER_BYTES ) {
+                fail( 431 );  /* Request Header Fields Too Large */
+            }
+            return false;
+        }
+        if ( headerEnd > MAX_HEADER_BYTES ) {
+            fail( 431 );
+            return false;
+        }
+        const auto parsed = parse( m_buffer.substr( 0, headerEnd ), request );
+        m_buffer.erase( 0, headerEnd + m_terminatorSize );
+        if ( !parsed ) {
+            fail( 400 );
+            return false;
+        }
+        return true;
+    }
+
+    [[nodiscard]] bool
+    failed() const noexcept
+    {
+        return m_failed;
+    }
+
+    [[nodiscard]] int
+    failureStatus() const noexcept
+    {
+        return m_failureStatus;
+    }
+
+    [[nodiscard]] std::size_t
+    bufferedBytes() const noexcept
+    {
+        return m_buffer.size();
+    }
+
+private:
+    void
+    fail( int status )
+    {
+        m_failed = true;
+        m_failureStatus = status;
+        m_buffer.clear();
+    }
+
+    /** Offset of the header-block terminator; CRLFCRLF per the RFC, with
+     * bare-LF tolerance for hand-typed clients. */
+    [[nodiscard]] std::size_t
+    findHeaderEnd()
+    {
+        const auto crlf = m_buffer.find( "\r\n\r\n" );
+        const auto lf = m_buffer.find( "\n\n" );
+        if ( ( crlf != std::string::npos ) && ( ( lf == std::string::npos ) || ( crlf < lf ) ) ) {
+            m_terminatorSize = 4;
+            return crlf;
+        }
+        if ( lf != std::string::npos ) {
+            m_terminatorSize = 2;
+            return lf;
+        }
+        return std::string::npos;
+    }
+
+    [[nodiscard]] static bool
+    parse( const std::string& block, HttpRequest& request )
+    {
+        request = HttpRequest{};
+        std::size_t lineBegin = 0;
+        bool firstLine = true;
+        while ( lineBegin <= block.size() ) {
+            auto lineEnd = block.find( '\n', lineBegin );
+            if ( lineEnd == std::string::npos ) {
+                lineEnd = block.size();
+            }
+            auto line = block.substr( lineBegin, lineEnd - lineBegin );
+            lineBegin = lineEnd + 1;
+            if ( !line.empty() && ( line.back() == '\r' ) ) {
+                line.pop_back();
+            }
+            if ( line.empty() ) {
+                if ( firstLine ) {
+                    continue;  /* RFC 9112 §2.2: robustness CRLF before the request line */
+                }
+                break;
+            }
+            if ( firstLine ) {
+                if ( !parseRequestLine( line, request ) ) {
+                    return false;
+                }
+                firstLine = false;
+                continue;
+            }
+            const auto colon = line.find( ':' );
+            if ( ( colon == std::string::npos ) || ( colon == 0 ) ) {
+                return false;
+            }
+            auto name = line.substr( 0, colon );
+            if ( name.find( ' ' ) != std::string::npos ) {
+                return false;  /* whitespace before the colon is forbidden */
+            }
+            std::transform( name.begin(), name.end(), name.begin(),
+                            [] ( unsigned char c ) { return std::tolower( c ); } );
+            auto value = line.substr( colon + 1 );
+            const auto valueBegin = value.find_first_not_of( " \t" );
+            const auto valueEnd = value.find_last_not_of( " \t" );
+            value = valueBegin == std::string::npos
+                    ? std::string{}
+                    : value.substr( valueBegin, valueEnd - valueBegin + 1 );
+            request.headers.emplace_back( std::move( name ), std::move( value ) );
+        }
+        return !firstLine;
+    }
+
+    [[nodiscard]] static bool
+    parseRequestLine( const std::string& line, HttpRequest& request )
+    {
+        const auto firstSpace = line.find( ' ' );
+        const auto lastSpace = line.rfind( ' ' );
+        if ( ( firstSpace == std::string::npos ) || ( firstSpace == lastSpace )
+             || ( firstSpace == 0 ) ) {
+            return false;
+        }
+        request.method = line.substr( 0, firstSpace );
+        request.target = line.substr( firstSpace + 1, lastSpace - firstSpace - 1 );
+        const auto version = line.substr( lastSpace + 1 );
+        if ( request.target.empty()
+             || ( request.target.find( ' ' ) != std::string::npos ) ) {
+            return false;
+        }
+        if ( version == "HTTP/1.1" ) {
+            request.versionMinor = 1;
+        } else if ( version == "HTTP/1.0" ) {
+            request.versionMinor = 0;
+        } else {
+            return false;
+        }
+        return true;
+    }
+
+    std::string m_buffer;
+    std::size_t m_terminatorSize{ 4 };
+    bool m_failed{ false };
+    int m_failureStatus{ 400 };
+};
+
+/* --- Range header ------------------------------------------------------ */
+
+enum class RangeOutcome
+{
+    NO_RANGE,       /**< absent, invalid, or multi-range: serve 200 full */
+    RANGE,          /**< valid single range: serve 206 */
+    UNSATISFIABLE,  /**< valid syntax, nothing to serve: 416 */
+};
+
+struct ResolvedRange
+{
+    RangeOutcome outcome{ RangeOutcome::NO_RANGE };
+    std::size_t first{ 0 };
+    std::size_t length{ 0 };
+};
+
+namespace detail {
+
+/** Strict non-negative decimal; false on empty/overflow/non-digits. */
+[[nodiscard]] inline bool
+parseSize( const std::string& text, std::size_t& result )
+{
+    if ( text.empty() || ( text.size() > 19 ) ) {
+        return false;
+    }
+    std::size_t value = 0;
+    for ( const auto character : text ) {
+        if ( ( character < '0' ) || ( character > '9' ) ) {
+            return false;
+        }
+        value = value * 10 + static_cast<std::size_t>( character - '0' );
+    }
+    result = value;
+    return true;
+}
+
+}  // namespace detail
+
+/**
+ * Resolve a Range header value against the representation size per
+ * RFC 9110 §14.1.2/§14.2. "bytes=a-b" (inclusive, b clamped), "bytes=a-"
+ * (to end), "bytes=-n" (last n bytes; n > size means the whole file).
+ * Multi-range ("a-b,c-d") and anything syntactically off are treated as
+ * if no Range header were present — the RFC explicitly permits ignoring
+ * the header — so only genuinely unsatisfiable requests 416.
+ */
+[[nodiscard]] inline ResolvedRange
+resolveRange( const std::string& headerValue, std::size_t totalSize )
+{
+    ResolvedRange result;
+    if ( headerValue.empty() ) {
+        return result;
+    }
+    const std::string prefix = "bytes=";
+    if ( headerValue.compare( 0, prefix.size(), prefix ) != 0 ) {
+        return result;  /* unknown unit: ignore */
+    }
+    const auto spec = headerValue.substr( prefix.size() );
+    if ( ( spec.find( ',' ) != std::string::npos )
+         || ( spec.find_first_of( " \t" ) != std::string::npos ) ) {
+        return result;  /* multi-range (or junk): serve the full file */
+    }
+    const auto dash = spec.find( '-' );
+    if ( dash == std::string::npos ) {
+        return result;
+    }
+    const auto firstText = spec.substr( 0, dash );
+    const auto lastText = spec.substr( dash + 1 );
+
+    if ( firstText.empty() ) {
+        /* Suffix form "-n": the final n bytes. */
+        std::size_t suffixLength = 0;
+        if ( !detail::parseSize( lastText, suffixLength ) ) {
+            return result;
+        }
+        if ( ( suffixLength == 0 ) || ( totalSize == 0 ) ) {
+            result.outcome = RangeOutcome::UNSATISFIABLE;
+            return result;
+        }
+        suffixLength = std::min( suffixLength, totalSize );
+        result.outcome = RangeOutcome::RANGE;
+        result.first = totalSize - suffixLength;
+        result.length = suffixLength;
+        return result;
+    }
+
+    std::size_t first = 0;
+    if ( !detail::parseSize( firstText, first ) ) {
+        return result;
+    }
+    std::size_t last = totalSize == 0 ? 0 : totalSize - 1;
+    if ( !lastText.empty() ) {
+        if ( !detail::parseSize( lastText, last ) || ( last < first ) ) {
+            return result;  /* inverted range is invalid syntax: ignore */
+        }
+    }
+    if ( first >= totalSize ) {
+        result.outcome = RangeOutcome::UNSATISFIABLE;
+        return result;
+    }
+    last = std::min( last, totalSize - 1 );
+    result.outcome = RangeOutcome::RANGE;
+    result.first = first;
+    result.length = last - first + 1;
+    return result;
+}
+
+/* --- response building ------------------------------------------------- */
+
+[[nodiscard]] inline const char*
+reasonPhrase( int status ) noexcept
+{
+    switch ( status ) {
+    case 200: return "OK";
+    case 206: return "Partial Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 416: return "Range Not Satisfiable";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    default:  return "Unknown";
+    }
+}
+
+/**
+ * Status line + headers + blank line, with an explicit Content-Length —
+ * usable standalone for HEAD responses (announce the size, send no body).
+ * @p extraHeaders are preformatted "Name: value\r\n" lines (Content-Range
+ * and friends).
+ */
+[[nodiscard]] inline std::string
+buildResponseHead( int status,
+                   std::size_t contentLength,
+                   const std::string& extraHeaders,
+                   bool keepAlive )
+{
+    std::string response;
+    response.reserve( 128 + extraHeaders.size() );
+    response += "HTTP/1.1 ";
+    response += std::to_string( status );
+    response += ' ';
+    response += reasonPhrase( status );
+    response += "\r\nContent-Length: ";
+    response += std::to_string( contentLength );
+    response += "\r\nAccept-Ranges: bytes\r\nConnection: ";
+    response += keepAlive ? "keep-alive" : "close";
+    response += "\r\n";
+    response += extraHeaders;
+    response += "\r\n";
+    return response;
+}
+
+/** Serialize a complete response (head + body). */
+[[nodiscard]] inline std::string
+buildResponse( int status,
+               const std::string& extraHeaders,
+               const std::string& body,
+               bool keepAlive )
+{
+    auto response = buildResponseHead( status, body.size(), extraHeaders, keepAlive );
+    response += body;
+    return response;
+}
+
+}  // namespace rapidgzip::serve

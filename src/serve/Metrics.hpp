@@ -1,0 +1,71 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "../core/ChunkCache.hpp"
+
+namespace rapidgzip::serve {
+
+/**
+ * Process-wide serve counters. Workers bump these concurrently while the
+ * /metrics handler snapshots them, so every field is a relaxed atomic —
+ * the numbers are monitoring data, not synchronization.
+ */
+struct ServeMetrics
+{
+    std::atomic<std::size_t> requestsTotal{ 0 };
+    std::atomic<std::size_t> responses2xx{ 0 };
+    std::atomic<std::size_t> responses4xx{ 0 };
+    std::atomic<std::size_t> responses5xx{ 0 };
+    std::atomic<std::size_t> bytesServed{ 0 };
+    std::atomic<std::size_t> connectionsAccepted{ 0 };
+
+    void
+    countStatus( int status )
+    {
+        if ( ( status >= 200 ) && ( status < 300 ) ) {
+            responses2xx.fetch_add( 1, std::memory_order_relaxed );
+        } else if ( ( status >= 400 ) && ( status < 500 ) ) {
+            responses4xx.fetch_add( 1, std::memory_order_relaxed );
+        } else if ( status >= 500 ) {
+            responses5xx.fetch_add( 1, std::memory_order_relaxed );
+        }
+    }
+};
+
+/** Plain-text exposition (Prometheus-style `name value` lines). */
+[[nodiscard]] inline std::string
+renderMetrics( const ServeMetrics& metrics,
+               const ChunkCacheStatistics& cache,
+               std::size_t openArchives )
+{
+    std::string out;
+    const auto line = [&out] ( const char* name, std::size_t value ) {
+        out += name;
+        out += ' ';
+        out += std::to_string( value );
+        out += '\n';
+    };
+    line( "rapidgzip_serve_requests_total", metrics.requestsTotal.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_responses_2xx", metrics.responses2xx.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_responses_4xx", metrics.responses4xx.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_responses_5xx", metrics.responses5xx.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_bytes_served", metrics.bytesServed.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_connections_accepted",
+          metrics.connectionsAccepted.load( std::memory_order_relaxed ) );
+    line( "rapidgzip_serve_open_archives", openArchives );
+    line( "rapidgzip_serve_cache_hits", cache.hits );
+    line( "rapidgzip_serve_cache_misses", cache.misses );
+    line( "rapidgzip_serve_cache_insertions", cache.insertions );
+    line( "rapidgzip_serve_cache_evictions", cache.evictions );
+    line( "rapidgzip_serve_cache_bytes", cache.currentBytes );
+    line( "rapidgzip_serve_cache_capacity_bytes", cache.capacityBytes );
+    out += "rapidgzip_serve_cache_hit_rate ";
+    out += std::to_string( cache.hitRate() );
+    out += '\n';
+    return out;
+}
+
+}  // namespace rapidgzip::serve

@@ -1,0 +1,541 @@
+#pragma once
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/ThreadPool.hpp"
+#include "../common/Util.hpp"
+#include "ArchiveRegistry.hpp"
+#include "Http.hpp"
+#include "Metrics.hpp"
+
+namespace rapidgzip::serve {
+
+struct ServerConfiguration
+{
+    std::string bindAddress{ "127.0.0.1" };
+    std::uint16_t port{ 0 };  /**< 0 = let the kernel pick an ephemeral port */
+    std::string rootDirectory{ "." };
+    std::size_t workerCount{ 4 };
+    std::size_t cacheBytes{ 256 * MiB };
+    std::size_t maxArchives{ 64 };
+    /** Per-archive reader knobs. Keep parallelism modest: the daemon's
+     * concurrency comes from many archives × many requests; each reader's
+     * pool only bounds one chunk decode burst. */
+    ChunkFetcherConfiguration readerConfiguration{};
+};
+
+/**
+ * The rapidgzip-serve daemon core: one event-loop thread multiplexing
+ * non-blocking sockets with poll(), HTTP parsing and socket I/O on the
+ * loop, decode work on a ThreadPool. Layering (see DESIGN.md "Serve"):
+ *
+ *   event loop ─ per-connection HTTP/1.1 state machines (keep-alive,
+ *   pipelining-safe: surplus bytes stay buffered until the in-flight
+ *   response is sent, so requests are answered strictly in order)
+ *        │ submit(connection id, request)
+ *   worker pool ─ ArchiveRegistry lease → Decompressor::readAt
+ *        │ completion queue + self-pipe wakeup
+ *   event loop ─ write responses, resume parsing
+ *
+ * Connections are addressed by monotonic ids, never raw fds — a worker
+ * completion for a connection that died meanwhile must not reach whoever
+ * inherited the fd number.
+ *
+ * Thread model: construct + start() + run() from one thread; stop() and
+ * port() are safe from any thread.
+ */
+class Server
+{
+public:
+    explicit Server( ServerConfiguration configuration ) :
+        m_configuration( std::move( configuration ) ),
+        m_sharedCache( std::make_shared<LruChunkCache>( m_configuration.cacheBytes ) ),
+        m_registry( m_configuration.rootDirectory, m_configuration.maxArchives,
+                    m_sharedCache, m_configuration.readerConfiguration ),
+        m_workers( std::max<std::size_t>( 1, m_configuration.workerCount ) )
+    {}
+
+    ~Server()
+    {
+        closeFd( m_listenFd );
+        closeFd( m_wakeRead );
+        closeFd( m_wakeWrite );
+    }
+
+    Server( const Server& ) = delete;
+    Server& operator=( const Server& ) = delete;
+
+    /** Bind + listen; after this, port() reports the actual port. */
+    void
+    start()
+    {
+        int pipeFds[2];
+        if ( ::pipe( pipeFds ) != 0 ) {
+            throw FileIoError( "pipe() failed: " + std::string( std::strerror( errno ) ) );
+        }
+        m_wakeRead = pipeFds[0];
+        m_wakeWrite = pipeFds[1];
+        setNonBlocking( m_wakeRead );
+        setNonBlocking( m_wakeWrite );
+
+        m_listenFd = ::socket( AF_INET, SOCK_STREAM, 0 );
+        if ( m_listenFd < 0 ) {
+            throw FileIoError( "socket() failed: " + std::string( std::strerror( errno ) ) );
+        }
+        const int enable = 1;
+        ::setsockopt( m_listenFd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof( enable ) );
+
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port = htons( m_configuration.port );
+        if ( ::inet_pton( AF_INET, m_configuration.bindAddress.c_str(), &address.sin_addr ) != 1 ) {
+            throw FileIoError( "Invalid bind address: " + m_configuration.bindAddress );
+        }
+        if ( ::bind( m_listenFd, reinterpret_cast<sockaddr*>( &address ), sizeof( address ) ) != 0 ) {
+            throw FileIoError( "bind() failed: " + std::string( std::strerror( errno ) ) );
+        }
+        if ( ::listen( m_listenFd, 256 ) != 0 ) {
+            throw FileIoError( "listen() failed: " + std::string( std::strerror( errno ) ) );
+        }
+        setNonBlocking( m_listenFd );
+
+        sockaddr_in bound{};
+        socklen_t boundSize = sizeof( bound );
+        if ( ::getsockname( m_listenFd, reinterpret_cast<sockaddr*>( &bound ), &boundSize ) == 0 ) {
+            m_port.store( ntohs( bound.sin_port ) );
+        }
+    }
+
+    [[nodiscard]] std::uint16_t
+    port() const noexcept
+    {
+        return m_port.load();
+    }
+
+    /** Safe from any thread (and from within run()'s workers). */
+    void
+    stop()
+    {
+        m_stopRequested.store( true );
+        wake();
+    }
+
+    [[nodiscard]] const ServeMetrics&
+    metrics() const noexcept
+    {
+        return m_metrics;
+    }
+
+    [[nodiscard]] const ChunkCache&
+    sharedCache() const noexcept
+    {
+        return *m_sharedCache;
+    }
+
+    /** Blocking event loop; returns after stop(). */
+    void
+    run()
+    {
+        std::vector<pollfd> pollFds;
+        std::vector<std::uint64_t> pollIds;  /* connection id per pollFds slot, 0 = special */
+
+        while ( !m_stopRequested.load() ) {
+            drainCompletions();
+
+            pollFds.clear();
+            pollIds.clear();
+            pollFds.push_back( { m_wakeRead, POLLIN, 0 } );
+            pollIds.push_back( 0 );
+            pollFds.push_back( { m_listenFd, POLLIN, 0 } );
+            pollIds.push_back( 0 );
+            for ( auto& [id, connection] : m_connections ) {
+                short events = 0;
+                /* Backpressure: while a response is being computed or
+                 * written, stop reading — pipelined bytes already received
+                 * stay in the parser buffer. */
+                if ( !connection.awaitingResponse && connection.outbox.empty()
+                     && !connection.peerClosed ) {
+                    events |= POLLIN;
+                }
+                if ( !connection.outbox.empty() ) {
+                    events |= POLLOUT;
+                }
+                pollFds.push_back( { connection.fd, events, 0 } );
+                pollIds.push_back( id );
+            }
+
+            if ( ::poll( pollFds.data(), pollFds.size(), 1000 ) < 0 ) {
+                if ( errno == EINTR ) {
+                    continue;
+                }
+                break;
+            }
+
+            if ( ( pollFds[0].revents & POLLIN ) != 0 ) {
+                char sink[256];
+                while ( ::read( m_wakeRead, sink, sizeof( sink ) ) > 0 ) {}
+            }
+            drainCompletions();
+
+            if ( ( pollFds[1].revents & POLLIN ) != 0 ) {
+                acceptNewConnections();
+            }
+
+            for ( std::size_t i = 2; i < pollFds.size(); ++i ) {
+                const auto id = pollIds[i];
+                const auto match = m_connections.find( id );
+                if ( match == m_connections.end() ) {
+                    continue;  /* closed by an earlier event this round */
+                }
+                auto& connection = match->second;
+                const auto revents = pollFds[i].revents;
+                if ( ( revents & ( POLLERR | POLLNVAL ) ) != 0 ) {
+                    closeConnection( id );
+                    continue;
+                }
+                if ( ( revents & ( POLLIN | POLLHUP ) ) != 0 ) {
+                    if ( !handleReadable( connection ) ) {
+                        closeConnection( id );
+                        continue;
+                    }
+                }
+                if ( ( revents & POLLOUT ) != 0 ) {
+                    if ( !handleWritable( connection ) ) {
+                        closeConnection( id );
+                        continue;
+                    }
+                }
+            }
+        }
+
+        /* Shutdown: drop connections; in-flight worker tasks complete into
+         * the queue and are discarded with it. */
+        for ( auto& [id, connection] : m_connections ) {
+            closeFd( connection.fd );
+        }
+        m_connections.clear();
+    }
+
+private:
+    struct Connection
+    {
+        int fd{ -1 };
+        std::uint64_t id{ 0 };
+        RequestParser parser;
+        bool awaitingResponse{ false };
+        bool peerClosed{ false };
+        bool closeAfterFlush{ false };
+        std::string outbox;
+        std::size_t outboxSent{ 0 };
+    };
+
+    struct Completion
+    {
+        std::uint64_t connectionId{ 0 };
+        std::string response;
+        bool keepAlive{ true };
+    };
+
+    static void
+    setNonBlocking( int fd )
+    {
+        const auto flags = ::fcntl( fd, F_GETFL, 0 );
+        ::fcntl( fd, F_SETFL, flags | O_NONBLOCK );
+    }
+
+    static void
+    closeFd( int& fd )
+    {
+        if ( fd >= 0 ) {
+            ::close( fd );
+            fd = -1;
+        }
+    }
+
+    void
+    wake()
+    {
+        const char byte = 1;
+        (void)!::write( m_wakeWrite, &byte, 1 );
+    }
+
+    void
+    acceptNewConnections()
+    {
+        while ( true ) {
+            const int fd = ::accept( m_listenFd, nullptr, nullptr );
+            if ( fd < 0 ) {
+                break;  /* EAGAIN or transient error: poll again */
+            }
+            setNonBlocking( fd );
+            const int enable = 1;
+            ::setsockopt( fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof( enable ) );
+            Connection connection;
+            connection.fd = fd;
+            connection.id = ++m_nextConnectionId;
+            m_metrics.connectionsAccepted.fetch_add( 1, std::memory_order_relaxed );
+            m_connections.emplace( connection.id, std::move( connection ) );
+        }
+    }
+
+    void
+    closeConnection( std::uint64_t id )
+    {
+        const auto match = m_connections.find( id );
+        if ( match != m_connections.end() ) {
+            closeFd( match->second.fd );
+            m_connections.erase( match );
+        }
+    }
+
+    /** Returns false when the connection should be closed. */
+    [[nodiscard]] bool
+    handleReadable( Connection& connection )
+    {
+        char buffer[16 * 1024];
+        while ( true ) {
+            const auto got = ::recv( connection.fd, buffer, sizeof( buffer ), 0 );
+            if ( got > 0 ) {
+                connection.parser.feed( buffer, static_cast<std::size_t>( got ) );
+                continue;
+            }
+            if ( got == 0 ) {
+                connection.peerClosed = true;
+                break;
+            }
+            if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
+                break;
+            }
+            return false;  /* hard error */
+        }
+        if ( !tryDispatch( connection ) ) {
+            return false;
+        }
+        /* Peer is gone and nothing is pending: nothing left to do. */
+        return !( connection.peerClosed && !connection.awaitingResponse
+                  && connection.outbox.empty() );
+    }
+
+    /** Parse and dispatch the next buffered request, if any. Returns false
+     * when the connection should be closed immediately. */
+    [[nodiscard]] bool
+    tryDispatch( Connection& connection )
+    {
+        if ( connection.awaitingResponse || !connection.outbox.empty() ) {
+            return true;  /* strictly one response in flight per connection */
+        }
+        HttpRequest request;
+        if ( connection.parser.next( request ) ) {
+            connection.awaitingResponse = true;
+            m_metrics.requestsTotal.fetch_add( 1, std::memory_order_relaxed );
+            const auto id = connection.id;
+            (void)m_workers.submit( [this, id, request = std::move( request )] () {
+                Completion completion;
+                completion.connectionId = id;
+                completion.keepAlive = request.keepAlive();
+                completion.response = handleRequest( request, completion.keepAlive );
+                {
+                    const std::lock_guard<std::mutex> lock( m_completionMutex );
+                    m_completions.push_back( std::move( completion ) );
+                }
+                wake();
+            } );
+            return true;
+        }
+        if ( connection.parser.failed() ) {
+            const auto status = connection.parser.failureStatus();
+            m_metrics.requestsTotal.fetch_add( 1, std::memory_order_relaxed );
+            m_metrics.countStatus( status );
+            connection.outbox = buildResponse( status, {}, reasonPhrase( status ),
+                                               /* keepAlive */ false );
+            connection.outboxSent = 0;
+            connection.closeAfterFlush = true;
+        }
+        return true;
+    }
+
+    [[nodiscard]] bool
+    handleWritable( Connection& connection )
+    {
+        while ( connection.outboxSent < connection.outbox.size() ) {
+            const auto sent = ::send( connection.fd,
+                                      connection.outbox.data() + connection.outboxSent,
+                                      connection.outbox.size() - connection.outboxSent,
+                                      MSG_NOSIGNAL );
+            if ( sent > 0 ) {
+                connection.outboxSent += static_cast<std::size_t>( sent );
+                continue;
+            }
+            if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
+                return true;  /* socket full: POLLOUT will fire again */
+            }
+            return false;
+        }
+        connection.outbox.clear();
+        connection.outboxSent = 0;
+        if ( connection.closeAfterFlush ) {
+            return false;
+        }
+        /* Response sent: a pipelined follow-up may already be buffered. */
+        if ( !tryDispatch( connection ) ) {
+            return false;
+        }
+        return !( connection.peerClosed && !connection.awaitingResponse
+                  && connection.outbox.empty() );
+    }
+
+    void
+    drainCompletions()
+    {
+        std::vector<Completion> completions;
+        {
+            const std::lock_guard<std::mutex> lock( m_completionMutex );
+            completions.swap( m_completions );
+        }
+        for ( auto& completion : completions ) {
+            const auto match = m_connections.find( completion.connectionId );
+            if ( match == m_connections.end() ) {
+                continue;  /* connection died while the worker was busy */
+            }
+            auto& connection = match->second;
+            connection.awaitingResponse = false;
+            connection.outbox = std::move( completion.response );
+            connection.outboxSent = 0;
+            connection.closeAfterFlush = !completion.keepAlive;
+            /* Try to flush immediately — most responses fit the socket
+             * buffer, saving a poll round trip. */
+            if ( !handleWritable( connection ) ) {
+                closeConnection( completion.connectionId );
+            }
+        }
+    }
+
+    /* --- request handling (worker threads) ----------------------------- */
+
+    [[nodiscard]] std::string
+    handleRequest( const HttpRequest& request, bool keepAlive )
+    {
+        try {
+            return handleRequestChecked( request, keepAlive );
+        } catch ( const ArchiveNotFoundError& exception ) {
+            return errorResponse( 404, exception.what(), keepAlive );
+        } catch ( const std::exception& exception ) {
+            /* Unknown format, vendor library missing, corrupt archive, … —
+             * the archive's problem, not the server's, but 500 is the
+             * honest summary either way. */
+            return errorResponse( 500, exception.what(), keepAlive );
+        }
+    }
+
+    [[nodiscard]] std::string
+    errorResponse( int status, const std::string& message, bool keepAlive )
+    {
+        m_metrics.countStatus( status );
+        return buildResponse( status, "Content-Type: text/plain\r\n",
+                              message + "\n", keepAlive );
+    }
+
+    [[nodiscard]] std::string
+    handleRequestChecked( const HttpRequest& request, bool keepAlive )
+    {
+        const bool isHead = request.method == "HEAD";
+        if ( ( request.method != "GET" ) && !isHead ) {
+            return errorResponse( 405, "Only GET and HEAD are supported", keepAlive );
+        }
+
+        auto target = request.target;
+        if ( const auto query = target.find( '?' ); query != std::string::npos ) {
+            target.erase( query );
+        }
+
+        if ( target == "/metrics" ) {
+            const auto body = renderMetrics( m_metrics, m_sharedCache->statistics(),
+                                             m_registry.openCount() );
+            m_metrics.countStatus( 200 );
+            if ( isHead ) {
+                return buildResponseHead( 200, body.size(),
+                                          "Content-Type: text/plain\r\n", keepAlive );
+            }
+            return buildResponse( 200, "Content-Type: text/plain\r\n", body, keepAlive );
+        }
+
+        auto lease = m_registry.open( target );
+        auto& decompressor = lease.decompressor();
+        const auto totalSize = decompressor.size();
+
+        if ( isHead ) {
+            m_metrics.countStatus( 200 );
+            return buildResponseHead( 200, totalSize, {}, keepAlive );
+        }
+
+        const auto range = resolveRange( request.header( "range" ), totalSize );
+        if ( range.outcome == RangeOutcome::UNSATISFIABLE ) {
+            m_metrics.countStatus( 416 );
+            return buildResponse( 416,
+                                  "Content-Range: bytes */" + std::to_string( totalSize ) + "\r\n",
+                                  {}, keepAlive );
+        }
+
+        const auto first = range.outcome == RangeOutcome::RANGE ? range.first : 0;
+        const auto length = range.outcome == RangeOutcome::RANGE ? range.length : totalSize;
+        std::string body( length, '\0' );
+        const auto got = decompressor.readAt(
+            first, reinterpret_cast<std::uint8_t*>( body.data() ), length );
+        if ( got != length ) {
+            return errorResponse( 500, "Decoded range came up short", keepAlive );
+        }
+
+        m_metrics.bytesServed.fetch_add( length, std::memory_order_relaxed );
+        if ( range.outcome == RangeOutcome::RANGE ) {
+            m_metrics.countStatus( 206 );
+            const auto contentRange = "Content-Range: bytes " + std::to_string( first ) + "-"
+                                      + std::to_string( first + length - 1 ) + "/"
+                                      + std::to_string( totalSize ) + "\r\n";
+            return buildResponse( 206, contentRange, body, keepAlive );
+        }
+        m_metrics.countStatus( 200 );
+        return buildResponse( 200, {}, body, keepAlive );
+    }
+
+    ServerConfiguration m_configuration;
+    std::shared_ptr<ChunkCache> m_sharedCache;
+    ArchiveRegistry m_registry;
+    ServeMetrics m_metrics;
+
+    int m_listenFd{ -1 };
+    int m_wakeRead{ -1 };
+    int m_wakeWrite{ -1 };
+    std::atomic<std::uint16_t> m_port{ 0 };
+    std::atomic<bool> m_stopRequested{ false };
+
+    std::uint64_t m_nextConnectionId{ 0 };
+    std::map<std::uint64_t, Connection> m_connections;
+
+    std::mutex m_completionMutex;
+    std::vector<Completion> m_completions;
+
+    /* Pool last: its destructor runs first, joining workers that use the
+     * registry, cache, metrics, and completion queue above. */
+    ThreadPool m_workers;
+};
+
+}  // namespace rapidgzip::serve

@@ -1,0 +1,783 @@
+/**
+ * Unit tests for the serve subsystem (src/serve/): the incremental HTTP
+ * request parser (arbitrary splits, pipelining, malformed and oversized
+ * input), the RFC 9110 Range algebra, the byte-bounded LRU chunk cache
+ * (budget invariant, eviction order, single-flight decode dedup), the
+ * shared cache tier across independent readers, sidecar-index adoption,
+ * and an end-to-end loopback run of the daemon: concurrent ranged GETs
+ * against gzip (and zstd when the vendor library is present) archives,
+ * byte-compared with the reference data.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/ChunkCache.hpp"
+#include "formats/Formats.hpp"
+#include "formats/Lz4Writer.hpp"
+#include "formats/Sidecar.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "serve/Http.hpp"
+#include "serve/Server.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+#include "formats/ZstdWriter.hpp"
+#endif
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+using namespace rapidgzip::serve;
+
+namespace {
+
+/* --- request parser ---------------------------------------------------- */
+
+void
+testRequestParserBasics()
+{
+    RequestParser parser;
+    const std::string raw = "GET /data.gz HTTP/1.1\r\n"
+                            "Host: localhost\r\n"
+                            "Range: bytes=0-99\r\n"
+                            "\r\n";
+    parser.feed( raw.data(), raw.size() );
+
+    HttpRequest request;
+    REQUIRE( parser.next( request ) );
+    REQUIRE( request.method == "GET" );
+    REQUIRE( request.target == "/data.gz" );
+    REQUIRE( request.versionMinor == 1 );
+    REQUIRE( request.header( "host" ) == "localhost" );
+    REQUIRE( request.header( "range" ) == "bytes=0-99" );
+    REQUIRE( request.header( "absent" ).empty() );
+    REQUIRE( request.keepAlive() );
+    REQUIRE( parser.bufferedBytes() == 0 );
+    REQUIRE( !parser.next( request ) );  /* nothing further buffered */
+    REQUIRE( !parser.failed() );
+
+    /* Keep-alive defaults and overrides. */
+    const auto parseOne = [] ( const std::string& text ) {
+        RequestParser p;
+        p.feed( text.data(), text.size() );
+        HttpRequest r;
+        REQUIRE( p.next( r ) );
+        return r;
+    };
+    REQUIRE( !parseOne( "GET / HTTP/1.0\r\n\r\n" ).keepAlive() );
+    REQUIRE( parseOne( "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n" ).keepAlive() );
+    REQUIRE( !parseOne( "GET / HTTP/1.1\r\nConnection: close\r\n\r\n" ).keepAlive() );
+    REQUIRE( parseOne( "HEAD /x HTTP/1.1\r\n\r\n" ).method == "HEAD" );
+
+    /* Bare-LF tolerance and header value trimming. */
+    const auto lenient = parseOne( "GET /y HTTP/1.1\nRange:   bytes=1-2  \n\n" );
+    REQUIRE( lenient.target == "/y" );
+    REQUIRE( lenient.header( "range" ) == "bytes=1-2" );
+}
+
+void
+testRequestParserIncrementalAndPipelined()
+{
+    /* Byte-by-byte arrival must produce exactly one request at the end. */
+    RequestParser parser;
+    const std::string raw = "GET /a HTTP/1.1\r\nHost: h\r\n\r\n";
+    HttpRequest request;
+    for ( std::size_t i = 0; i + 1 < raw.size(); ++i ) {
+        parser.feed( raw.data() + i, 1 );
+        REQUIRE( !parser.next( request ) );
+        REQUIRE( !parser.failed() );
+    }
+    parser.feed( raw.data() + raw.size() - 1, 1 );
+    REQUIRE( parser.next( request ) );
+    REQUIRE( request.target == "/a" );
+
+    /* Two pipelined requests in one buffer come out one at a time, in
+     * order, with the surplus staying buffered in between. */
+    RequestParser pipelined;
+    const std::string two = "GET /first HTTP/1.1\r\n\r\nGET /second HTTP/1.1\r\n\r\n";
+    pipelined.feed( two.data(), two.size() );
+    REQUIRE( pipelined.next( request ) );
+    REQUIRE( request.target == "/first" );
+    REQUIRE( pipelined.bufferedBytes() > 0 );
+    REQUIRE( pipelined.next( request ) );
+    REQUIRE( request.target == "/second" );
+    REQUIRE( pipelined.bufferedBytes() == 0 );
+}
+
+void
+testRequestParserFailures()
+{
+    const auto failureFor = [] ( const std::string& text ) {
+        RequestParser parser;
+        parser.feed( text.data(), text.size() );
+        HttpRequest request;
+        REQUIRE( !parser.next( request ) );
+        REQUIRE( parser.failed() );
+        return parser.failureStatus();
+    };
+    REQUIRE( failureFor( "GARBAGE\r\n\r\n" ) == 400 );
+    REQUIRE( failureFor( "GET /\r\n\r\n" ) == 400 );              /* no version */
+    REQUIRE( failureFor( "GET / HTTP/2.0\r\n\r\n" ) == 400 );     /* unsupported version */
+    REQUIRE( failureFor( "GET  HTTP/1.1\r\n\r\n" ) == 400 );      /* empty target */
+    REQUIRE( failureFor( "GET / HTTP/1.1\r\nBad Header : x\r\n\r\n" ) == 400 );
+    REQUIRE( failureFor( "GET / HTTP/1.1\r\n: novalue\r\n\r\n" ) == 400 );
+
+    /* Oversized header block: with and without a terminator in sight. */
+    RequestParser oversized;
+    const std::string filler( RequestParser::MAX_HEADER_BYTES + 1024, 'x' );
+    oversized.feed( filler.data(), filler.size() );
+    HttpRequest request;
+    REQUIRE( !oversized.next( request ) );
+    REQUIRE( oversized.failed() );
+    REQUIRE( oversized.failureStatus() == 431 );
+
+    RequestParser terminated;
+    std::string huge = "GET / HTTP/1.1\r\n";
+    while ( huge.size() <= RequestParser::MAX_HEADER_BYTES ) {
+        huge += "X-Padding: ";
+        huge += std::string( 120, 'p' );
+        huge += "\r\n";
+    }
+    huge += "\r\n";
+    terminated.feed( huge.data(), huge.size() );
+    REQUIRE( !terminated.next( request ) );
+    REQUIRE( terminated.failureStatus() == 431 );
+
+    /* Failure is sticky: further feeds never produce requests. */
+    const std::string good = "GET /ok HTTP/1.1\r\n\r\n";
+    terminated.feed( good.data(), good.size() );
+    REQUIRE( !terminated.next( request ) );
+    REQUIRE( terminated.failed() );
+}
+
+/* --- Range algebra ----------------------------------------------------- */
+
+void
+testRangeResolution()
+{
+    const auto resolve = [] ( const std::string& header, std::size_t size ) {
+        return resolveRange( header, size );
+    };
+
+    REQUIRE( resolve( "", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "items=0-4", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=abc-", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=0-499,600-700", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=5-2", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=-", 1000 ).outcome == RangeOutcome::NO_RANGE );
+
+    const auto plain = resolve( "bytes=0-99", 1000 );
+    REQUIRE( plain.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( plain.first == 0 ) && ( plain.length == 100 ) );
+
+    const auto open = resolve( "bytes=900-", 1000 );
+    REQUIRE( open.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( open.first == 900 ) && ( open.length == 100 ) );
+
+    const auto clamped = resolve( "bytes=500-99999", 1000 );
+    REQUIRE( clamped.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( clamped.first == 500 ) && ( clamped.length == 500 ) );
+
+    const auto suffix = resolve( "bytes=-100", 1000 );
+    REQUIRE( suffix.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( suffix.first == 900 ) && ( suffix.length == 100 ) );
+
+    const auto hugeSuffix = resolve( "bytes=-2000", 1000 );
+    REQUIRE( hugeSuffix.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( hugeSuffix.first == 0 ) && ( hugeSuffix.length == 1000 ) );
+
+    const auto single = resolve( "bytes=7-7", 1000 );
+    REQUIRE( single.outcome == RangeOutcome::RANGE );
+    REQUIRE( ( single.first == 7 ) && ( single.length == 1 ) );
+
+    REQUIRE( resolve( "bytes=1000-1010", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
+    REQUIRE( resolve( "bytes=1000-", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
+    REQUIRE( resolve( "bytes=-0", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
+    REQUIRE( resolve( "bytes=0-", 0 ).outcome == RangeOutcome::UNSATISFIABLE );
+    REQUIRE( resolve( "bytes=-5", 0 ).outcome == RangeOutcome::UNSATISFIABLE );
+}
+
+/* --- LRU chunk cache --------------------------------------------------- */
+
+[[nodiscard]] std::shared_ptr<const DecodedChunk>
+makeChunk( std::size_t size, std::uint8_t fill = 0 )
+{
+    auto chunk = std::make_shared<DecodedChunk>();
+    chunk->data.assign( size, fill );
+    return chunk;
+}
+
+void
+testLruCacheBudgetInvariant()
+{
+    constexpr std::size_t ENTRY = 1024 + LruChunkCache::PER_ENTRY_OVERHEAD;
+    LruChunkCache cache( 8 * ENTRY );
+    Xorshift64 rng( 1234 );
+    for ( int i = 0; i < 2000; ++i ) {
+        const ChunkCacheKey key{ /* token */ 7, rng.below( 64 ) };
+        if ( rng.below( 3 ) == 0 ) {
+            (void)cache.get( key );
+        } else {
+            cache.insert( key, makeChunk( rng.below( 4096 ) ) );
+        }
+        const auto stats = cache.statistics();
+        REQUIRE( stats.currentBytes <= stats.capacityBytes );
+    }
+    const auto stats = cache.statistics();
+    REQUIRE( stats.insertions > 0 );
+    REQUIRE( stats.evictions > 0 );
+    REQUIRE( stats.hits + stats.misses > 0 );
+}
+
+void
+testLruCacheEvictionOrder()
+{
+    constexpr std::size_t SIZE = 100;
+    constexpr std::size_t ENTRY = SIZE + LruChunkCache::PER_ENTRY_OVERHEAD;
+    LruChunkCache cache( 3 * ENTRY );
+    const auto key = [] ( std::size_t i ) { return ChunkCacheKey{ 1, i }; };
+
+    cache.insert( key( 1 ), makeChunk( SIZE, 1 ) );
+    cache.insert( key( 2 ), makeChunk( SIZE, 2 ) );
+    cache.insert( key( 3 ), makeChunk( SIZE, 3 ) );
+    REQUIRE( cache.get( key( 1 ) ) != nullptr );  /* refresh: 2 becomes LRU */
+    cache.insert( key( 4 ), makeChunk( SIZE, 4 ) );
+
+    REQUIRE( cache.get( key( 2 ) ) == nullptr );
+    REQUIRE( cache.get( key( 1 ) ) != nullptr );
+    REQUIRE( cache.get( key( 3 ) ) != nullptr );
+    REQUIRE( cache.get( key( 4 ) ) != nullptr );
+    REQUIRE( cache.statistics().evictions == 1 );
+
+    /* A chunk larger than the whole budget is rejected, not cached. */
+    cache.insert( key( 9 ), makeChunk( 10 * ENTRY ) );
+    REQUIRE( cache.get( key( 9 ) ) == nullptr );
+    REQUIRE( cache.statistics().oversizedRejections == 1 );
+}
+
+void
+testLruCacheSingleFlight()
+{
+    LruChunkCache cache( 64 * MiB );
+    const ChunkCacheKey key{ 42, 7 };
+    std::atomic<int> decodes{ 0 };
+
+    std::vector<std::thread> threads;
+    std::vector<ChunkCache::ChunkDataPtr> results( 16 );
+    for ( std::size_t i = 0; i < results.size(); ++i ) {
+        threads.emplace_back( [&cache, &decodes, &results, key, i] () {
+            results[i] = cache.getOrDecode( key, [&decodes] () {
+                ++decodes;
+                std::this_thread::sleep_for( std::chrono::milliseconds( 20 ) );
+                return makeChunk( 512 );
+            } );
+        } );
+    }
+    for ( auto& thread : threads ) {
+        thread.join();
+    }
+
+    REQUIRE( decodes.load() == 1 );
+    for ( const auto& result : results ) {
+        REQUIRE( result != nullptr );
+        REQUIRE( result == results.front() );  /* everyone got THE decode */
+    }
+    REQUIRE( cache.statistics().insertions == 1 );
+
+    /* A throwing decode reaches every waiter and leaves the cache usable. */
+    const ChunkCacheKey failing{ 42, 8 };
+    std::atomic<int> failures{ 0 };
+    std::vector<std::thread> fallible;
+    for ( int i = 0; i < 4; ++i ) {
+        fallible.emplace_back( [&cache, &failures, failing] () {
+            try {
+                (void)cache.getOrDecode( failing, [] () -> ChunkCache::ChunkDataPtr {
+                    std::this_thread::sleep_for( std::chrono::milliseconds( 10 ) );
+                    throw RapidgzipError( "synthetic decode failure" );
+                } );
+            } catch ( const std::exception& ) {
+                ++failures;
+            }
+        } );
+    }
+    for ( auto& thread : fallible ) {
+        thread.join();
+    }
+    REQUIRE( failures.load() >= 1 );  /* the decoder always; waiters that raced it too */
+    const auto recovered = cache.getOrDecode( failing, [] () { return makeChunk( 64 ); } );
+    REQUIRE( recovered != nullptr );
+    REQUIRE( cache.get( failing ) != nullptr );
+}
+
+/* --- shared tier across readers ---------------------------------------- */
+
+void
+testSharedCacheAcrossReaders()
+{
+    const auto data = workloads::base64Data( 1 * MiB, 99 );
+    const auto file = compressPigzLike( data, 6, 128 * KiB );
+
+    ChunkFetcherConfiguration configuration;
+    configuration.parallelism = 2;
+    configuration.chunkSizeBytes = 128 * KiB;
+    configuration.sharedCache = std::make_shared<LruChunkCache>( 64 * MiB );
+    configuration.cacheIdentity = 0xA5A5;
+
+    std::vector<std::uint8_t> decoded( data.size() );
+    auto first = formats::makeDecompressor(
+        std::make_unique<MemoryFileReader>( file ), configuration );
+    REQUIRE( first->readAt( 0, decoded.data(), decoded.size() ) == data.size() );
+    REQUIRE( decoded == data );
+
+    const auto afterFirst = configuration.sharedCache->statistics();
+    REQUIRE( afterFirst.insertions > 0 );
+
+    /* A second reader over the same archive + identity never decodes: every
+     * chunk comes out of the shared tier. */
+    std::fill( decoded.begin(), decoded.end(), 0 );
+    auto second = formats::makeDecompressor(
+        std::make_unique<MemoryFileReader>( file ), configuration );
+    REQUIRE( second->readAt( 0, decoded.data(), decoded.size() ) == data.size() );
+    REQUIRE( decoded == data );
+
+    const auto afterSecond = configuration.sharedCache->statistics();
+    REQUIRE( afterSecond.hits > afterFirst.hits );
+    REQUIRE( afterSecond.insertions == afterFirst.insertions );
+
+    /* A different identity must NOT share entries. */
+    auto foreign = configuration;
+    foreign.cacheIdentity = 0x5A5A;
+    std::fill( decoded.begin(), decoded.end(), 0 );
+    auto third = formats::makeDecompressor(
+        std::make_unique<MemoryFileReader>( file ), foreign );
+    REQUIRE( third->readAt( 0, decoded.data(), decoded.size() ) == data.size() );
+    REQUIRE( decoded == data );
+    REQUIRE( configuration.sharedCache->statistics().insertions > afterSecond.insertions );
+}
+
+/* --- sidecar adoption -------------------------------------------------- */
+
+[[nodiscard]] std::string
+makeTempDirectory()
+{
+    char templatePath[] = "/tmp/rapidgzip-serve-test-XXXXXX";
+    const char* path = ::mkdtemp( templatePath );
+    REQUIRE( path != nullptr );
+    return path;
+}
+
+void
+writeFile( const std::string& path, const std::vector<std::uint8_t>& bytes )
+{
+    std::FILE* file = std::fopen( path.c_str(), "wb" );
+    REQUIRE( file != nullptr );
+    REQUIRE( std::fwrite( bytes.data(), 1, bytes.size(), file ) == bytes.size() );
+    REQUIRE( std::fclose( file ) == 0 );
+}
+
+void
+testSidecarAdoption()
+{
+    const auto directory = makeTempDirectory();
+    const auto data = workloads::silesiaLikeData( 768 * KiB, 7 );
+
+    ChunkFetcherConfiguration configuration;
+    configuration.parallelism = 2;
+    configuration.chunkSizeBytes = 128 * KiB;
+
+    /* gzip: the sidecar carries the full bit-granular index with windows,
+     * so adoption replaces the two-stage discovery sweep. */
+    const auto gzipPath = directory + "/data.gz";
+    writeFile( gzipPath, compressGzipLike( data ) );
+    {
+        auto cold = formats::openArchive( gzipPath, configuration );
+        REQUIRE( cold->size() == data.size() );  /* forces discovery */
+        formats::writeSidecarIndex( *cold, gzipPath );
+    }
+    {
+        auto fresh = formats::openArchive( gzipPath, configuration, /* adoptSidecar */ false );
+        REQUIRE( formats::trySidecarAdoption( *fresh, gzipPath ) );
+        REQUIRE( fresh->size() == data.size() );
+        std::vector<std::uint8_t> slice( 4096 );
+        REQUIRE( fresh->readAt( 300 * KiB, slice.data(), slice.size() ) == slice.size() );
+        REQUIRE( std::memcmp( slice.data(), data.data() + 300 * KiB, slice.size() ) == 0 );
+    }
+
+    /* lz4: the sidecar's seek points replace the measuring decode sweep. */
+    const auto lz4Path = directory + "/data.lz4";
+    writeFile( lz4Path, formats::writeLz4( data, formats::Lz4Writer::BlockMaxSize::KIB64 ) );
+    {
+        auto cold = formats::openArchive( lz4Path, configuration );
+        REQUIRE( cold->size() == data.size() );
+        formats::writeSidecarIndex( *cold, lz4Path );
+    }
+    {
+        auto fresh = formats::openArchive( lz4Path, configuration, /* adoptSidecar */ false );
+        REQUIRE( formats::trySidecarAdoption( *fresh, lz4Path ) );
+        REQUIRE( fresh->size() == data.size() );
+        std::vector<std::uint8_t> slice( 4096 );
+        REQUIRE( fresh->readAt( 500 * KiB, slice.data(), slice.size() ) == slice.size() );
+        REQUIRE( std::memcmp( slice.data(), data.data() + 500 * KiB, slice.size() ) == 0 );
+    }
+
+    /* Stale sidecar (older than the archive) is ignored. */
+    {
+        struct stat archiveStat{};
+        REQUIRE( ::stat( gzipPath.c_str(), &archiveStat ) == 0 );
+        struct utimbuf oldTimes{};
+        oldTimes.actime = archiveStat.st_mtime - 100;
+        oldTimes.modtime = archiveStat.st_mtime - 100;
+        REQUIRE( ::utime( formats::sidecarPathFor( gzipPath ).c_str(), &oldTimes ) == 0 );
+        auto fresh = formats::openArchive( gzipPath, configuration, /* adoptSidecar */ false );
+        REQUIRE( !formats::trySidecarAdoption( *fresh, gzipPath ) );
+    }
+
+    /* A sidecar recorded for a DIFFERENT archive (size mismatch) is
+     * rejected even when it parses cleanly. */
+    {
+        const auto otherPath = directory + "/other.lz4";
+        const auto otherData = workloads::base64Data( 100 * KiB, 8 );
+        writeFile( otherPath, formats::writeLz4( otherData ) );
+        const auto lz4Sidecar = formats::sidecarPathFor( lz4Path );
+        std::FILE* in = std::fopen( lz4Sidecar.c_str(), "rb" );
+        REQUIRE( in != nullptr );
+        std::vector<std::uint8_t> sidecarBytes( 1 * MiB );
+        sidecarBytes.resize( std::fread( sidecarBytes.data(), 1, sidecarBytes.size(), in ) );
+        std::fclose( in );
+        writeFile( formats::sidecarPathFor( otherPath ), sidecarBytes );
+        auto fresh = formats::openArchive( otherPath, configuration, /* adoptSidecar */ false );
+        REQUIRE( !formats::trySidecarAdoption( *fresh, otherPath ) );
+
+        /* Corrupt sidecar (bit flip) fails the checksum and is ignored. */
+        auto corrupt = sidecarBytes;
+        corrupt[corrupt.size() / 2] ^= 0x40U;
+        writeFile( lz4Sidecar, corrupt );
+        auto lz4Fresh = formats::openArchive( lz4Path, configuration, /* adoptSidecar */ false );
+        REQUIRE( !formats::trySidecarAdoption( *lz4Fresh, lz4Path ) );
+    }
+}
+
+/* --- end-to-end over loopback ------------------------------------------ */
+
+struct ClientResponse
+{
+    int status{ 0 };
+    std::map<std::string, std::string> headers;
+    std::string body;
+};
+
+/** Minimal blocking HTTP/1.1 client good for keep-alive and pipelining. */
+class HttpClient
+{
+public:
+    explicit HttpClient( std::uint16_t port )
+    {
+        m_fd = ::socket( AF_INET, SOCK_STREAM, 0 );
+        REQUIRE( m_fd >= 0 );
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port = htons( port );
+        REQUIRE( ::inet_pton( AF_INET, "127.0.0.1", &address.sin_addr ) == 1 );
+        REQUIRE( ::connect( m_fd, reinterpret_cast<sockaddr*>( &address ),
+                            sizeof( address ) ) == 0 );
+    }
+
+    ~HttpClient()
+    {
+        if ( m_fd >= 0 ) {
+            ::close( m_fd );
+        }
+    }
+
+    HttpClient( const HttpClient& ) = delete;
+    HttpClient& operator=( const HttpClient& ) = delete;
+
+    void
+    send( const std::string& raw ) const
+    {
+        std::size_t sent = 0;
+        while ( sent < raw.size() ) {
+            const auto got = ::send( m_fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL );
+            REQUIRE( got > 0 );
+            sent += static_cast<std::size_t>( got );
+        }
+    }
+
+    /** False when the peer closed before a complete response arrived. */
+    [[nodiscard]] bool
+    readResponse( ClientResponse& response, bool expectBody = true )
+    {
+        std::size_t headerEnd = std::string::npos;
+        while ( ( headerEnd = m_buffer.find( "\r\n\r\n" ) ) == std::string::npos ) {
+            if ( !fill() ) {
+                return false;
+            }
+        }
+        response = ClientResponse{};
+        const auto head = m_buffer.substr( 0, headerEnd );
+        const auto statusBegin = head.find( ' ' );
+        REQUIRE( statusBegin != std::string::npos );
+        response.status = std::atoi( head.c_str() + statusBegin + 1 );
+        std::size_t lineBegin = head.find( "\r\n" );
+        while ( ( lineBegin != std::string::npos ) && ( lineBegin + 2 < head.size() ) ) {
+            lineBegin += 2;
+            auto lineEnd = head.find( "\r\n", lineBegin );
+            if ( lineEnd == std::string::npos ) {
+                lineEnd = head.size();
+            }
+            const auto line = head.substr( lineBegin, lineEnd - lineBegin );
+            const auto colon = line.find( ':' );
+            if ( colon != std::string::npos ) {
+                auto name = line.substr( 0, colon );
+                std::transform( name.begin(), name.end(), name.begin(),
+                                [] ( unsigned char c ) { return std::tolower( c ); } );
+                auto value = line.substr( colon + 1 );
+                const auto valueBegin = value.find_first_not_of( ' ' );
+                response.headers[name] = valueBegin == std::string::npos
+                                         ? std::string{} : value.substr( valueBegin );
+            }
+            lineBegin = lineEnd;
+        }
+
+        std::size_t contentLength = 0;
+        if ( const auto match = response.headers.find( "content-length" );
+             match != response.headers.end() ) {
+            contentLength = static_cast<std::size_t>( std::atoll( match->second.c_str() ) );
+        }
+        const auto bodyLength = expectBody ? contentLength : 0;
+        while ( m_buffer.size() < headerEnd + 4 + bodyLength ) {
+            if ( !fill() ) {
+                return false;
+            }
+        }
+        response.body = m_buffer.substr( headerEnd + 4, bodyLength );
+        m_buffer.erase( 0, headerEnd + 4 + bodyLength );
+        return true;
+    }
+
+private:
+    [[nodiscard]] bool
+    fill()
+    {
+        char chunk[16 * 1024];
+        const auto got = ::recv( m_fd, chunk, sizeof( chunk ), 0 );
+        if ( got <= 0 ) {
+            return false;
+        }
+        m_buffer.append( chunk, static_cast<std::size_t>( got ) );
+        return true;
+    }
+
+    int m_fd{ -1 };
+    std::string m_buffer;
+};
+
+[[nodiscard]] ClientResponse
+simpleRequest( std::uint16_t port,
+               const std::string& method,
+               const std::string& target,
+               const std::string& extraHeaders = {} )
+{
+    HttpClient client( port );
+    client.send( method + " " + target + " HTTP/1.1\r\nHost: t\r\n" + extraHeaders
+                 + "Connection: close\r\n\r\n" );
+    ClientResponse response;
+    REQUIRE( client.readResponse( response, /* expectBody */ method != "HEAD" ) );
+    return response;
+}
+
+void
+testServeEndToEnd()
+{
+    std::signal( SIGPIPE, SIG_IGN );
+
+    const auto directory = makeTempDirectory();
+    const auto gzipData = workloads::base64Data( 1 * MiB, 11 );
+    writeFile( directory + "/corpus.gz", compressPigzLike( gzipData, 6, 128 * KiB ) );
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+    const auto zstdData = workloads::silesiaLikeData( 1 * MiB, 12 );
+    writeFile( directory + "/corpus.zst", formats::writeZstdSeekable( zstdData, 3, 128 * KiB ) );
+#endif
+
+    ServerConfiguration configuration;
+    configuration.port = 0;  /* ephemeral */
+    configuration.rootDirectory = directory;
+    configuration.workerCount = 4;
+    configuration.cacheBytes = 64 * MiB;
+    configuration.readerConfiguration.parallelism = 2;
+    configuration.readerConfiguration.chunkSizeBytes = 128 * KiB;
+
+    Server server( std::move( configuration ) );
+    server.start();
+    const auto port = server.port();
+    REQUIRE( port != 0 );
+    std::thread loop( [&server] () { server.run(); } );
+
+    /* Full body. */
+    const auto full = simpleRequest( port, "GET", "/corpus.gz" );
+    REQUIRE( full.status == 200 );
+    REQUIRE( full.body.size() == gzipData.size() );
+    REQUIRE( std::memcmp( full.body.data(), gzipData.data(), gzipData.size() ) == 0 );
+
+    /* Exact ranges, RFC response metadata included. */
+    const auto ranged = simpleRequest( port, "GET", "/corpus.gz", "Range: bytes=100000-100063\r\n" );
+    REQUIRE( ranged.status == 206 );
+    REQUIRE( ranged.body.size() == 64 );
+    REQUIRE( std::memcmp( ranged.body.data(), gzipData.data() + 100000, 64 ) == 0 );
+    REQUIRE( ranged.headers.at( "content-range" )
+             == "bytes 100000-100063/" + std::to_string( gzipData.size() ) );
+
+    const auto suffix = simpleRequest( port, "GET", "/corpus.gz", "Range: bytes=-50\r\n" );
+    REQUIRE( suffix.status == 206 );
+    REQUIRE( suffix.body.size() == 50 );
+    REQUIRE( std::memcmp( suffix.body.data(),
+                          gzipData.data() + gzipData.size() - 50, 50 ) == 0 );
+
+    /* Multi-range falls back to the full representation per the RFC. */
+    const auto multi = simpleRequest( port, "GET", "/corpus.gz", "Range: bytes=0-1,10-11\r\n" );
+    REQUIRE( multi.status == 200 );
+    REQUIRE( multi.body.size() == gzipData.size() );
+
+    /* HEAD announces the decompressed size without a body. */
+    const auto head = simpleRequest( port, "HEAD", "/corpus.gz" );
+    REQUIRE( head.status == 200 );
+    REQUIRE( head.headers.at( "content-length" ) == std::to_string( gzipData.size() ) );
+    REQUIRE( head.body.empty() );
+
+    /* Error paths. */
+    REQUIRE( simpleRequest( port, "GET", "/missing.gz" ).status == 404 );
+    REQUIRE( simpleRequest( port, "GET", "/../testServe" ).status == 404 );
+    REQUIRE( simpleRequest( port, "POST", "/corpus.gz" ).status == 405 );
+    const auto unsatisfiable =
+        simpleRequest( port, "GET", "/corpus.gz", "Range: bytes=99999999-\r\n" );
+    REQUIRE( unsatisfiable.status == 416 );
+    REQUIRE( unsatisfiable.headers.at( "content-range" )
+             == "bytes */" + std::to_string( gzipData.size() ) );
+    {
+        HttpClient bad( port );
+        bad.send( "GARBAGE\r\n\r\n" );
+        ClientResponse response;
+        REQUIRE( bad.readResponse( response ) );
+        REQUIRE( response.status == 400 );
+        REQUIRE( response.headers.at( "connection" ) == "close" );
+    }
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+    const auto zstdRanged =
+        simpleRequest( port, "GET", "/corpus.zst", "Range: bytes=400000-400999\r\n" );
+    REQUIRE( zstdRanged.status == 206 );
+    REQUIRE( zstdRanged.body.size() == 1000 );
+    REQUIRE( std::memcmp( zstdRanged.body.data(), zstdData.data() + 400000, 1000 ) == 0 );
+#endif
+
+    /* Keep-alive: several requests over ONE connection. */
+    {
+        HttpClient client( port );
+        for ( int i = 0; i < 3; ++i ) {
+            const std::size_t offset = 1000 + 777 * static_cast<std::size_t>( i );
+            client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes="
+                         + std::to_string( offset ) + "-" + std::to_string( offset + 99 )
+                         + "\r\n\r\n" );
+            ClientResponse response;
+            REQUIRE( client.readResponse( response ) );
+            REQUIRE( response.status == 206 );
+            REQUIRE( response.headers.at( "connection" ) == "keep-alive" );
+            REQUIRE( std::memcmp( response.body.data(), gzipData.data() + offset, 100 ) == 0 );
+        }
+    }
+
+    /* Pipelining: two requests in one write, two in-order responses. */
+    {
+        HttpClient client( port );
+        client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes=0-9\r\n\r\n"
+                     "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes=10-19\r\n\r\n" );
+        ClientResponse first;
+        ClientResponse second;
+        REQUIRE( client.readResponse( first ) );
+        REQUIRE( client.readResponse( second ) );
+        REQUIRE( ( first.status == 206 ) && ( second.status == 206 ) );
+        REQUIRE( std::memcmp( first.body.data(), gzipData.data(), 10 ) == 0 );
+        REQUIRE( std::memcmp( second.body.data(), gzipData.data() + 10, 10 ) == 0 );
+    }
+
+    /* Concurrent ranged reads from many clients, byte-compared. */
+    {
+        std::atomic<int> mismatches{ 0 };
+        std::vector<std::thread> clients;
+        for ( std::size_t t = 0; t < 8; ++t ) {
+            clients.emplace_back( [&, t] () {
+                Xorshift64 rng( 100 + t );
+                HttpClient client( port );
+                for ( int i = 0; i < 16; ++i ) {
+                    const auto offset = rng.below( gzipData.size() - 256 );
+                    const auto length = 1 + rng.below( 256 );
+                    client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes="
+                                 + std::to_string( offset ) + "-"
+                                 + std::to_string( offset + length - 1 ) + "\r\n\r\n" );
+                    ClientResponse response;
+                    if ( !client.readResponse( response )
+                         || ( response.status != 206 )
+                         || ( response.body.size() != length )
+                         || ( std::memcmp( response.body.data(), gzipData.data() + offset,
+                                           length ) != 0 ) ) {
+                        ++mismatches;
+                        return;
+                    }
+                }
+            } );
+        }
+        for ( auto& client : clients ) {
+            client.join();
+        }
+        REQUIRE( mismatches.load() == 0 );
+    }
+
+    /* The shared tier absorbed the repeat traffic. */
+    const auto cacheStats = server.sharedCache().statistics();
+    REQUIRE( cacheStats.insertions > 0 );
+    REQUIRE( cacheStats.hits > 0 );
+
+    const auto metrics = simpleRequest( port, "GET", "/metrics" );
+    REQUIRE( metrics.status == 200 );
+    REQUIRE( metrics.body.find( "rapidgzip_serve_requests_total" ) != std::string::npos );
+    REQUIRE( metrics.body.find( "rapidgzip_serve_cache_hits" ) != std::string::npos );
+    REQUIRE( metrics.body.find( "rapidgzip_serve_responses_2xx" ) != std::string::npos );
+
+    server.stop();
+    loop.join();
+}
+
+}  // namespace
+
+int
+main()
+{
+    testRequestParserBasics();
+    testRequestParserIncrementalAndPipelined();
+    testRequestParserFailures();
+    testRangeResolution();
+    testLruCacheBudgetInvariant();
+    testLruCacheEvictionOrder();
+    testLruCacheSingleFlight();
+    testSharedCacheAcrossReaders();
+    testSidecarAdoption();
+    testServeEndToEnd();
+    return rapidgzip::test::finish( "testServe" );
+}
