@@ -14,6 +14,8 @@
 #include "deflate/DeflateDecoder.hpp"
 #include "gzip/GzipHeader.hpp"
 #include "io/MemoryFileReader.hpp"
+#include "simd/Crc32.hpp"
+#include "simd/ReplaceMarkers.hpp"
 
 #include "BenchmarkHelpers.hpp"
 
@@ -140,6 +142,72 @@ measureRejectionRate( BufferView stream,
                         ? 1 : 0;
         }
         sink = sink + accepted;
+    } );
+    return measurement.best;
+}
+
+std::vector<std::size_t>
+collectStage5Positions( BufferView stream )
+{
+    /* A position reached stage 5 iff the cascade accepted it or rejected it
+     * in stage 5 or later — visible through which statistics counter its
+     * testCandidate call incremented. */
+    std::vector<std::size_t> positions;
+    const auto totalBits = stream.size() * 8;
+    for ( std::size_t position = 0;
+          position + deflate::MIN_DYNAMIC_HEADER_BITS <= totalBits; ++position ) {
+        blockfinder::FilterStatistics statistics;
+        const auto accepted =
+            blockfinder::DynamicBlockFinderRapid::testCandidate( stream, position, &statistics );
+        const auto rejectedAtOrAfterStage5 = statistics.invalidPrecodeEncodedData
+                                             + statistics.invalidDistanceCode
+                                             + statistics.nonOptimalDistanceCode
+                                             + statistics.invalidLiteralCode
+                                             + statistics.nonOptimalLiteralCode;
+        if ( accepted || ( rejectedAtOrAfterStage5 > 0 ) ) {
+            positions.push_back( position );
+        }
+    }
+    return positions;
+}
+
+std::vector<std::uint8_t>
+replaceMarkersOnce( const std::vector<std::uint16_t>& symbols,
+                    const std::vector<std::uint8_t>& window )
+{
+    std::vector<std::uint8_t> output( symbols.size() );
+    const auto* const recent = window.data() + ( window.size() - deflate::WINDOW_SIZE );
+    simd::replaceMarkers( symbols.data(), symbols.size(), recent, output.data() );
+    return output;
+}
+
+double
+measureReplaceMarkersBandwidth( const std::vector<std::uint16_t>& symbols,
+                                const std::vector<std::uint8_t>& window,
+                                std::size_t repeats )
+{
+    std::vector<std::uint8_t> output( symbols.size() );
+    const auto* const recent = window.data() + ( window.size() - deflate::WINDOW_SIZE );
+    volatile std::uint8_t sink = 0;
+    const auto measurement = bench::measureBandwidth( symbols.size(), repeats, [&] () {
+        simd::replaceMarkers( symbols.data(), symbols.size(), recent, output.data() );
+        sink = sink + output[output.size() / 2];
+    } );
+    return measurement.best;
+}
+
+std::uint32_t
+crc32Once( BufferView data )
+{
+    return simd::crc32( 0, data.data(), data.size() );
+}
+
+double
+measureCrc32Bandwidth( BufferView data, std::size_t repeats )
+{
+    volatile std::uint32_t sink = 0;
+    const auto measurement = bench::measureBandwidth( data.size(), repeats, [&] () {
+        sink = sink + simd::crc32( 0, data.data(), data.size() );
     } );
     return measurement.best;
 }

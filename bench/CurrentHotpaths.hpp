@@ -52,6 +52,33 @@ measureRejectionRate( rapidgzip::BufferView stream,
 [[nodiscard]] std::vector<std::size_t>
 collectPrecodeStagePositions( rapidgzip::BufferView stream );
 
+/** Positions surviving stages 1-4 of the cascade — the candidates whose cost
+ * is dominated by the stage-5 RLE parse this PR caches. */
+[[nodiscard]] std::vector<std::size_t>
+collectStage5Positions( rapidgzip::BufferView stream );
+
+/** One-shot dispatched simd::replaceMarkers (equivalence check). @p window
+ * must be a full 32 KiB last-window. */
+[[nodiscard]] std::vector<std::uint8_t>
+replaceMarkersOnce( const std::vector<std::uint16_t>& symbols,
+                    const std::vector<std::uint8_t>& window );
+
+/** Best-of-@p repeats bandwidth (output bytes/s) of the dispatched
+ * simd::replaceMarkers at the active level. */
+[[nodiscard]] double
+measureReplaceMarkersBandwidth( const std::vector<std::uint16_t>& symbols,
+                                const std::vector<std::uint8_t>& window,
+                                std::size_t repeats );
+
+/** One-shot dispatched simd::crc32 (equivalence check). */
+[[nodiscard]] std::uint32_t
+crc32Once( rapidgzip::BufferView data );
+
+/** Best-of-@p repeats bandwidth (bytes/s) of the dispatched simd::crc32 at
+ * the active level. */
+[[nodiscard]] double
+measureCrc32Bandwidth( rapidgzip::BufferView data, std::size_t repeats );
+
 /** Best-of-@p repeats end-to-end decompressMember bandwidth (bytes/s) over
  * the gzip bytes in @p gz; @p referenceSymbolLoop toggles the in-tree
  * reference decode loop (construction and buffers stay current). Returns 0

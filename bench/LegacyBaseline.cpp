@@ -6,6 +6,8 @@
 
 #include "LegacyBaseline.hpp"
 
+#include <zlib.h>
+
 #include <algorithm>
 
 #include "legacy/bits/BitReader.hpp"
@@ -118,6 +120,53 @@ measureRejectionRate( rapidgzip::BufferView stream,
                                 reader, nullptr ) ? 1 : 0;
             }
             sink = sink + accepted;
+        } );
+    return measurement.best;
+}
+
+std::vector<std::uint8_t>
+replaceMarkersOnce( const std::vector<std::uint16_t>& symbols,
+                    const std::vector<std::uint8_t>& window )
+{
+    std::vector<std::uint8_t> output( symbols.size() );
+    rapidgzip_legacy::deflate::replaceMarkers( { symbols.data(), symbols.size() },
+                                               { window.data(), window.size() },
+                                               output.data() );
+    return output;
+}
+
+double
+measureReplaceMarkersBandwidth( const std::vector<std::uint16_t>& symbols,
+                                const std::vector<std::uint8_t>& window,
+                                std::size_t repeats )
+{
+    std::vector<std::uint8_t> output( symbols.size() );
+    volatile std::uint8_t sink = 0;
+    const auto measurement = rapidgzip::bench::measureBandwidth(
+        symbols.size(), repeats, [&] () {
+            rapidgzip_legacy::deflate::replaceMarkers( { symbols.data(), symbols.size() },
+                                                       { window.data(), window.size() },
+                                                       output.data() );
+            sink = sink + output[output.size() / 2];
+        } );
+    return measurement.best;
+}
+
+std::uint32_t
+crc32Once( rapidgzip::BufferView data )
+{
+    return static_cast<std::uint32_t>(
+        ::crc32_z( ::crc32_z( 0UL, nullptr, 0 ), data.data(), data.size() ) );
+}
+
+double
+measureCrc32Bandwidth( rapidgzip::BufferView data, std::size_t repeats )
+{
+    volatile std::uint32_t sink = 0;
+    const auto measurement = rapidgzip::bench::measureBandwidth(
+        data.size(), repeats, [&] () {
+            sink = sink + static_cast<std::uint32_t>(
+                ::crc32_z( ::crc32_z( 0UL, nullptr, 0 ), data.data(), data.size() ) );
         } );
     return measurement.best;
 }

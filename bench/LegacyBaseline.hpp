@@ -43,4 +43,26 @@ runFilter( rapidgzip::BufferView stream, const std::vector<std::size_t>& positio
 measureRejectionRate( rapidgzip::BufferView stream,
                       const std::vector<std::size_t>& positions, std::size_t repeats );
 
+/** One-shot pre-PR scalar replaceMarkers (equivalence check). @p window must
+ * be a full 32 KiB last-window. */
+[[nodiscard]] std::vector<std::uint8_t>
+replaceMarkersOnce( const std::vector<std::uint16_t>& symbols,
+                    const std::vector<std::uint8_t>& window );
+
+/** Best-of-@p repeats bandwidth (output bytes/s) of the pre-PR scalar
+ * per-symbol replaceMarkers loop. */
+[[nodiscard]] double
+measureReplaceMarkersBandwidth( const std::vector<std::uint16_t>& symbols,
+                                const std::vector<std::uint8_t>& window,
+                                std::size_t repeats );
+
+/** One-shot zlib crc32 (the pre-PR CRC on every hot path; equivalence
+ * oracle). */
+[[nodiscard]] std::uint32_t
+crc32Once( rapidgzip::BufferView data );
+
+/** Best-of-@p repeats bandwidth (bytes/s) of zlib's crc32. */
+[[nodiscard]] double
+measureCrc32Bandwidth( rapidgzip::BufferView data, std::size_t repeats );
+
 }  // namespace legacybench

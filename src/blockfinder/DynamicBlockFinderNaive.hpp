@@ -20,6 +20,16 @@ namespace rapidgzip::blockfinder {
 class DynamicBlockFinderNaive
 {
 public:
+    /** @p buildCachedTables selects which Huffman tables each candidate
+     * parse constructs: false (default) builds the cheap validity-only
+     * two-level tables — the ground-truth configuration the equivalence
+     * tests use — while true builds the decoder's SHIPPED multi-cached LUTs,
+     * which is what a naive finder that feeds a real decoder would pay
+     * (bench/table2_components measures this configuration). */
+    explicit DynamicBlockFinderNaive( bool buildCachedTables = false ) noexcept :
+        m_buildCachedTables( buildCachedTables )
+    {}
+
     [[nodiscard]] std::size_t
     find( BufferView data, std::size_t fromBit ) const
     {
@@ -37,12 +47,15 @@ public:
                 continue;
             }
             reader.skip( 3 );
-            if ( readDynamicCodings( reader, codings, /* buildCachedTables */ false ) == Error::NONE ) {
+            if ( readDynamicCodings( reader, codings, m_buildCachedTables ) == Error::NONE ) {
                 return offset;
             }
         }
         return NOT_FOUND;
     }
+
+private:
+    bool m_buildCachedTables{ false };
 };
 
 }  // namespace rapidgzip::blockfinder

@@ -8,9 +8,9 @@
 
 #include "../bits/BitReader.hpp"
 #include "../common/Util.hpp"
-#include "../huffman/HuffmanCoding.hpp"
 #include "../deflate/definitions.hpp"
 #include "BlockFinder.hpp"
+#include "PrecodeLutCache.hpp"
 
 namespace rapidgzip::blockfinder {
 
@@ -371,12 +371,12 @@ private:
                      FilterStatistics& stats )
     {
         /* Stage 5: decode the run-length-encoded code lengths. Only length
-         * COUNTS are accumulated — no literal/distance table is ever built. */
-        HuffmanCoding precode;
-        if ( !precode.initializeFromLengths( { precodeLengths.data(), precodeLengths.size() } ) ) {
-            ++stats.invalidPrecodeCode;  /* unreachable after the checks above */
-            return false;
-        }
+         * COUNTS are accumulated — no literal/distance table is ever built.
+         * The precode is capped at 7-bit codes, so a cached 128-entry LUT
+         * replaces the heap-allocating general HuffmanCoding; encoders reuse
+         * length assignments across blocks, so most survivors hit a LUT that
+         * an earlier position already built (PrecodeLutCache). */
+        const auto& precode = PrecodeLutCache::get( precodeLengths );
         const std::size_t literalCount = 257 + hlit;
         const std::size_t totalLengths = literalCount + 1 + hdist;
         std::array<std::uint16_t, 16> literalCountPerLength{};
@@ -400,11 +400,16 @@ private:
             }
         };
         while ( position < totalLengths ) {
-            const auto symbol = precode.decode( reader );
-            if ( symbol < 0 ) {
+            /* peek() zero-pads past the end, and a too-long code is caught by
+             * the bitsLeft() comparison — same outcomes as HuffmanCoding's
+             * decode() (EOF / invalid pattern / truncated code all reject). */
+            const auto entry = precode.entry( reader.peek( PrecodeLut::MAX_PRECODE_LENGTH ) );
+            if ( ( entry.length == 0 ) || ( entry.length > reader.bitsLeft() ) ) {
                 ++stats.invalidPrecodeEncodedData;
                 return false;
             }
+            reader.skip( entry.length );
+            const auto symbol = entry.symbol;
             if ( symbol <= 15 ) {
                 record( static_cast<std::uint8_t>( symbol ), 1 );
                 previousLength = static_cast<std::uint8_t>( symbol );

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "../deflate/definitions.hpp"
+
+namespace rapidgzip::blockfinder {
+
+/**
+ * Stage-5 precode decoder for the rapid finder's survivor tail: the precode
+ * is capped at code length 7 (its lengths are 3-bit fields), so a complete
+ * code always fits a 128-entry single-level LUT that lives ON THE STACK —
+ * unlike the general HuffmanCoding, whose std::vector table costs a heap
+ * allocation per survivor. Stage 5 parses a bit-serial RLE stream, so it is
+ * inherently scalar at every SIMD dispatch level; the win here is the
+ * allocation-free fixed-size build plus the cross-survivor cache below.
+ */
+class PrecodeLut
+{
+public:
+    struct Entry
+    {
+        std::uint8_t symbol{ 0 };
+        std::uint8_t length{ 0 };  /* 0 = invalid bit pattern (incomplete code) */
+    };
+
+    static constexpr unsigned MAX_PRECODE_LENGTH = 7;
+    static constexpr std::size_t SIZE = std::size_t( 1 ) << MAX_PRECODE_LENGTH;
+
+    /**
+     * Build from the 19 per-symbol lengths (0 = unused). The caller — stage
+     * 4's packed Kraft check — guarantees a valid complete code, but the
+     * table is zero-initialized so an incomplete code (tests may build one)
+     * yields length-0 entries instead of stale data.
+     */
+    void
+    initializeFromLengths( const std::array<std::uint8_t, deflate::PRECODE_SYMBOLS>& lengths ) noexcept
+    {
+        m_entries = {};
+
+        /* Canonical code assignment, exactly as HuffmanCodingBase: count per
+         * length, first-code per length, assign in symbol order, bit-reverse
+         * (Deflate writes codes MSB-first into the LSB-first stream). */
+        std::array<std::uint8_t, MAX_PRECODE_LENGTH + 1> countPerLength{};
+        for ( const auto length : lengths ) {
+            ++countPerLength[length];
+        }
+        countPerLength[0] = 0;
+
+        std::array<std::uint8_t, MAX_PRECODE_LENGTH + 1> nextCode{};
+        std::uint8_t code = 0;
+        for ( unsigned length = 1; length <= MAX_PRECODE_LENGTH; ++length ) {
+            code = static_cast<std::uint8_t>( ( code + countPerLength[length - 1] ) << 1U );
+            nextCode[length] = code;
+        }
+
+        for ( std::uint8_t symbol = 0; symbol < deflate::PRECODE_SYMBOLS; ++symbol ) {
+            const auto length = lengths[symbol];
+            if ( length == 0 ) {
+                continue;
+            }
+            auto assigned = nextCode[length]++;
+            std::uint8_t reversed = 0;
+            for ( unsigned bit = 0; bit < length; ++bit ) {
+                reversed = static_cast<std::uint8_t>( ( reversed << 1U ) | ( assigned & 1U ) );
+                assigned >>= 1U;
+            }
+            const Entry entry{ symbol, length };
+            const auto stride = std::size_t( 1 ) << length;
+            for ( std::size_t index = reversed; index < SIZE; index += stride ) {
+                m_entries[index] = entry;
+            }
+        }
+    }
+
+    /** Entry for 7 peeked (LSB-first) bits. */
+    [[nodiscard]] Entry
+    entry( std::uint64_t peekedBits ) const noexcept
+    {
+        return m_entries[peekedBits & ( SIZE - 1 )];
+    }
+
+private:
+    std::array<Entry, SIZE> m_entries{};
+};
+
+/**
+ * Thread-local direct-mapped cache of built precode LUTs. Real streams (and
+ * the false-positive soup the finder probes) repeat precode length
+ * configurations heavily — encoders reuse their length assignment across
+ * blocks — so most survivors hit a LUT built for an earlier position and
+ * stage 5 skips construction entirely. The key packs all 19 3-bit lengths
+ * (57 bits) plus a constant tag bit distinguishing "never filled" slots;
+ * collisions just rebuild, correctness never depends on the cache.
+ */
+class PrecodeLutCache
+{
+public:
+    [[nodiscard]] static const PrecodeLut&
+    get( const std::array<std::uint8_t, deflate::PRECODE_SYMBOLS>& lengths ) noexcept
+    {
+        std::uint64_t key = 1;  /* tag bit: an empty slot's key 0 never matches */
+        for ( const auto length : lengths ) {
+            key = ( key << deflate::PRECODE_BITS ) | length;
+        }
+
+        thread_local std::array<Slot, SLOT_COUNT> slots{};
+        auto& slot = slots[( key * 0x9E3779B97F4A7C15ULL ) >> ( 64U - SLOT_BITS )];
+        if ( slot.key != key ) {
+            slot.lut.initializeFromLengths( lengths );
+            slot.key = key;
+        }
+        return slot.lut;
+    }
+
+private:
+    static constexpr unsigned SLOT_BITS = 6;
+    static constexpr std::size_t SLOT_COUNT = std::size_t( 1 ) << SLOT_BITS;
+
+    struct Slot
+    {
+        std::uint64_t key{ 0 };
+        PrecodeLut lut;
+    };
+};
+
+}  // namespace rapidgzip::blockfinder

@@ -14,6 +14,7 @@
 #include "../gzip/GzipHeader.hpp"
 #include "../gzip/ZlibHelpers.hpp"
 #include "../io/FileReader.hpp"
+#include "../simd/Crc32.hpp"
 
 namespace rapidgzip {
 
@@ -210,37 +211,25 @@ private:
  */
 /**
  * Derive the whole-chunk CRC32 from the per-member segment CRCs via
- * crc32_combine — O(log n) per segment instead of a second hashing pass.
- * Falls back to re-hashing `data` on builds whose z_off_t cannot carry a
- * segment length (cold, correctness only).
+ * simd::crc32Combine — O(log n) per segment instead of a second hashing
+ * pass, with no z_off_t length ceiling (the zlib-era re-hash fallback for
+ * oversized segments is gone).
  */
 [[nodiscard]] inline std::uint32_t
 combineSegmentCrcs( const DecodedChunk& chunk )
 {
-    auto combined = ::crc32( 0L, Z_NULL, 0 );
+    std::uint32_t combined = 0;
     std::size_t begin = 0;
     for ( const auto& memberEnd : chunk.memberEnds ) {
-        const auto length = memberEnd.dataEndOffset - begin;
-        if ( ( sizeof( z_off_t ) < sizeof( std::size_t ) )
-             && ( length > static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
-            return static_cast<std::uint32_t>(
-                ::crc32_z( ::crc32( 0L, Z_NULL, 0 ), chunk.data.data(), chunk.data.size() ) );
-        }
-        combined = ::crc32_combine( combined, memberEnd.segmentCrc32,
-                                    static_cast<z_off_t>( length ) );
+        combined = simd::crc32Combine( combined, memberEnd.segmentCrc32,
+                                       memberEnd.dataEndOffset - begin );
         begin = memberEnd.dataEndOffset;
     }
     const auto trailing = chunk.data.size() - begin;
     if ( trailing > 0 ) {
-        if ( ( sizeof( z_off_t ) < sizeof( std::size_t ) )
-             && ( trailing > static_cast<std::size_t>( std::numeric_limits<z_off_t>::max() ) ) ) {
-            return static_cast<std::uint32_t>(
-                ::crc32_z( ::crc32( 0L, Z_NULL, 0 ), chunk.data.data(), chunk.data.size() ) );
-        }
-        combined = ::crc32_combine( combined, chunk.trailingCrc32,
-                                    static_cast<z_off_t>( trailing ) );
+        combined = simd::crc32Combine( combined, chunk.trailingCrc32, trailing );
     }
-    return static_cast<std::uint32_t>( combined );
+    return combined;
 }
 
 [[nodiscard]] inline DecodedChunk
@@ -264,7 +253,7 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
     /* One running CRC per member SEGMENT (reset at member boundaries); the
      * whole-chunk crc32 is combined from the segments afterwards, so
      * per-member footer verification costs no second hashing pass. */
-    auto segmentCrc = ::crc32( 0L, Z_NULL, 0 );
+    std::uint32_t segmentCrc = 0;
     std::vector<std::uint8_t> buffer( 256 * 1024 );
     while ( true ) {
         feeder.feed( stream );
@@ -273,7 +262,7 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
         const auto code = inflate( &stream, Z_NO_FLUSH );
         const auto produced = buffer.size() - stream.avail_out;
         if ( produced > 0 ) {
-            segmentCrc = ::crc32( segmentCrc, buffer.data(), static_cast<uInt>( produced ) );
+            segmentCrc = simd::crc32( segmentCrc, buffer.data(), produced );
             result.data.insert( result.data.end(), buffer.data(), buffer.data() + produced );
         }
 
@@ -281,10 +270,9 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
             result.reachedStreamEnd = true;
             const auto consumed = feeder.consumed( stream );
             result.deflateEndOffset = begin + consumed;
-            result.memberEnds.push_back( { result.data.size(),
-                                           static_cast<std::uint32_t>( segmentCrc ),
+            result.memberEnds.push_back( { result.data.size(), segmentCrc,
                                            begin + consumed } );
-            segmentCrc = ::crc32( 0L, Z_NULL, 0 );
+            segmentCrc = 0;
             /* A further gzip member may start inside this chunk. */
             const auto remaining = input.size() - consumed;
             if ( remaining > GZIP_FOOTER_SIZE + 2 ) {
@@ -318,7 +306,7 @@ decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t en
             break;  /* no forward progress possible (trailing partial marker bytes) */
         }
     }
-    result.trailingCrc32 = static_cast<std::uint32_t>( segmentCrc );
+    result.trailingCrc32 = segmentCrc;
     result.crc32 = combineSegmentCrcs( result );
     return result;
 }

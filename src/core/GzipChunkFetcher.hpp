@@ -310,7 +310,7 @@ public:
          * member boundaries), recorded in memberEnds so a sequential
          * consumer can verify every concatenated member's footer; the
          * whole-chunk crc32 is combined from the segments at the end. */
-        auto segmentCrc = ::crc32( 0L, Z_NULL, 0 );
+        std::uint32_t segmentCrc = 0;
 
         std::vector<std::uint8_t> memberWindow( window.begin(), window.end() );
         auto bit = startBits;
@@ -329,14 +329,8 @@ public:
             const auto before = result.data.size();
             deflate::resolveInto( chunk.data, windowView, result.data );
             deflate::DecodedDataPool::release( std::move( chunk.data ) );
-            for ( auto produced = before; produced < result.data.size(); ) {
-                const auto slice = std::min<std::size_t>(
-                    result.data.size() - produced,
-                    std::numeric_limits<uInt>::max() / 2 );
-                segmentCrc = ::crc32( segmentCrc, result.data.data() + produced,
-                                      static_cast<uInt>( slice ) );
-                produced += slice;
-            }
+            segmentCrc = simd::crc32( segmentCrc, result.data.data() + before,
+                                      result.data.size() - before );
 
             if ( !chunk.reachedStreamEnd ) {
                 break;  /* stopped exactly at the next checkpoint's boundary */
@@ -346,10 +340,8 @@ public:
              * another member whose Deflate data still belongs to this chunk. */
             const auto footerByte = ceilDiv<std::size_t>( chunk.decodedEndBit, 8 );
             result.deflateEndOffset = footerByte;
-            result.memberEnds.push_back( { result.data.size(),
-                                           static_cast<std::uint32_t>( segmentCrc ),
-                                           footerByte } );
-            segmentCrc = ::crc32( 0L, Z_NULL, 0 );
+            result.memberEnds.push_back( { result.data.size(), segmentCrc, footerByte } );
+            segmentCrc = 0;
             const auto nextMember = footerByte + GZIP_FOOTER_SIZE;
             std::uint8_t magic[2];
             if ( ( nextMember + 2 > fileSize )
@@ -373,7 +365,7 @@ public:
             memberWindow.clear();  /* a fresh member starts with an empty window */
             bit = newBit;
         }
-        result.trailingCrc32 = static_cast<std::uint32_t>( segmentCrc );
+        result.trailingCrc32 = segmentCrc;
         result.crc32 = combineSegmentCrcs( result );
         return result;
     }
@@ -455,7 +447,7 @@ public:
         topUp();
 
         MemberResult member;
-        auto crc = ::crc32( 0L, Z_NULL, 0 );
+        std::uint32_t crc = 0;
         std::vector<std::uint8_t> window;
         std::vector<std::uint8_t> resolved;
         std::size_t expectedBit = startBit;
@@ -527,7 +519,7 @@ public:
             deflate::resolveInto( chunk.data, { window.data(), window.size() }, resolved );
 
             if ( !resolved.empty() ) {
-                crc = ::crc32( crc, resolved.data(), static_cast<uInt>( resolved.size() ) );
+                crc = simd::crc32( crc, resolved.data(), resolved.size() );
                 member.uncompressedSize += resolved.size();
                 if ( collectOutput != nullptr ) {
                     collectOutput->insert( collectOutput->end(), resolved.begin(), resolved.end() );
@@ -559,7 +551,7 @@ public:
             throw InvalidGzipStreamError(
                 "Gzip stream ended before the final Deflate block — truncated file" );
         }
-        member.crc32 = static_cast<std::uint32_t>( crc );
+        member.crc32 = crc;
         member.footerStartByte = ceilDiv<std::size_t>( expectedBit, 8 );
         return member;
     }

@@ -557,9 +557,11 @@ private:
     /**
      * Walks the chunks' member segments in stream order and checks every
      * member — including each member of a concatenated stream — against ITS
-     * OWN footer: CRC32 (crc32_combine'd across the chunks a member spans)
-     * and ISIZE. consume() returns false on any mismatch or unreadable
-     * footer; the caller falls back to the authoritative serial decode.
+     * OWN footer: CRC32 (simd::crc32Combine'd across the chunks a member
+     * spans; the combine has no z_off_t ceiling, so CRC verification never
+     * degrades to size-only) and ISIZE. consume() returns false on any
+     * mismatch or unreadable footer; the caller falls back to the
+     * authoritative serial decode.
      */
     class MemberVerifier
     {
@@ -577,9 +579,8 @@ private:
                 if ( !verifyFooter( memberEnd.footerStartByte ) ) {
                     return false;
                 }
-                m_memberCrc = ::crc32( 0L, Z_NULL, 0 );
+                m_memberCrc = 0;
                 m_memberSize = 0;
-                m_crcComputable = true;
                 segmentBegin = memberEnd.dataEndOffset;
             }
             append( chunk.trailingCrc32, chunk.data.size() - segmentBegin );
@@ -593,17 +594,7 @@ private:
             if ( length == 0 ) {
                 return;
             }
-            /* crc32_combine takes a z_off_t length; on builds where that is
-             * 32-bit, huge segments cannot be combined — degrade to
-             * size-only verification, never a false mismatch. */
-            if ( ( sizeof( z_off_t ) >= sizeof( std::size_t ) )
-                 || ( length <= static_cast<std::size_t>(
-                          std::numeric_limits<z_off_t>::max() ) ) ) {
-                m_memberCrc = ::crc32_combine( m_memberCrc, segmentCrc,
-                                               static_cast<z_off_t>( length ) );
-            } else {
-                m_crcComputable = false;
-            }
+            m_memberCrc = simd::crc32Combine( m_memberCrc, segmentCrc, length );
             m_memberSize += length;
         }
 
@@ -621,16 +612,14 @@ private:
             }
             const auto footer = parseGzipFooter( { footerBytes, GZIP_FOOTER_SIZE },
                                                  GZIP_FOOTER_SIZE );
-            return ( !m_crcComputable
-                     || ( static_cast<std::uint32_t>( m_memberCrc ) == footer.crc32 ) )
+            return ( m_memberCrc == footer.crc32 )
                    && ( static_cast<std::uint32_t>( m_memberSize )
                         == footer.uncompressedSizeModulo32 );
         }
 
         const FileReader& m_file;
-        uLong m_memberCrc{ ::crc32( 0L, Z_NULL, 0 ) };
+        std::uint32_t m_memberCrc{ 0 };
         std::size_t m_memberSize{ 0 };
-        bool m_crcComputable{ true };
     };
 
     [[nodiscard]] std::size_t

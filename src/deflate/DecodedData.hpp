@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "../common/Util.hpp"
+#include "../simd/ReplaceMarkers.hpp"
 #include "definitions.hpp"
 
 namespace rapidgzip::deflate {
@@ -173,16 +174,17 @@ replaceMarkers( VectorView<std::uint16_t> symbols,
                 VectorView<std::uint8_t> window,
                 std::uint8_t* output ) noexcept
 {
+    /* The SIMD kernel hardwires the marker encoding; keep it impossible to
+     * drift from these constants silently. */
+    static_assert( MARKER_BASE == 0x8000U, "simd::replaceMarkers assumes the int16 sign bit" );
+    static_assert( WINDOW_SIZE == 0x8000U, "simd::replaceMarkers masks offsets with 0x7FFF" );
+
     const auto* const windowData = window.data();
     if ( window.size() >= WINDOW_SIZE ) {
-        /* Hot path: any marker offset is addressable. */
+        /* Hot path: any marker offset is addressable — runtime-dispatched
+         * (SSE2/AVX2/NEON) compare-and-patch narrowing. */
         const auto* const recent = windowData + ( window.size() - WINDOW_SIZE );
-        for ( std::size_t i = 0; i < symbols.size(); ++i ) {
-            const auto symbol = symbols[i];
-            output[i] = symbol < MARKER_BASE
-                        ? static_cast<std::uint8_t>( symbol )
-                        : recent[symbol - MARKER_BASE];
-        }
+        simd::replaceMarkers( symbols.data(), symbols.size(), recent, output );
         return;
     }
 

@@ -9,6 +9,7 @@
 
 #include "../common/Error.hpp"
 #include "../common/Util.hpp"
+#include "../simd/Crc32.hpp"
 #include "GzipHeader.hpp"
 #include "ZlibCompressor.hpp"
 
@@ -118,9 +119,8 @@ private:
 
         appendHeader( blockSize );
         m_output.insert( m_output.end(), compressed.begin(), compressed.end() );
-        const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), m_pending.data(),
-                                  static_cast<uInt>( m_pending.size() ) );
-        appendLE32( static_cast<std::uint32_t>( crc ) );
+        const auto crc = simd::crc32( 0, m_pending.data(), m_pending.size() );
+        appendLE32( crc );
         appendLE32( static_cast<std::uint32_t>( m_pending.size() ) );
         m_pending.clear();
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "../common/Util.hpp"
+#include "../simd/Crc32.hpp"
 #include "GzipHeader.hpp"
 
 namespace rapidgzip {
@@ -100,10 +101,8 @@ writeSingleBlockGzip( BufferView data )
     writer.writeCode( 0, 7 );  /* end-of-block (symbol 256) */
     writer.alignToByte();
 
-    const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), data.data(),
-                              static_cast<uInt>( data.size() ) );
-    for ( const auto value : { static_cast<std::uint32_t>( crc ),
-                               static_cast<std::uint32_t>( data.size() ) } ) {
+    const auto crc = simd::crc32( 0, data.data(), data.size() );
+    for ( const auto value : { crc, static_cast<std::uint32_t>( data.size() ) } ) {
         for ( int i = 0; i < 4; ++i ) {
             result.push_back( static_cast<std::uint8_t>( ( value >> ( 8 * i ) ) & 0xFFU ) );
         }

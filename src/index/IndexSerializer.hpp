@@ -15,6 +15,7 @@
 #include "../common/Util.hpp"
 #include "../deflate/definitions.hpp"
 #include "../io/FileReader.hpp"
+#include "../simd/Crc32.hpp"
 #include "GzipIndex.hpp"
 
 namespace rapidgzip::index {
@@ -178,9 +179,8 @@ serializeIndex( const GzipIndex& index )
     /* Whole-file CRC32 (zlib polynomial) so any on-disk corruption —
      * including flips in offset fields no structural check could catch —
      * is rejected at load time. */
-    const auto crc = ::crc32( ::crc32( 0L, Z_NULL, 0 ), out.data(),
-                              static_cast<uInt>( out.size() ) );
-    detail::appendLE<std::uint32_t>( out, static_cast<std::uint32_t>( crc ) );
+    const auto crc = simd::crc32( 0, out.data(), out.size() );
+    detail::appendLE<std::uint32_t>( out, crc );
     return out;
 }
 
@@ -207,9 +207,8 @@ deserializeIndex( BufferView data )
             | ( static_cast<std::uint32_t>( data[payloadSize + 1] ) << 8U )
             | ( static_cast<std::uint32_t>( data[payloadSize + 2] ) << 16U )
             | ( static_cast<std::uint32_t>( data[payloadSize + 3] ) << 24U ) );
-        const auto actual = ::crc32( ::crc32( 0L, Z_NULL, 0 ), data.data(),
-                                     static_cast<uInt>( payloadSize ) );
-        if ( static_cast<std::uint32_t>( actual ) != expected ) {
+        const auto actual = simd::crc32( 0, data.data(), payloadSize );
+        if ( actual != expected ) {
             throw RapidgzipError( "Gzip index file failed its CRC32 — corrupt or truncated" );
         }
         index.formatTag = reader.readLE<std::uint8_t>();

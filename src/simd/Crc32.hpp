@@ -1,0 +1,315 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "Dispatch.hpp"
+
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+    #include <immintrin.h>
+#elif defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+    #pragma GCC push_options
+    #pragma GCC target ( "arch=armv8-a+crc" )
+    #include <arm_acle.h>
+    #pragma GCC pop_options
+#endif
+
+namespace rapidgzip::simd {
+
+/**
+ * The one CRC-32 implementation on every hot path: the gzip/zlib checksum
+ * (polynomial 0xEDB88320, reflected, init/final XOR 0xFFFFFFFF), dispatched
+ * at runtime. NOTE the x86 `crc32` INSTRUCTION does not apply — it hardwires
+ * the Castagnoli polynomial 0x82F63B78 (CRC-32C, iSCSI), a different code
+ * than gzip's IEEE 802.3 polynomial. The x86 fast path therefore uses
+ * PCLMULQDQ carry-less-multiply folding (the Gopal/Ozturk Intel technique,
+ * four 128-bit accumulators folding 64 input bytes per iteration, then a
+ * Barrett reduction); AArch64 gets the dedicated ARMv8 CRC32 extension,
+ * which DOES implement the IEEE polynomial (CRC32B/H/W/X, as opposed to its
+ * CRC32CB/… siblings). The always-built scalar reference is slice-by-16
+ * with compile-time-generated tables.
+ *
+ * crc32() below is call-compatible with zlib's ::crc32 (running,
+ * non-inverted value in and out, 0 to start); crc32Combine() replaces
+ * ::crc32_combine without the z_off_t length limit, using the GF(2)
+ * x^(8*len) multiply-mod technique of modern zlib.
+ */
+
+namespace crc32detail {
+
+inline constexpr std::uint32_t POLY = 0xEDB88320U;
+
+struct Tables
+{
+    std::uint32_t t[16][256];
+};
+
+[[nodiscard]] constexpr Tables
+generateTables() noexcept
+{
+    Tables tables{};
+    for ( std::uint32_t i = 0; i < 256; ++i ) {
+        auto value = i;
+        for ( int bit = 0; bit < 8; ++bit ) {
+            value = ( value & 1U ) != 0 ? ( value >> 1U ) ^ POLY : value >> 1U;
+        }
+        tables.t[0][i] = value;
+    }
+    for ( std::size_t slice = 1; slice < 16; ++slice ) {
+        for ( std::uint32_t i = 0; i < 256; ++i ) {
+            const auto previous = tables.t[slice - 1][i];
+            tables.t[slice][i] = ( previous >> 8U ) ^ tables.t[0][previous & 0xFFU];
+        }
+    }
+    return tables;
+}
+
+inline constexpr Tables TABLES = generateTables();
+
+/** Little-endian 32-bit load (compilers fuse this into one load on LE). */
+[[nodiscard]] inline std::uint32_t
+loadLe32( const std::uint8_t* data ) noexcept
+{
+    return std::uint32_t( data[0] )
+           | ( std::uint32_t( data[1] ) << 8U )
+           | ( std::uint32_t( data[2] ) << 16U )
+           | ( std::uint32_t( data[3] ) << 24U );
+}
+
+/** Slice-by-16 over the INTERNAL (pre-inverted) state. */
+[[nodiscard]] inline std::uint32_t
+updateSliceBy16( std::uint32_t state, const std::uint8_t* data, std::size_t size ) noexcept
+{
+    const auto& t = TABLES.t;
+    while ( size >= 16 ) {
+        const auto a = loadLe32( data ) ^ state;
+        const auto b = loadLe32( data + 4 );
+        const auto c = loadLe32( data + 8 );
+        const auto d = loadLe32( data + 12 );
+        state = t[15][a & 0xFFU] ^ t[14][( a >> 8U ) & 0xFFU]
+                ^ t[13][( a >> 16U ) & 0xFFU] ^ t[12][a >> 24U]
+                ^ t[11][b & 0xFFU] ^ t[10][( b >> 8U ) & 0xFFU]
+                ^ t[9][( b >> 16U ) & 0xFFU] ^ t[8][b >> 24U]
+                ^ t[7][c & 0xFFU] ^ t[6][( c >> 8U ) & 0xFFU]
+                ^ t[5][( c >> 16U ) & 0xFFU] ^ t[4][c >> 24U]
+                ^ t[3][d & 0xFFU] ^ t[2][( d >> 8U ) & 0xFFU]
+                ^ t[1][( d >> 16U ) & 0xFFU] ^ t[0][d >> 24U];
+        data += 16;
+        size -= 16;
+    }
+    for ( ; size > 0; ++data, --size ) {
+        state = ( state >> 8U ) ^ t[0][( state ^ *data ) & 0xFFU];
+    }
+    return state;
+}
+
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+
+/**
+ * PCLMULQDQ folding over the internal state. Preconditions enforced by the
+ * dispatcher: @p size >= 64 and @p size % 16 == 0. Folding constants are
+ * the published reflected-domain values for the gzip polynomial
+ * (k1 = x^(4*128+32), k2 = x^(4*128-32), k3 = x^(128+32), k4 = x^(128-32),
+ * k5 = x^64, each mod P, bit-reflected; mu/P' for the Barrett step) —
+ * verified in-tree against zlib by testSimd and the bench equivalence
+ * checks.
+ */
+RAPIDGZIP_SIMD_TARGET( "pclmul,sse4.1" )
+[[nodiscard]] inline std::uint32_t
+updatePclmul( std::uint32_t state, const std::uint8_t* data, std::size_t size ) noexcept
+{
+    auto x1 = _mm_loadu_si128( reinterpret_cast<const __m128i*>( data ) );
+    auto x2 = _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x10 ) );
+    auto x3 = _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x20 ) );
+    auto x4 = _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x30 ) );
+    x1 = _mm_xor_si128( x1, _mm_cvtsi32_si128( static_cast<int>( state ) ) );
+    data += 0x40;
+    size -= 0x40;
+
+    /* Fold 64 bytes per iteration across four independent accumulators. */
+    auto k = _mm_set_epi64x( 0x00000001C6E41596LL, 0x0000000154442BD4LL );  /* k2 : k1 */
+    while ( size >= 0x40 ) {
+        const auto f1 = _mm_clmulepi64_si128( x1, k, 0x00 );
+        const auto f2 = _mm_clmulepi64_si128( x2, k, 0x00 );
+        const auto f3 = _mm_clmulepi64_si128( x3, k, 0x00 );
+        const auto f4 = _mm_clmulepi64_si128( x4, k, 0x00 );
+        x1 = _mm_clmulepi64_si128( x1, k, 0x11 );
+        x2 = _mm_clmulepi64_si128( x2, k, 0x11 );
+        x3 = _mm_clmulepi64_si128( x3, k, 0x11 );
+        x4 = _mm_clmulepi64_si128( x4, k, 0x11 );
+        x1 = _mm_xor_si128( _mm_xor_si128( x1, f1 ),
+                            _mm_loadu_si128( reinterpret_cast<const __m128i*>( data ) ) );
+        x2 = _mm_xor_si128( _mm_xor_si128( x2, f2 ),
+                            _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x10 ) ) );
+        x3 = _mm_xor_si128( _mm_xor_si128( x3, f3 ),
+                            _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x20 ) ) );
+        x4 = _mm_xor_si128( _mm_xor_si128( x4, f4 ),
+                            _mm_loadu_si128( reinterpret_cast<const __m128i*>( data + 0x30 ) ) );
+        data += 0x40;
+        size -= 0x40;
+    }
+
+    /* Fold the four accumulators into one, then remaining 16-byte blocks. */
+    k = _mm_set_epi64x( 0x00000000CCAA009ELL, 0x00000001751997D0LL );  /* k4 : k3 */
+    auto fold = _mm_clmulepi64_si128( x1, k, 0x00 );
+    x1 = _mm_clmulepi64_si128( x1, k, 0x11 );
+    x1 = _mm_xor_si128( _mm_xor_si128( x1, fold ), x2 );
+    fold = _mm_clmulepi64_si128( x1, k, 0x00 );
+    x1 = _mm_clmulepi64_si128( x1, k, 0x11 );
+    x1 = _mm_xor_si128( _mm_xor_si128( x1, fold ), x3 );
+    fold = _mm_clmulepi64_si128( x1, k, 0x00 );
+    x1 = _mm_clmulepi64_si128( x1, k, 0x11 );
+    x1 = _mm_xor_si128( _mm_xor_si128( x1, fold ), x4 );
+    while ( size >= 0x10 ) {
+        fold = _mm_clmulepi64_si128( x1, k, 0x00 );
+        x1 = _mm_clmulepi64_si128( x1, k, 0x11 );
+        x1 = _mm_xor_si128( _mm_xor_si128( x1, fold ),
+                            _mm_loadu_si128( reinterpret_cast<const __m128i*>( data ) ) );
+        data += 0x10;
+        size -= 0x10;
+    }
+
+    /* 128 -> 64 -> 32 reduction, then Barrett. */
+    const auto low32 = _mm_setr_epi32( ~0, 0, ~0, 0 );
+    auto r = _mm_clmulepi64_si128( x1, k, 0x10 );                      /* lo(x1) * k4 */
+    x1 = _mm_xor_si128( _mm_srli_si128( x1, 8 ), r );
+    k = _mm_set_epi64x( 0, 0x0000000163CD6124LL );                     /* k5 */
+    r = _mm_srli_si128( x1, 4 );
+    x1 = _mm_and_si128( x1, low32 );
+    x1 = _mm_xor_si128( _mm_clmulepi64_si128( x1, k, 0x00 ), r );
+    k = _mm_set_epi64x( 0x00000001F7011641LL, 0x00000001DB710641LL );  /* mu : P' */
+    r = _mm_and_si128( x1, low32 );
+    r = _mm_clmulepi64_si128( r, k, 0x10 );
+    r = _mm_and_si128( r, low32 );
+    r = _mm_clmulepi64_si128( r, k, 0x00 );
+    x1 = _mm_xor_si128( x1, r );
+    return static_cast<std::uint32_t>( _mm_extract_epi32( x1, 1 ) );
+}
+
+#endif  /* RAPIDGZIP_SIMD_HAVE_X86_KERNELS */
+
+#if defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+
+RAPIDGZIP_SIMD_TARGET( "arch=armv8-a+crc" )
+[[nodiscard]] inline std::uint32_t
+updateArmCrc( std::uint32_t state, const std::uint8_t* data, std::size_t size ) noexcept
+{
+    while ( size >= 8 ) {
+        std::uint64_t word = std::uint64_t( data[0] )
+                             | ( std::uint64_t( data[1] ) << 8U )
+                             | ( std::uint64_t( data[2] ) << 16U )
+                             | ( std::uint64_t( data[3] ) << 24U )
+                             | ( std::uint64_t( data[4] ) << 32U )
+                             | ( std::uint64_t( data[5] ) << 40U )
+                             | ( std::uint64_t( data[6] ) << 48U )
+                             | ( std::uint64_t( data[7] ) << 56U );
+        state = __crc32d( state, word );
+        data += 8;
+        size -= 8;
+    }
+    for ( ; size > 0; ++data, --size ) {
+        state = __crc32b( state, *data );
+    }
+    return state;
+}
+
+#endif  /* RAPIDGZIP_SIMD_HAVE_NEON_KERNELS */
+
+/** Internal-state update dispatched by an explicit level. */
+[[nodiscard]] inline std::uint32_t
+updateAt( Level level, std::uint32_t state, const std::uint8_t* data, std::size_t size ) noexcept
+{
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+    if ( ( level >= Level::SSE41 ) && ( size >= 64 ) ) {
+        const auto folded = size & ~std::size_t( 15 );
+        state = updatePclmul( state, data, folded );
+        data += folded;
+        size -= folded;
+    }
+#elif defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+    if ( ( level >= Level::NEON ) && hasArmCrc() ) {
+        return updateArmCrc( state, data, size );
+    }
+#endif
+    (void)level;
+    return updateSliceBy16( state, data, size );
+}
+
+}  // namespace crc32detail
+
+/** zlib-::crc32-compatible running update: pass 0 (or a previous return
+ * value) as @p crc; size_t length, no uInt slicing needed. */
+[[nodiscard]] inline std::uint32_t
+crc32( std::uint32_t crc, const void* data, std::size_t size ) noexcept
+{
+    return ~crc32detail::updateAt( activeLevel(), ~crc,
+                                   static_cast<const std::uint8_t*>( data ), size );
+}
+
+/** crc32() pinned to an explicit dispatch level (tests and benchmarks). */
+[[nodiscard]] inline std::uint32_t
+crc32At( Level level, std::uint32_t crc, const void* data, std::size_t size ) noexcept
+{
+    return ~crc32detail::updateAt( level, ~crc,
+                                   static_cast<const std::uint8_t*>( data ), size );
+}
+
+namespace crc32detail {
+
+/** GF(2) polynomial multiply modulo P, reflected representation
+ * (bit 31 = x^0) — the machinery behind length-parameterized CRC
+ * concatenation, as in modern zlib's crc32_combine. */
+[[nodiscard]] constexpr std::uint32_t
+multModP( std::uint32_t a, std::uint32_t b ) noexcept
+{
+    std::uint32_t product = 0;
+    for ( std::uint32_t m = 1U << 31U; m != 0; m >>= 1U ) {
+        if ( ( a & m ) != 0 ) {
+            product ^= b;
+        }
+        b = ( b & 1U ) != 0 ? ( b >> 1U ) ^ POLY : b >> 1U;
+    }
+    return product;
+}
+
+/** X2N[k] = x^(2^k) mod P, by repeated squaring from x^1. */
+[[nodiscard]] constexpr std::array<std::uint32_t, 32>
+generateX2n() noexcept
+{
+    std::array<std::uint32_t, 32> table{};
+    table[0] = 0x40000000U;  /* x^1 (reflected: bit 31 is x^0) */
+    for ( std::size_t k = 1; k < table.size(); ++k ) {
+        table[k] = multModP( table[k - 1], table[k - 1] );
+    }
+    return table;
+}
+
+inline constexpr std::array<std::uint32_t, 32> X2N = generateX2n();
+
+/** x^(n * 2^k) mod P. */
+[[nodiscard]] constexpr std::uint32_t
+x2nModP( std::uint64_t n, unsigned k ) noexcept
+{
+    std::uint32_t power = 1U << 31U;  /* x^0 */
+    for ( ; n != 0; n >>= 1U, ++k ) {
+        if ( ( n & 1U ) != 0 ) {
+            power = multModP( X2N[k & 31U], power );
+        }
+    }
+    return power;
+}
+
+}  // namespace crc32detail
+
+/**
+ * CRC of the concatenation A ++ B from crc(A), crc(B), and |B| — O(log |B|),
+ * no 2 GiB z_off_t ceiling, valid for the full 64-bit length range.
+ */
+[[nodiscard]] constexpr std::uint32_t
+crc32Combine( std::uint32_t crcA, std::uint32_t crcB, std::uint64_t lengthB ) noexcept
+{
+    return crc32detail::multModP( crc32detail::x2nModP( lengthB, 3 ), crcA ) ^ crcB;
+}
+
+}  // namespace rapidgzip::simd

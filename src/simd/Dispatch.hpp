@@ -1,0 +1,276 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if defined( __x86_64__ ) || defined( __i386__ )
+    #if defined( __GNUC__ ) || defined( __clang__ )
+        #include <cpuid.h>
+        #define RAPIDGZIP_SIMD_X86 1
+    #endif
+#elif defined( __aarch64__ )
+    #if defined( __linux__ )
+        #include <sys/auxv.h>
+        #define RAPIDGZIP_SIMD_AARCH64 1
+    #endif
+#endif
+
+/**
+ * GCC/Clang can compile intrinsics inside individual functions carrying a
+ * target attribute even when the translation unit is built without -mavx2
+ * etc. — which is the only per-function mechanism available to a header-only
+ * library (an INTERFACE CMake target has no translation units to give their
+ * own -m flags). Everything vectorized in src/simd/ is gated on this.
+ */
+#if ( defined( __GNUC__ ) || defined( __clang__ ) ) \
+    && ( defined( __x86_64__ ) || defined( __i386__ ) )
+    #define RAPIDGZIP_SIMD_TARGET( features ) __attribute__(( target( features ) ))
+    #define RAPIDGZIP_SIMD_HAVE_X86_KERNELS 1
+#elif ( defined( __GNUC__ ) || defined( __clang__ ) ) && defined( __aarch64__ )
+    #define RAPIDGZIP_SIMD_TARGET( features ) __attribute__(( target( features ) ))
+    #define RAPIDGZIP_SIMD_HAVE_NEON_KERNELS 1
+#else
+    #define RAPIDGZIP_SIMD_TARGET( features )
+#endif
+
+namespace rapidgzip::simd {
+
+/**
+ * Runtime dispatch ladder. Levels are strictly ordered: a kernel compiled
+ * for level L may be selected whenever the ACTIVE level is >= L. On x86 the
+ * SSE41 rung additionally implies PCLMULQDQ (they co-appear since Westmere
+ * and the CRC folding kernel needs both; a CPU with SSE4.1 but no PCLMULQDQ
+ * reports SSE2). NEON is the aarch64 rung — x86 and ARM rungs never coexist
+ * on one build, so one linear ladder covers both architectures.
+ */
+enum class Level : std::uint8_t
+{
+    SCALAR = 0,
+    SSE2   = 1,
+    SSE41  = 2,
+    AVX2   = 3,
+    NEON   = 4,
+};
+
+[[nodiscard]] inline const char*
+toString( Level level ) noexcept
+{
+    switch ( level ) {
+    case Level::SCALAR: return "scalar";
+    case Level::SSE2:   return "sse2";
+    case Level::SSE41:  return "sse41";
+    case Level::AVX2:   return "avx2";
+    case Level::NEON:   return "neon";
+    }
+    return "unknown";
+}
+
+/** Parse a RAPIDGZIP_SIMD value. Returns false for unknown spellings. */
+[[nodiscard]] inline bool
+parseLevel( const char* text, Level* result ) noexcept
+{
+    if ( ( text == nullptr ) || ( result == nullptr ) ) {
+        return false;
+    }
+    const auto matches = [text] ( const char* name ) {
+        return std::strcmp( text, name ) == 0;
+    };
+    if ( matches( "scalar" ) || matches( "0" ) ) {
+        *result = Level::SCALAR;
+    } else if ( matches( "sse2" ) ) {
+        *result = Level::SSE2;
+    } else if ( matches( "sse41" ) || matches( "sse4.1" ) ) {
+        *result = Level::SSE41;
+    } else if ( matches( "avx2" ) ) {
+        *result = Level::AVX2;
+    } else if ( matches( "neon" ) ) {
+        *result = Level::NEON;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace detail {
+
+#if defined( RAPIDGZIP_SIMD_X86 )
+
+[[nodiscard]] inline std::uint64_t
+readXcr0() noexcept
+{
+    std::uint32_t eax = 0;
+    std::uint32_t edx = 0;
+    __asm__ __volatile__ ( "xgetbv" : "=a" ( eax ), "=d" ( edx ) : "c" ( 0U ) );
+    return ( std::uint64_t( edx ) << 32U ) | eax;
+}
+
+[[nodiscard]] inline Level
+detectLevelUncached() noexcept
+{
+    std::uint32_t eax = 0;
+    std::uint32_t ebx = 0;
+    std::uint32_t ecx = 0;
+    std::uint32_t edx = 0;
+    if ( __get_cpuid( 1, &eax, &ebx, &ecx, &edx ) == 0 ) {
+        return Level::SCALAR;
+    }
+    const bool sse2 = ( edx & ( 1U << 26U ) ) != 0;
+    const bool sse41 = ( ecx & ( 1U << 19U ) ) != 0;
+    const bool pclmul = ( ecx & ( 1U << 1U ) ) != 0;
+    const bool osxsave = ( ecx & ( 1U << 27U ) ) != 0;
+    const bool avx = ( ecx & ( 1U << 28U ) ) != 0;
+    if ( !sse2 ) {
+        return Level::SCALAR;
+    }
+    if ( !sse41 || !pclmul ) {
+        return Level::SSE2;
+    }
+    /* AVX2: the CPUID bit alone is not enough — the OS must have enabled
+     * YMM state saving (XCR0 bits 1 and 2), else executing a VEX.256
+     * instruction faults. */
+    bool avx2 = false;
+    if ( avx && osxsave && ( ( readXcr0() & 0x6U ) == 0x6U ) ) {
+        std::uint32_t eax7 = 0;
+        std::uint32_t ebx7 = 0;
+        std::uint32_t ecx7 = 0;
+        std::uint32_t edx7 = 0;
+        if ( __get_cpuid_count( 7, 0, &eax7, &ebx7, &ecx7, &edx7 ) != 0 ) {
+            avx2 = ( ebx7 & ( 1U << 5U ) ) != 0;
+        }
+    }
+    return avx2 ? Level::AVX2 : Level::SSE41;
+}
+
+/** ARM-only feature on this build. */
+[[nodiscard]] inline bool
+hasArmCrcUncached() noexcept
+{
+    return false;
+}
+
+#elif defined( RAPIDGZIP_SIMD_AARCH64 )
+
+[[nodiscard]] inline Level
+detectLevelUncached() noexcept
+{
+    return Level::NEON;  /* Advanced SIMD is architecturally baseline on AArch64. */
+}
+
+[[nodiscard]] inline bool
+hasArmCrcUncached() noexcept
+{
+    #if defined( HWCAP_CRC32 )
+    return ( ::getauxval( AT_HWCAP ) & HWCAP_CRC32 ) != 0;
+    #else
+    return false;
+    #endif
+}
+
+#else
+
+[[nodiscard]] inline Level
+detectLevelUncached() noexcept
+{
+    return Level::SCALAR;
+}
+
+[[nodiscard]] inline bool
+hasArmCrcUncached() noexcept
+{
+    return false;
+}
+
+#endif
+
+[[nodiscard]] inline std::atomic<Level>&
+activeLevelState() noexcept
+{
+    static std::atomic<Level> state{ Level( 0xFF ) };  /* 0xFF = uninitialized */
+    return state;
+}
+
+}  // namespace detail
+
+/** The highest level the running CPU supports (cached after first call). */
+[[nodiscard]] inline Level
+detectedLevel() noexcept
+{
+    static const Level level = detail::detectLevelUncached();
+    return level;
+}
+
+/** ARMv8 CRC32 extension (orthogonal to the NEON rung; CRC-kernel only). */
+[[nodiscard]] inline bool
+hasArmCrc() noexcept
+{
+    static const bool value = detail::hasArmCrcUncached();
+    return value;
+}
+
+/**
+ * Force the active dispatch level for this process (testing / pinning).
+ * Requests above what the CPU supports are clamped; returns the level that
+ * is now active. Thread-safe but not atomic with in-flight kernel calls —
+ * callers flip it between operations, not during.
+ */
+inline Level
+forceLevel( Level requested ) noexcept
+{
+    const auto applied = requested <= detectedLevel() ? requested : detectedLevel();
+    detail::activeLevelState().store( applied, std::memory_order_relaxed );
+    return applied;
+}
+
+/**
+ * The level every dispatched kernel selects by: the detected maximum,
+ * clamped by a RAPIDGZIP_SIMD environment override (unknown spellings are
+ * ignored — a typo must not silently drop to scalar), overridable at run
+ * time via forceLevel().
+ */
+[[nodiscard]] inline Level
+activeLevel() noexcept
+{
+    auto& state = detail::activeLevelState();
+    auto level = state.load( std::memory_order_relaxed );
+    if ( level != Level( 0xFF ) ) {
+        return level;
+    }
+    level = detectedLevel();
+    Level requested{};
+    if ( parseLevel( std::getenv( "RAPIDGZIP_SIMD" ), &requested )
+         && ( requested < level ) ) {
+        level = requested;
+    }
+    state.store( level, std::memory_order_relaxed );
+    return level;
+}
+
+/**
+ * The dispatch levels this binary both compiled kernels for and can execute
+ * on this CPU — what testSimd iterates to prove lockstep equivalence.
+ * SCALAR is always first.
+ */
+[[nodiscard]] inline std::vector<Level>
+supportedLevels()
+{
+    std::vector<Level> levels{ Level::SCALAR };
+    const auto detected = detectedLevel();
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+    for ( const auto level : { Level::SSE2, Level::SSE41, Level::AVX2 } ) {
+        if ( level <= detected ) {
+            levels.push_back( level );
+        }
+    }
+#elif defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+    if ( Level::NEON <= detected ) {
+        levels.push_back( Level::NEON );
+    }
+#endif
+    return levels;
+}
+
+}  // namespace rapidgzip::simd

@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "Dispatch.hpp"
+
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+    #include <immintrin.h>
+#elif defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+    #include <arm_neon.h>
+#endif
+
+namespace rapidgzip::simd {
+
+/**
+ * Stage two of the paper's two-stage decoder, as a dispatchable kernel:
+ * narrow 16-bit symbols to bytes, replacing marker symbols (high bit set,
+ * i.e. >= deflate::MARKER_BASE = 0x8000) with the referenced byte of the
+ * 32 KiB pre-chunk window. Exact contract, for EVERY possible 16-bit input
+ * (the lockstep tests feed arbitrary symbols, not just decoder-reachable
+ * ones):
+ *
+ *   output[i] = symbols[i] < 0x8000 ? uint8_t( symbols[i] )          (low byte)
+ *                                   : recent[symbols[i] & 0x7FFF]
+ *
+ * @p recent must point at the last 32768 bytes of history (the full-window
+ * hot path; the short-window cold path stays scalar in DecodedData.hpp).
+ *
+ * Vectorization: MARKER_BASE == 0x8000 makes the int16 SIGN BIT the marker
+ * flag, so marker detection is one arithmetic shift + movemask, and the
+ * narrowing store is a mask + pack. Marker-free vectors — the overwhelming
+ * majority beyond the first 32 KiB of a chunk — finish with zero scalar
+ * work (the "memcpy sweep": a straight pack-and-store pass); vectors with
+ * markers patch only the flagged lanes, walking the set bits of the mask.
+ */
+
+inline void
+replaceMarkersScalar( const std::uint16_t* symbols,
+                      std::size_t size,
+                      const std::uint8_t* recent,
+                      std::uint8_t* output ) noexcept
+{
+    for ( std::size_t i = 0; i < size; ++i ) {
+        const auto symbol = symbols[i];
+        output[i] = symbol < 0x8000U
+                    ? static_cast<std::uint8_t>( symbol )
+                    : recent[symbol & 0x7FFFU];
+    }
+}
+
+namespace detail {
+
+[[nodiscard]] inline unsigned
+countTrailingZeros( std::uint32_t value ) noexcept
+{
+#if defined( __GNUC__ ) || defined( __clang__ )
+    return static_cast<unsigned>( __builtin_ctz( value ) );
+#else
+    unsigned count = 0;
+    while ( ( value & 1U ) == 0 ) {
+        value >>= 1U;
+        ++count;
+    }
+    return count;
+#endif
+}
+
+}  // namespace detail
+
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+
+RAPIDGZIP_SIMD_TARGET( "sse2" )
+inline void
+replaceMarkersSse2( const std::uint16_t* symbols,
+                    std::size_t size,
+                    const std::uint8_t* recent,
+                    std::uint8_t* output ) noexcept
+{
+    const auto lowBytes = _mm_set1_epi16( 0x00FF );
+    std::size_t i = 0;
+    for ( ; i + 16 <= size; i += 16 ) {
+        const auto a = _mm_loadu_si128( reinterpret_cast<const __m128i*>( symbols + i ) );
+        const auto b = _mm_loadu_si128( reinterpret_cast<const __m128i*>( symbols + i + 8 ) );
+        /* Masking to the low byte BEFORE the unsigned-saturating pack keeps
+         * the exact low-byte truncation of the scalar contract (packus alone
+         * would saturate 256..32767 to 255); marker lanes pack to garbage
+         * and are overwritten below. */
+        const auto packed = _mm_packus_epi16( _mm_and_si128( a, lowBytes ),
+                                              _mm_and_si128( b, lowBytes ) );
+        _mm_storeu_si128( reinterpret_cast<__m128i*>( output + i ), packed );
+
+        /* Sign bit = marker flag; signed-saturating pack keeps 0/-1 words as
+         * 0/-1 bytes, so movemask yields one bit per SYMBOL in order. */
+        auto markers = static_cast<std::uint32_t>( _mm_movemask_epi8(
+            _mm_packs_epi16( _mm_srai_epi16( a, 15 ), _mm_srai_epi16( b, 15 ) ) ) );
+        while ( markers != 0 ) {
+            const auto lane = detail::countTrailingZeros( markers );
+            output[i + lane] = recent[symbols[i + lane] & 0x7FFFU];
+            markers &= markers - 1U;
+        }
+    }
+    replaceMarkersScalar( symbols + i, size - i, recent, output + i );
+}
+
+RAPIDGZIP_SIMD_TARGET( "avx2" )
+inline void
+replaceMarkersAvx2( const std::uint16_t* symbols,
+                    std::size_t size,
+                    const std::uint8_t* recent,
+                    std::uint8_t* output ) noexcept
+{
+    const auto lowBytes = _mm256_set1_epi16( 0x00FF );
+    std::size_t i = 0;
+    for ( ; i + 32 <= size; i += 32 ) {
+        const auto a = _mm256_loadu_si256( reinterpret_cast<const __m256i*>( symbols + i ) );
+        const auto b = _mm256_loadu_si256( reinterpret_cast<const __m256i*>( symbols + i + 16 ) );
+        /* AVX2 packs operate per 128-bit lane ([a0,b0,a1,b1]); the 64-bit
+         * permute restores symbol order for both the store and the mask. */
+        auto packed = _mm256_packus_epi16( _mm256_and_si256( a, lowBytes ),
+                                           _mm256_and_si256( b, lowBytes ) );
+        packed = _mm256_permute4x64_epi64( packed, 0xD8 );
+        _mm256_storeu_si256( reinterpret_cast<__m256i*>( output + i ), packed );
+
+        auto signs = _mm256_packs_epi16( _mm256_srai_epi16( a, 15 ),
+                                         _mm256_srai_epi16( b, 15 ) );
+        signs = _mm256_permute4x64_epi64( signs, 0xD8 );
+        auto markers = static_cast<std::uint32_t>( _mm256_movemask_epi8( signs ) );
+        while ( markers != 0 ) {
+            const auto lane = detail::countTrailingZeros( markers );
+            output[i + lane] = recent[symbols[i + lane] & 0x7FFFU];
+            markers &= markers - 1U;
+        }
+    }
+    replaceMarkersScalar( symbols + i, size - i, recent, output + i );
+}
+
+#endif  /* RAPIDGZIP_SIMD_HAVE_X86_KERNELS */
+
+#if defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+
+inline void
+replaceMarkersNeon( const std::uint16_t* symbols,
+                    std::size_t size,
+                    const std::uint8_t* recent,
+                    std::uint8_t* output ) noexcept
+{
+    const auto markerBase = vdupq_n_u16( 0x8000U );
+    std::size_t i = 0;
+    for ( ; i + 16 <= size; i += 16 ) {
+        const auto a = vld1q_u16( symbols + i );
+        const auto b = vld1q_u16( symbols + i + 8 );
+        /* vmovn keeps the low byte — exactly the scalar truncation. */
+        const auto packed = vcombine_u8( vmovn_u16( a ), vmovn_u16( b ) );
+        vst1q_u8( output + i, packed );
+
+        const auto markerBytes = vcombine_u8( vmovn_u16( vcgeq_u16( a, markerBase ) ),
+                                              vmovn_u16( vcgeq_u16( b, markerBase ) ) );
+        auto low = vgetq_lane_u64( vreinterpretq_u64_u8( markerBytes ), 0 );
+        auto high = vgetq_lane_u64( vreinterpretq_u64_u8( markerBytes ), 1 );
+        for ( unsigned lane = 0; low != 0; low >>= 8U, ++lane ) {
+            if ( ( low & 0xFFU ) != 0 ) {
+                output[i + lane] = recent[symbols[i + lane] & 0x7FFFU];
+            }
+        }
+        for ( unsigned lane = 8; high != 0; high >>= 8U, ++lane ) {
+            if ( ( high & 0xFFU ) != 0 ) {
+                output[i + lane] = recent[symbols[i + lane] & 0x7FFFU];
+            }
+        }
+    }
+    replaceMarkersScalar( symbols + i, size - i, recent, output + i );
+}
+
+#endif  /* RAPIDGZIP_SIMD_HAVE_NEON_KERNELS */
+
+/** Kernel for an EXPLICIT level (tests and benchmarks iterate levels this
+ * way); levels without a dedicated kernel fall back to the next lower one. */
+inline void
+replaceMarkersAt( Level level,
+                  const std::uint16_t* symbols,
+                  std::size_t size,
+                  const std::uint8_t* recent,
+                  std::uint8_t* output ) noexcept
+{
+#if defined( RAPIDGZIP_SIMD_HAVE_X86_KERNELS )
+    if ( level >= Level::AVX2 ) {
+        replaceMarkersAvx2( symbols, size, recent, output );
+        return;
+    }
+    if ( level >= Level::SSE2 ) {  /* SSE41 has no wider pack — reuse SSE2. */
+        replaceMarkersSse2( symbols, size, recent, output );
+        return;
+    }
+#elif defined( RAPIDGZIP_SIMD_HAVE_NEON_KERNELS )
+    if ( level >= Level::NEON ) {
+        replaceMarkersNeon( symbols, size, recent, output );
+        return;
+    }
+#endif
+    (void)level;
+    replaceMarkersScalar( symbols, size, recent, output );
+}
+
+/** The dispatched hot-path entry point. */
+inline void
+replaceMarkers( const std::uint16_t* symbols,
+                std::size_t size,
+                const std::uint8_t* recent,
+                std::uint8_t* output ) noexcept
+{
+    replaceMarkersAt( activeLevel(), symbols, size, recent, output );
+}
+
+}  // namespace rapidgzip::simd

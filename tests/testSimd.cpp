@@ -1,0 +1,373 @@
+/**
+ * Lockstep equivalence tests for the src/simd/ dispatch layer (PR 7): every
+ * vectorized kernel must be bit-identical to the always-built scalar
+ * reference at EVERY dispatch level this binary can execute, across
+ * randomized lengths, alignments, and sub-vector tails. CRC32 is
+ * additionally checked against the zlib oracle, and the cached-LUT precode
+ * stage 5 against both the general HuffmanCoding and the pre-PR scalar
+ * finder cascade.
+ */
+
+#include <zlib.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "bits/BitReader.hpp"
+#include "blockfinder/DynamicBlockFinderRapid.hpp"
+#include "blockfinder/PrecodeLutCache.hpp"
+#include "core/ParallelGzipReader.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
+#include "huffman/HuffmanCoding.hpp"
+#include "simd/Crc32.hpp"
+#include "simd/Dispatch.hpp"
+#include "simd/ReplaceMarkers.hpp"
+#include "workloads/DataGenerators.hpp"
+
+#include "TestHelpers.hpp"
+
+using namespace rapidgzip;
+
+namespace {
+
+/** xorshift64* — deterministic across platforms, no <random> quirks. */
+class Xorshift64
+{
+public:
+    explicit Xorshift64( std::uint64_t seed ) :
+        m_state( seed == 0 ? 0x9E3779B97F4A7C15ULL : seed )
+    {}
+
+    std::uint64_t
+    operator()()
+    {
+        m_state ^= m_state >> 12U;
+        m_state ^= m_state << 25U;
+        m_state ^= m_state >> 27U;
+        return m_state * 0x2545F4914F6CDD1DULL;
+    }
+
+private:
+    std::uint64_t m_state;
+};
+
+void
+testDispatchBasics()
+{
+    using simd::Level;
+
+    /* The ladder must always contain the scalar rung, and every supported
+     * level must be executable: forceLevel must return it unclamped. */
+    const auto levels = simd::supportedLevels();
+    REQUIRE( !levels.empty() );
+    REQUIRE( levels.front() == Level::SCALAR );
+    for ( const auto level : levels ) {
+        REQUIRE( simd::forceLevel( level ) == level );
+        REQUIRE( simd::activeLevel() == level );
+    }
+
+    /* Requests above the CPU's maximum clamp instead of faulting. */
+    REQUIRE( simd::forceLevel( Level::AVX2 ) <= simd::detectedLevel() );
+
+    Level parsed{};
+    REQUIRE( simd::parseLevel( "scalar", &parsed ) && ( parsed == Level::SCALAR ) );
+    REQUIRE( simd::parseLevel( "0", &parsed ) && ( parsed == Level::SCALAR ) );
+    REQUIRE( simd::parseLevel( "sse2", &parsed ) && ( parsed == Level::SSE2 ) );
+    REQUIRE( simd::parseLevel( "sse4.1", &parsed ) && ( parsed == Level::SSE41 ) );
+    REQUIRE( simd::parseLevel( "sse41", &parsed ) && ( parsed == Level::SSE41 ) );
+    REQUIRE( simd::parseLevel( "avx2", &parsed ) && ( parsed == Level::AVX2 ) );
+    REQUIRE( simd::parseLevel( "neon", &parsed ) && ( parsed == Level::NEON ) );
+    REQUIRE( !simd::parseLevel( "sse9000", &parsed ) );
+    REQUIRE( !simd::parseLevel( nullptr, &parsed ) );
+
+    REQUIRE( std::strcmp( simd::toString( Level::SCALAR ), "scalar" ) == 0 );
+    REQUIRE( std::strcmp( simd::toString( simd::detectedLevel() ), "unknown" ) != 0 );
+
+    simd::forceLevel( simd::detectedLevel() );
+}
+
+void
+testReplaceMarkersLockstep()
+{
+    Xorshift64 rng( 0xC0FFEE );
+
+    std::vector<std::uint8_t> window( 32 * 1024 );
+    for ( auto& byte : window ) {
+        byte = static_cast<std::uint8_t>( rng() );
+    }
+
+    const auto levels = simd::supportedLevels();
+
+    /* Lengths probing every sub-vector tail around the 8/16/32-symbol SSE /
+     * AVX strides, plus large blocks; offsets de-align the symbol pointer. */
+    const std::size_t lengths[] = { 0, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65,
+                                    127, 1000, 4096, 65536 + 13 };
+    const std::size_t offsets[] = { 0, 1, 3, 7 };
+
+    for ( const auto markerPermille : { std::size_t( 0 ), std::size_t( 50 ),
+                                        std::size_t( 500 ), std::size_t( 1000 ) } ) {
+        for ( const auto length : lengths ) {
+            std::vector<std::uint16_t> symbolStorage( length + 8 );
+            for ( auto& symbol : symbolStorage ) {
+                /* Full 16-bit range: values 256..32767 exercise the low-byte
+                 * truncation contract, bit 15 selects the marker branch. */
+                const auto raw = static_cast<std::uint16_t>( rng() );
+                if ( ( rng() % 1000 ) < markerPermille ) {
+                    symbolStorage[&symbol - symbolStorage.data()] =
+                        static_cast<std::uint16_t>( raw | 0x8000U );
+                } else {
+                    symbolStorage[&symbol - symbolStorage.data()] =
+                        static_cast<std::uint16_t>( raw & 0x7FFFU );
+                }
+            }
+
+            for ( const auto offset : offsets ) {
+                if ( offset + length > symbolStorage.size() ) {
+                    continue;
+                }
+                const auto* const symbols = symbolStorage.data() + offset;
+
+                std::vector<std::uint8_t> reference( length, 0xAA );
+                simd::replaceMarkersAt( simd::Level::SCALAR, symbols, length,
+                                        window.data(), reference.data() );
+
+                /* The scalar path IS the contract — check it directly. */
+                for ( std::size_t i = 0; i < length; ++i ) {
+                    const auto expected = symbols[i] < 0x8000U
+                                          ? static_cast<std::uint8_t>( symbols[i] )
+                                          : window[symbols[i] & 0x7FFFU];
+                    REQUIRE( reference[i] == expected );
+                }
+
+                for ( const auto level : levels ) {
+                    std::vector<std::uint8_t> output( length, 0x55 );
+                    simd::replaceMarkersAt( level, symbols, length,
+                                            window.data(), output.data() );
+                    REQUIRE( output == reference );
+
+                    /* The env/force dispatched entry point must agree too. */
+                    simd::forceLevel( level );
+                    std::fill( output.begin(), output.end(), 0x77 );
+                    simd::replaceMarkers( symbols, length, window.data(), output.data() );
+                    REQUIRE( output == reference );
+                }
+            }
+        }
+    }
+
+    simd::forceLevel( simd::detectedLevel() );
+}
+
+void
+testCrc32Lockstep()
+{
+    Xorshift64 rng( 0xBADC0DE );
+
+    std::vector<std::uint8_t> data( 1U << 20U );
+    for ( auto& byte : data ) {
+        byte = static_cast<std::uint8_t>( rng() );
+    }
+
+    const auto levels = simd::supportedLevels();
+
+    /* Lengths crossing the PCLMUL kernel's 64-byte block size, its 16-byte
+     * inner loop, and the <64-byte scalar-only branch; odd offsets exercise
+     * the unaligned loads. */
+    const std::size_t lengths[] = { 0, 1, 3, 15, 16, 17, 63, 64, 65, 127, 128, 129,
+                                    255, 1000, 4095, 65536 + 7, data.size() - 8 };
+    const std::size_t offsets[] = { 0, 1, 3, 7 };
+
+    for ( const auto length : lengths ) {
+        for ( const auto offset : offsets ) {
+            if ( offset + length > data.size() ) {
+                continue;
+            }
+            const auto* const begin = data.data() + offset;
+            const auto oracle = static_cast<std::uint32_t>(
+                ::crc32_z( ::crc32_z( 0UL, nullptr, 0 ), begin, length ) );
+
+            for ( const auto level : levels ) {
+                REQUIRE( simd::crc32At( level, 0, begin, length ) == oracle );
+
+                simd::forceLevel( level );
+                REQUIRE( simd::crc32( 0, begin, length ) == oracle );
+
+                /* Incremental updates across an uneven split. */
+                const auto split = length / 3;
+                auto crc = simd::crc32At( level, 0, begin, split );
+                crc = simd::crc32At( level, crc, begin + split, length - split );
+                REQUIRE( crc == oracle );
+            }
+        }
+    }
+
+    /* crc32Combine vs zlib's crc32_combine, including empty parts. */
+    for ( const auto splitNumerator : { std::size_t( 0 ), std::size_t( 1 ),
+                                        std::size_t( 3 ), std::size_t( 7 ),
+                                        std::size_t( 8 ) } ) {
+        const auto size = std::size_t( 300000 );
+        const auto split = size * splitNumerator / 8;
+        const auto crcA = simd::crc32( 0, data.data(), split );
+        const auto crcB = simd::crc32( 0, data.data() + split, size - split );
+        const auto whole = simd::crc32( 0, data.data(), size );
+        REQUIRE( simd::crc32Combine( crcA, crcB, size - split ) == whole );
+        const auto zlibCombined = static_cast<std::uint32_t>(
+            ::crc32_combine( crcA, crcB, static_cast<z_off_t>( size - split ) ) );
+        REQUIRE( simd::crc32Combine( crcA, crcB, size - split ) == zlibCombined );
+    }
+
+    /* Compile-time usability of the combine (constexpr contract). */
+    static_assert( simd::crc32Combine( 0, 0, 123456 ) == 0 );
+
+    simd::forceLevel( simd::detectedLevel() );
+}
+
+void
+testPrecodeLutVsHuffmanCoding()
+{
+    Xorshift64 rng( 0x5EED );
+
+    /* Random COMPLETE precode length sets: start from a single 1-bit symbol
+     * and randomly split leaves until no more splits are wanted — always
+     * yields a Kraft-complete code with max length <= 7. */
+    for ( int iteration = 0; iteration < 2000; ++iteration ) {
+        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> lengths{};
+        std::vector<std::uint8_t> leaves{ 1 };  /* one leaf at depth 1... */
+        leaves.push_back( 1 );                  /* ...and its sibling */
+        const auto splits = rng() % deflate::PRECODE_SYMBOLS;
+        for ( std::uint64_t i = 0; i < splits && leaves.size() < deflate::PRECODE_SYMBOLS; ++i ) {
+            const auto pick = rng() % leaves.size();
+            if ( leaves[pick] >= 7 ) {
+                continue;
+            }
+            const auto depth = static_cast<std::uint8_t>( leaves[pick] + 1 );
+            leaves[pick] = depth;
+            leaves.push_back( depth );
+        }
+        /* Assign leaf depths to random distinct symbols. */
+        std::array<std::uint8_t, deflate::PRECODE_SYMBOLS> symbols{};
+        for ( std::uint8_t i = 0; i < deflate::PRECODE_SYMBOLS; ++i ) {
+            symbols[i] = i;
+        }
+        for ( std::size_t i = deflate::PRECODE_SYMBOLS - 1; i > 0; --i ) {
+            std::swap( symbols[i], symbols[rng() % ( i + 1 )] );
+        }
+        for ( std::size_t i = 0; i < leaves.size(); ++i ) {
+            lengths[symbols[i]] = leaves[i];
+        }
+
+        HuffmanCoding general;
+        REQUIRE( general.initializeFromLengths( { lengths.data(), lengths.size() } ) );
+        const auto& lut = blockfinder::PrecodeLutCache::get( lengths );
+
+        /* Decode the same random bitstream with both decoders. */
+        std::array<std::uint8_t, 32> stream{};
+        for ( auto& byte : stream ) {
+            byte = static_cast<std::uint8_t>( rng() );
+        }
+        BitReader generalReader( stream.data(), stream.size() );
+        BitReader lutReader( stream.data(), stream.size() );
+        for ( int step = 0; step < 100; ++step ) {
+            const auto symbol = general.decode( generalReader );
+            const auto entry = lut.entry( lutReader.peek( blockfinder::PrecodeLut::MAX_PRECODE_LENGTH ) );
+            const bool lutRejects = ( entry.length == 0 ) || ( entry.length > lutReader.bitsLeft() );
+            if ( symbol < 0 ) {
+                REQUIRE( lutRejects );
+                break;
+            }
+            REQUIRE( !lutRejects );
+            REQUIRE( static_cast<int>( entry.symbol ) == symbol );
+            lutReader.skip( entry.length );
+            REQUIRE( generalReader.tell() == lutReader.tell() );
+        }
+    }
+}
+
+void
+testBlockFinderEquivalenceAcrossLevels()
+{
+    /* The finder cascade (with the cached-LUT stage 5) must accept exactly
+     * the same bit positions as the pre-PR scalar reference cascade — on
+     * real dynamic headers AND on random garbage — at every dispatch level.
+     * Stage 5 itself is scalar at all levels; sweeping levels proves the
+     * dispatch override cannot perturb the finder. */
+    std::vector<std::uint8_t> content;
+    {
+        Xorshift64 rng( 0xF00D );
+        const auto base = workloads::base64Data( 32 * 1024, /* seed */ 7 );
+        content = compressGzipLike( { base.data(), base.size() }, 9 );
+        for ( int i = 0; i < 2048; ++i ) {
+            content.push_back( static_cast<std::uint8_t>( rng() ) );
+        }
+    }
+
+    for ( const auto level : simd::supportedLevels() ) {
+        simd::forceLevel( level );
+        blockfinder::FilterStatistics statsRapid;
+        blockfinder::FilterStatistics statsScalar;
+        std::size_t matches = 0;
+        const auto limitBits = content.size() * 8 - deflate::MIN_DYNAMIC_HEADER_BITS;
+        for ( std::size_t offset = 0; offset < limitBits; ++offset ) {
+            const auto rapid = blockfinder::DynamicBlockFinderRapid::testCandidate(
+                { content.data(), content.size() }, offset, &statsRapid );
+            const auto scalar = blockfinder::DynamicBlockFinderRapid::testCandidateScalar(
+                { content.data(), content.size() }, offset, &statsScalar );
+            REQUIRE( rapid == scalar );
+            matches += rapid ? 1 : 0;
+        }
+        /* deflateCompress(level 9) of 32 KiB base64 emits dynamic blocks, so
+         * the sweep must find at least the real header(s). */
+        REQUIRE( matches > 0 );
+        /* The cascades must agree on WHY positions died, not just whether:
+         * the stage-5 counter feeding Table 1 must match the reference. */
+        REQUIRE( statsRapid.invalidPrecodeEncodedData == statsScalar.invalidPrecodeEncodedData );
+        REQUIRE( statsRapid.validHeaders == statsScalar.validHeaders );
+    }
+
+    simd::forceLevel( simd::detectedLevel() );
+}
+
+void
+testDecompressionAtEveryLevel()
+{
+    /* End-to-end: the SIMD replaceMarkers (two-stage marker decode) and the
+     * dispatched CRC32 (member verification) sit inside chunked
+     * decompression — a full parallel decode at every forced level must
+     * reproduce the input bytes and pass the footer CRC check. */
+    const auto original = workloads::base64Data( 1024 * 1024, /* seed */ 21 );
+    const auto compressed = compressGzipLike( { original.data(), original.size() }, 6 );
+
+    ChunkFetcherConfiguration configuration;
+    configuration.parallelism = 2;
+    configuration.chunkSizeBytes = 128 * 1024;
+
+    for ( const auto level : simd::supportedLevels() ) {
+        simd::forceLevel( level );
+        ParallelGzipReader reader( std::make_unique<MemoryFileReader>( compressed ),
+                                   configuration );
+        std::vector<std::uint8_t> reassembled( original.size() + 16 );
+        const auto got = reader.read( reassembled.data(), reassembled.size() );
+        reassembled.resize( got );
+        REQUIRE( reassembled == original );
+    }
+
+    simd::forceLevel( simd::detectedLevel() );
+}
+
+}  // namespace
+
+int
+main()
+{
+    testDispatchBasics();
+    testReplaceMarkersLockstep();
+    testCrc32Lockstep();
+    testPrecodeLutVsHuffmanCoding();
+    testBlockFinderEquivalenceAcrossLevels();
+    testDecompressionAtEveryLevel();
+    return rapidgzip::test::finish( "testSimd" );
+}

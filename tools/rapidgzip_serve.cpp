@@ -20,6 +20,7 @@
 #include <string>
 
 #include <serve/Server.hpp>
+#include <simd/Dispatch.hpp>
 
 namespace {
 
@@ -152,6 +153,9 @@ main( int argc, char** argv )
 
         std::printf( "rapidgzip-serve listening on %s:%u, serving %s\n",
                      bindAddress.c_str(), server.port(), rootDirectory.c_str() );
+        std::printf( "rapidgzip-serve simd dispatch: %s (detected: %s)\n",
+                     rapidgzip::simd::toString( rapidgzip::simd::activeLevel() ),
+                     rapidgzip::simd::toString( rapidgzip::simd::detectedLevel() ) );
         std::fflush( stdout );
         server.run();
         g_server = nullptr;
