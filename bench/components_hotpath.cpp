@@ -49,10 +49,14 @@
 #include <vector>
 
 #include "blockfinder/DynamicBlockFinderNaive.hpp"
+#include "common/Util.hpp"
 #include "deflate/definitions.hpp"
 #include "gzip/GzipHeader.hpp"
 #include "gzip/ZlibCompressor.hpp"
+#include "simd/Crc32.hpp"
 #include "simd/Dispatch.hpp"
+#include "telemetry/Registry.hpp"
+#include "telemetry/Trace.hpp"
 #include "workloads/DataGenerators.hpp"
 
 #include "BenchmarkHelpers.hpp"
@@ -312,6 +316,85 @@ benchmarkPrecodeStage5( const char* workload, const std::vector<std::uint8_t>& r
     addRow( "precode_stage5", workload, "Mpos/s", before / 1e6, after / 1e6 );
 }
 
+/* --- telemetry overhead guard (PR 8) ------------------------------------ */
+
+/* The two sweeps must live in this TU, [[gnu::noinline]], so the compiler
+ * cannot specialize the hooked loop on the (known-at-link-time) disabled
+ * gate: the point is to price exactly what shipping code pays — one relaxed
+ * load per hook — around a realistic unit of work (a 4 KiB CRC update, the
+ * granularity at which the pipeline hooks fire). */
+
+[[gnu::noinline]] std::uint32_t
+telemetrySweepWithHook( const std::uint8_t* data, std::size_t size, std::size_t iterations )
+{
+    std::uint32_t crc = 0;
+    for ( std::size_t i = 0; i < iterations; ++i ) {
+        telemetry::Span span{ "bench", "bench.hooked" };
+        RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_bench_hook_total",
+                                   "Overhead-guard hook counter.", 1 );
+        crc = simd::crc32( crc, data, size );
+    }
+    return crc;
+}
+
+[[gnu::noinline]] std::uint32_t
+telemetrySweepWithoutHook( const std::uint8_t* data, std::size_t size, std::size_t iterations )
+{
+    std::uint32_t crc = 0;
+    for ( std::size_t i = 0; i < iterations; ++i ) {
+        crc = simd::crc32( crc, data, size );
+    }
+    return crc;
+}
+
+void
+benchmarkTelemetryOverhead( std::size_t repeats )
+{
+    const auto data = workloads::randomData( 4 * KiB, 0x7E1E );
+    const auto iterations = bench::scaledSize( 64 * 1024 );
+    volatile std::uint32_t sink = 0;
+
+    /* Measure the DISABLED state — that is the invariant this guard protects
+     * (library users who never opt in must not pay for the hooks) — but
+     * restore whatever the process had, so RAPIDGZIP_TRACE runs still trace. */
+    const auto savedBits = telemetry::g_activeBits.exchange( 0, std::memory_order_relaxed );
+
+    const auto measure = [&] ( auto&& sweep ) {
+        Stopwatch stopwatch;
+        sink = sink + sweep( data.data(), data.size(), iterations );
+        const auto seconds = stopwatch.elapsed();
+        return static_cast<double>( iterations * data.size() ) / std::max( seconds, 1e-12 );
+    };
+    const auto [plain, hooked] = interleaved(
+        repeats,
+        [&] () { return measure( telemetrySweepWithoutHook ); },
+        [&] () { return measure( telemetrySweepWithHook ); } );
+
+    telemetry::g_activeBits.store( savedBits, std::memory_order_relaxed );
+
+    /* Row semantics match the others: before = no hook, after = with the
+     * disabled hook; "speedup" ~1.0 is the pass condition, printed so the
+     * committed JSON carries the overhead number, not just pass/fail. */
+    addRow( "telemetry_overhead", "crc32_4KiB", "MB/s", plain / 1e6, hooked / 1e6 );
+
+    const auto overheadPercent = ( plain / std::max( hooked, 1.0 ) - 1.0 ) * 100.0;
+    double threshold = 2.0;
+    if ( const char* env = std::getenv( "RAPIDGZIP_TELEMETRY_OVERHEAD_PCT" );
+         ( env != nullptr ) && ( env[0] != '\0' ) )
+    {
+        threshold = std::atof( env );
+    }
+    std::printf( "  telemetry-disabled hook overhead: %.2f%% (budget %.1f%%)\n",
+                 std::max( overheadPercent, 0.0 ), threshold );
+    if ( overheadPercent > threshold ) {
+        std::fprintf( stderr,
+                      "TELEMETRY OVERHEAD FAILURE: disabled hooks cost %.2f%% > %.1f%% "
+                      "on the crc32 sweep — a hook is doing work before checking the gate\n",
+                      overheadPercent, threshold );
+        std::exit( 1 );
+    }
+}
+
 void
 benchmarkPipeline( const char* workload, const std::vector<std::uint8_t>& raw,
                    std::size_t repeats )
@@ -358,6 +441,7 @@ main()
     benchmarkPrecodeStage5( "silesia", silesia, repeats );
     benchmarkPipeline( "base64", base64, repeats );
     benchmarkPipeline( "silesia", silesia, repeats );
+    benchmarkTelemetryOverhead( repeats );
 
     const char* jsonPath = std::getenv( "RAPIDGZIP_BENCH_JSON" );
     writeJson( ( jsonPath != nullptr ) && ( jsonPath[0] != '\0' ) ? jsonPath

@@ -35,6 +35,7 @@
 
 #include "gzip/ZlibCompressor.hpp"
 #include "serve/Server.hpp"
+#include "telemetry/Trace.hpp"
 #include "workloads/DataGenerators.hpp"
 
 #include "BenchmarkHelpers.hpp"
@@ -239,9 +240,24 @@ percentile( std::vector<double>& sorted, double fraction )
 }  // namespace
 
 int
-main()
+main( int argc, char** argv )
 {
     std::signal( SIGPIPE, SIG_IGN );
+
+    /* --trace out.json: record pipeline/serve spans for the whole run and
+     * drain them to Chrome trace-event JSON at exit (same machinery as the
+     * RAPIDGZIP_TRACE environment variable). */
+    for ( int i = 1; i < argc; ++i ) {
+        if ( ( std::strcmp( argv[i], "--trace" ) == 0 ) && ( i + 1 < argc ) ) {
+            telemetry::traceToFileAtExit( argv[i + 1] );
+            telemetry::setMetricsEnabled( true );
+            ++i;
+        } else {
+            std::fprintf( stderr, "Usage: serve_load [--trace out.json]\n" );
+            return 2;
+        }
+    }
+
     bench::printHeader( "rapidgzip-serve load: concurrent Zipf range requests" );
 
     const auto scale = bench::benchScale();
@@ -264,8 +280,14 @@ main()
     std::vector<std::vector<std::uint8_t> > referenceData;
     for ( std::size_t i = 0; i < archiveCount; ++i ) {
         referenceData.push_back( workloads::base64Data( archiveSize, 0x5E57E + i ) );
+        /* The last archive is a single no-flush gzip member so its open runs
+         * the two-stage pipeline (block-finder guesses, marker decode,
+         * window stitch) — a --trace run captures both decode paths. */
+        const auto compressed = ( i + 1 == archiveCount )
+                                ? compressGzipLike( referenceData.back(), 6 )
+                                : compressPigzLike( referenceData.back(), 6, 512 * KiB );
         writeFile( std::string( directory ) + "/archive" + std::to_string( i ) + ".gz",
-                   compressPigzLike( referenceData.back(), 6, 512 * KiB ) );
+                   compressed );
     }
 
     serve::ServerConfiguration configuration;
@@ -402,7 +424,7 @@ main()
         requests, errors, requestsPerSecond, p50, p99,
         cacheStats.hitRate(), cacheStats.hits, cacheStats.misses,
         cacheStats.insertions, cacheStats.evictions,
-        static_cast<std::size_t>( metrics.bytesServed.load( std::memory_order_relaxed ) ) );
+        static_cast<std::size_t>( metrics.bytesServed.total() ) );
     std::fclose( json );
 
     if ( ( errors > 0 ) || ( requests == 0 ) ) {

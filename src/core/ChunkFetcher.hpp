@@ -16,6 +16,8 @@
 #include "../common/ThreadPool.hpp"
 #include "../common/Util.hpp"
 #include "../io/FileReader.hpp"
+#include "../telemetry/Registry.hpp"
+#include "../telemetry/Trace.hpp"
 #include "ChunkCache.hpp"
 #include "DeflateChunks.hpp"
 
@@ -80,6 +82,7 @@ struct FetcherStatistics
     std::size_t onDemandDecodes{ 0 };     /**< accesses that had to decode synchronously */
     std::size_t cacheHits{ 0 };           /**< repeat accesses served from a cache tier */
     std::size_t evictions{ 0 };           /**< ready chunks dropped by the per-reader LRU */
+    std::size_t prefetchWasted{ 0 };      /**< speculative decodes evicted before any consumer */
 };
 
 /**
@@ -155,8 +158,12 @@ public:
                 if ( match->second.prefetched && !match->second.counted ) {
                     ++m_statistics.prefetchHits;
                     match->second.counted = true;
+                    RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_prefetch_consumed_total",
+                                               "Chunk accesses served by a speculative decode.", 1 );
                 } else {
                     ++m_statistics.cacheHits;
+                    RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_cache_hits_total",
+                                               "Repeat chunk accesses served from a cache tier.", 1 );
                 }
                 future = match->second.future;
                 if ( m_configuration.sharedCache
@@ -176,17 +183,22 @@ public:
                 }
                 if ( sharedChunk ) {
                     ++m_statistics.cacheHits;
+                    RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_cache_hits_total",
+                                               "Repeat chunk accesses served from a cache tier.", 1 );
                     dispatchPrefetches( index );
                     evictStaleEntries( index );
                     return sharedChunk;
                 }
                 ++m_statistics.onDemandDecodes;
+                RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_on_demand_decodes_total",
+                                           "Chunk accesses that had to decode synchronously.", 1 );
                 future = insertDecodeTask( index, /* prefetched */ false );
             }
 
             dispatchPrefetches( index );
             evictStaleEntries( index );
         }
+        telemetry::Span waitSpan{ "pipeline", "chunk.wait" };
         return future.get();
     }
 
@@ -273,6 +285,8 @@ private:
             return;
         }
         ++m_statistics.prefetchDispatched;
+        RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_prefetch_issued_total",
+                                   "Speculative chunk decodes submitted to the pool.", 1 );
         (void)insertDecodeTask( index, /* prefetched */ true );
     }
 
@@ -369,6 +383,11 @@ private:
             }
             if ( victim == m_cache.end() ) {
                 break;  /* everything else is still decoding */
+            }
+            if ( victim->second.prefetched && !victim->second.counted ) {
+                ++m_statistics.prefetchWasted;
+                RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_prefetch_wasted_total",
+                                           "Speculative decodes evicted before any consumer used them.", 1 );
             }
             m_cache.erase( victim );
             ++m_statistics.evictions;

@@ -15,6 +15,7 @@
 #include "../gzip/ZlibHelpers.hpp"
 #include "../io/FileReader.hpp"
 #include "../simd/Crc32.hpp"
+#include "../telemetry/Trace.hpp"
 
 namespace rapidgzip {
 
@@ -40,6 +41,8 @@ findFullFlushMarkers( const FileReader& file, std::size_t searchBegin, std::size
 {
     static constexpr std::uint8_t MARKER[FULL_FLUSH_MARKER_SIZE] = { 0x00, 0x00, 0xFF, 0xFF };
     constexpr std::size_t BLOCK = 4 * MiB;
+
+    telemetry::Span findSpan{ "pipeline", "chunk.find" };
 
     std::vector<std::size_t> result;
     searchEnd = std::min( searchEnd, file.size() );
@@ -235,6 +238,7 @@ combineSegmentCrcs( const DecodedChunk& chunk )
 [[nodiscard]] inline DecodedChunk
 decodeRawDeflateChunk( const FileReader& file, std::size_t begin, std::size_t end )
 {
+    telemetry::Span decodeSpan{ "pipeline", "chunk.decode" };
     end = std::min( end, file.size() );
     DecodedChunk result;
     if ( begin >= end ) {

@@ -75,8 +75,14 @@ public:
                        ( const FileReader& reader, std::size_t chunkIndex ) -> DecodedChunk {
             DecodedChunk chunk;
             const auto [firstFrame, frameEnd] = chunks[chunkIndex];
-            for ( auto i = firstFrame; i < frameEnd; ++i ) {
-                decodeFrame( reader, ( *frames )[i], i, chunk.data );
+            {
+                telemetry::Span decodeSpan{ "pipeline", "frame.decode" };
+                for ( auto i = firstFrame; i < frameEnd; ++i ) {
+                    decodeFrame( reader, ( *frames )[i], i, chunk.data );
+                }
+                RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_frames_decoded_total",
+                                           "Compressed frames decoded by frame-parallel readers.",
+                                           frameEnd - firstFrame );
             }
             chunk.reachedStreamEnd = frameEnd == frames->size();
             return chunk;

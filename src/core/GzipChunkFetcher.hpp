@@ -3,6 +3,7 @@
 #include <zlib.h>
 
 #include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -21,9 +22,54 @@
 #include "../gzip/GzipHeader.hpp"
 #include "../index/IndexBuilder.hpp"
 #include "../io/FileReader.hpp"
+#include "../telemetry/Registry.hpp"
+#include "../telemetry/Trace.hpp"
 #include "DeflateChunks.hpp"
 
 namespace rapidgzip {
+
+/**
+ * Flush one chunk's cascade rejection tallies (paper table1) into the
+ * process-wide registry — the per-stage FilterStatistics the finder already
+ * collects, made live instead of bench-only. One gate check covers all
+ * twelve counters; handles resolve once per process.
+ */
+inline void
+tallyFilterStatistics( const blockfinder::FilterStatistics& statistics )
+{
+    if ( !telemetry::metricsEnabled() ) {
+        return;
+    }
+    static const auto handles = [] () {
+        auto& registry = telemetry::Registry::instance();
+        const auto help = "Cascaded block-finder stage tallies (paper table1), summed over all chunks.";
+        return std::array<telemetry::Counter*, 12>{
+            &registry.counter( "rapidgzip_blockfinder_positions_tested_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_final_block_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_compression_type_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_precode_size_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_precode_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_non_optimal_precode_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_precode_encoded_data_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_distance_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_non_optimal_distance_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_invalid_literal_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_non_optimal_literal_code_total", help ),
+            &registry.counter( "rapidgzip_blockfinder_valid_headers_total", help ),
+        };
+    }();
+    const std::array<std::uint64_t, 12> values{
+        statistics.positionsTested, statistics.invalidFinalBlock, statistics.invalidCompressionType,
+        statistics.invalidPrecodeSize, statistics.invalidPrecodeCode, statistics.nonOptimalPrecodeCode,
+        statistics.invalidPrecodeEncodedData, statistics.invalidDistanceCode,
+        statistics.nonOptimalDistanceCode, statistics.invalidLiteralCode,
+        statistics.nonOptimalLiteralCode, statistics.validHeaders };
+    for ( std::size_t i = 0; i < values.size(); ++i ) {
+        if ( values[i] != 0 ) {
+            handles[i]->addUnchecked( values[i] );
+        }
+    }
+}
 
 /**
  * The paper's central pipeline (§3.2/§3.3): decode gzip chunks from GUESSED
@@ -131,8 +177,20 @@ public:
 
             blockfinder::DynamicBlockFinderRapid dynamicFinder;
             const blockfinder::NonCompressedBlockFinder storedFinder;
-            auto nextDynamic = dynamicFinder.find( view, startBitGuess - baseBit );
-            auto nextStored = storedFinder.find( view, startBitGuess - baseBit );
+            /* Tally table1 cascade rejections whatever exit path the chunk takes. */
+            struct StatisticsFlusher
+            {
+                const blockfinder::DynamicBlockFinderRapid& finder;
+                ~StatisticsFlusher() { tallyFilterStatistics( finder.statistics() ); }
+            } statisticsFlusher{ dynamicFinder };
+
+            std::size_t nextDynamic{ blockfinder::NOT_FOUND };
+            std::size_t nextStored{ blockfinder::NOT_FOUND };
+            {
+                telemetry::Span findSpan{ "pipeline", "chunk.find" };
+                nextDynamic = dynamicFinder.find( view, startBitGuess - baseBit );
+                nextStored = storedFinder.find( view, startBitGuess - baseBit );
+            }
 
             bool truncatedAttempt = false;
             while ( true ) {
@@ -153,7 +211,10 @@ public:
                     decoder.setStartAtStoredData( stored );
                     data.reset();
                     data.marked.reserve( expectedYield );
-                    const auto decoded = decoder.decode( reader, data, searchEndLocal, maxBytes );
+                    const auto decoded = [&] () {
+                        telemetry::Span decodeSpan{ "pipeline", "chunk.decode" };
+                        return decoder.decode( reader, data, searchEndLocal, maxBytes );
+                    }();
                     if ( decoded.error == Error::NONE ) {
                         result.data = std::move( data );
                         result.decodedStartBit = baseBit + candidate;
@@ -176,11 +237,14 @@ public:
                         truncatedAttempt = true;
                     }
                 }
-                if ( candidate == nextDynamic ) {
-                    nextDynamic = dynamicFinder.find( view, candidate + 1 );
-                }
-                if ( candidate == nextStored ) {
-                    nextStored = storedFinder.find( view, candidate + 1 );
+                {
+                    telemetry::Span findSpan{ "pipeline", "chunk.find" };
+                    if ( candidate == nextDynamic ) {
+                        nextDynamic = dynamicFinder.find( view, candidate + 1 );
+                    }
+                    if ( candidate == nextStored ) {
+                        nextStored = storedFinder.find( view, candidate + 1 );
+                    }
                 }
             }
 
@@ -253,7 +317,10 @@ public:
                 data.plain.emplace_back();
             }
             data.plain.front().data.reserve( expectedYield );
-            const auto decoded = decoder.decode( reader, data, untilBit - baseBit, maxBytes );
+            const auto decoded = [&] () {
+                telemetry::Span decodeSpan{ "pipeline", "chunk.decode" };
+                return decoder.decode( reader, data, untilBit - baseBit, maxBytes );
+            }();
             if ( ( decoded.error == Error::TRUNCATED_STREAM ) && ( bufferEnd < fileSize ) ) {
                 margin *= 4;
                 continue;
@@ -327,7 +394,10 @@ public:
             }
 
             const auto before = result.data.size();
-            deflate::resolveInto( chunk.data, windowView, result.data );
+            {
+                telemetry::Span stitchSpan{ "pipeline", "chunk.stitch" };
+                deflate::resolveInto( chunk.data, windowView, result.data );
+            }
             deflate::DecodedDataPool::release( std::move( chunk.data ) );
             segmentCrc = simd::crc32( segmentCrc, result.data.data() + before,
                                       result.data.size() - before );
@@ -489,6 +559,9 @@ public:
                      * the guess landed beyond the member: re-decode from the
                      * authoritative boundary with the propagated window. */
                     ++member.redecodedChunks;
+                    RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_redecodes_total",
+                                               "Speculative chunk decodes discarded for a sequential "
+                                               "re-decode (finder miss, mis-stitch, or decode failure).", 1 );
                     chunk = decodeChunkAtOffset( file, expectedBit, guessBegin( index + 1 ),
                                                  std::numeric_limits<std::size_t>::max(),
                                                  { window.data(), window.size() } );
@@ -515,24 +588,27 @@ public:
             }
 
             /* Stage two: resolve markers against the propagated window. */
-            resolved.clear();
-            deflate::resolveInto( chunk.data, { window.data(), window.size() }, resolved );
+            {
+                telemetry::Span stitchSpan{ "pipeline", "chunk.stitch" };
+                resolved.clear();
+                deflate::resolveInto( chunk.data, { window.data(), window.size() }, resolved );
 
-            if ( !resolved.empty() ) {
-                crc = simd::crc32( crc, resolved.data(), resolved.size() );
-                member.uncompressedSize += resolved.size();
-                if ( collectOutput != nullptr ) {
-                    collectOutput->insert( collectOutput->end(), resolved.begin(), resolved.end() );
-                }
-                /* Slide the window: last WINDOW_SIZE bytes of (window ++ resolved). */
-                if ( resolved.size() >= deflate::WINDOW_SIZE ) {
-                    window.assign( resolved.end() - deflate::WINDOW_SIZE, resolved.end() );
-                } else {
-                    const auto keep = std::min( window.size(),
-                                                deflate::WINDOW_SIZE - resolved.size() );
-                    window.erase( window.begin(),
-                                  window.end() - static_cast<std::ptrdiff_t>( keep ) );
-                    window.insert( window.end(), resolved.begin(), resolved.end() );
+                if ( !resolved.empty() ) {
+                    crc = simd::crc32( crc, resolved.data(), resolved.size() );
+                    member.uncompressedSize += resolved.size();
+                    if ( collectOutput != nullptr ) {
+                        collectOutput->insert( collectOutput->end(), resolved.begin(), resolved.end() );
+                    }
+                    /* Slide the window: last WINDOW_SIZE bytes of (window ++ resolved). */
+                    if ( resolved.size() >= deflate::WINDOW_SIZE ) {
+                        window.assign( resolved.end() - deflate::WINDOW_SIZE, resolved.end() );
+                    } else {
+                        const auto keep = std::min( window.size(),
+                                                    deflate::WINDOW_SIZE - resolved.size() );
+                        window.erase( window.begin(),
+                                      window.end() - static_cast<std::ptrdiff_t>( keep ) );
+                        window.insert( window.end(), resolved.begin(), resolved.end() );
+                    }
                 }
             }
 

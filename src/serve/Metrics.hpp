@@ -1,70 +1,129 @@
 #pragma once
 
-#include <atomic>
 #include <cstddef>
+#include <map>
 #include <string>
 
 #include "../core/ChunkCache.hpp"
+#include "../telemetry/Registry.hpp"
 
 namespace rapidgzip::serve {
 
 /**
- * Process-wide serve counters. Workers bump these concurrently while the
- * /metrics handler snapshots them, so every field is a relaxed atomic —
- * the numbers are monitoring data, not synchronization.
+ * Serve counters, now thin handles into the process-wide telemetry registry
+ * (PR 8 absorbed the old standalone atomics). Workers bump them while the
+ * /metrics handler scrapes, same as before — the registry's sharded relaxed
+ * atomics ARE the storage. Serve counters count unconditionally (they are
+ * the daemon's primary operational numbers, as the standalone struct was);
+ * the metricsEnabled() gate only governs the library-internal pipeline
+ * hooks.
  */
 struct ServeMetrics
 {
-    std::atomic<std::size_t> requestsTotal{ 0 };
-    std::atomic<std::size_t> responses2xx{ 0 };
-    std::atomic<std::size_t> responses4xx{ 0 };
-    std::atomic<std::size_t> responses5xx{ 0 };
-    std::atomic<std::size_t> bytesServed{ 0 };
-    std::atomic<std::size_t> connectionsAccepted{ 0 };
+    telemetry::Counter& requestsTotal;
+    telemetry::Counter& responses2xx;
+    telemetry::Counter& responses4xx;
+    telemetry::Counter& responses5xx;
+    telemetry::Counter& bytesServed;
+    telemetry::Counter& connectionsAccepted;
+    telemetry::Histogram& requestLatency;
+
+    ServeMetrics() :
+        requestsTotal( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_requests_total", "HTTP requests parsed from client connections." ) ),
+        responses2xx( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_responses_2xx_total", "Responses sent with a 2xx status." ) ),
+        responses4xx( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_responses_4xx_total", "Responses sent with a 4xx status." ) ),
+        responses5xx( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_responses_5xx_total", "Responses sent with a 5xx status." ) ),
+        bytesServed( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_bytes_served_total", "Response body bytes served from archives." ) ),
+        connectionsAccepted( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_connections_accepted_total", "Client connections accepted." ) ),
+        requestLatency( telemetry::Registry::instance().histogram(
+            "rapidgzip_serve_request_seconds",
+            "Request handling latency from parse completion to response ready." ) )
+    {}
 
     void
     countStatus( int status )
     {
         if ( ( status >= 200 ) && ( status < 300 ) ) {
-            responses2xx.fetch_add( 1, std::memory_order_relaxed );
+            responses2xx.addUnchecked( 1 );
         } else if ( ( status >= 400 ) && ( status < 500 ) ) {
-            responses4xx.fetch_add( 1, std::memory_order_relaxed );
+            responses4xx.addUnchecked( 1 );
         } else if ( status >= 500 ) {
-            responses5xx.fetch_add( 1, std::memory_order_relaxed );
+            responses5xx.addUnchecked( 1 );
         }
+        /* Per-status series ("rapidgzip_serve_responses_total{status="206"}").
+         * HTTP status codes bound the cardinality; handles are cached so the
+         * registry mutex is only taken on each status's first occurrence. */
+        static constexpr const char* HELP = "Responses by exact HTTP status code.";
+        thread_local std::map<int, telemetry::Counter*> handles;
+        auto& handle = handles[status];
+        if ( handle == nullptr ) {
+            handle = &telemetry::Registry::instance().counter(
+                "rapidgzip_serve_responses_total", HELP,
+                "status=\"" + std::to_string( status ) + "\"" );
+        }
+        handle->addUnchecked( 1 );
+    }
+
+    /** Per-archive request series; call after a successful registry open so
+     * the label set is bounded by real archives, not attacker-chosen URLs. */
+    void
+    countArchiveRequest( const std::string& target )
+    {
+        static constexpr const char* HELP = "Requests per archive path (successfully opened targets only).";
+        auto& counter = telemetry::Registry::instance().counter(
+            "rapidgzip_serve_archive_requests_total", HELP,
+            "archive=\"" + telemetry::escapeLabelValue( target ) + "\"" );
+        counter.addUnchecked( 1 );
     }
 };
 
-/** Plain-text exposition (Prometheus-style `name value` lines). */
+/**
+ * Prometheus exposition: the full telemetry registry (serve counters,
+ * request latency summary with p50/p90/p99, and — when the pipeline gate is
+ * on — per-stage pipeline counters), plus the shared chunk cache and
+ * archive registry gauges scraped at render time. All # HELP/# TYPE
+ * annotated; doubles render with fixed precision (std::to_string is
+ * locale-dependent).
+ */
 [[nodiscard]] inline std::string
-renderMetrics( const ServeMetrics& metrics,
+renderMetrics( const ServeMetrics& /* metrics — live in the registry */,
                const ChunkCacheStatistics& cache,
                std::size_t openArchives )
 {
-    std::string out;
-    const auto line = [&out] ( const char* name, std::size_t value ) {
-        out += name;
-        out += ' ';
-        out += std::to_string( value );
-        out += '\n';
+    std::string out = telemetry::Registry::instance().renderPrometheus();
+
+    const auto gauge = [&out] ( const char* name, const char* help, std::size_t value ) {
+        out += "# HELP " + std::string( name ) + " " + help + "\n";
+        out += "# TYPE " + std::string( name ) + " gauge\n";
+        out += std::string( name ) + " " + std::to_string( value ) + "\n";
     };
-    line( "rapidgzip_serve_requests_total", metrics.requestsTotal.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_responses_2xx", metrics.responses2xx.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_responses_4xx", metrics.responses4xx.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_responses_5xx", metrics.responses5xx.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_bytes_served", metrics.bytesServed.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_connections_accepted",
-          metrics.connectionsAccepted.load( std::memory_order_relaxed ) );
-    line( "rapidgzip_serve_open_archives", openArchives );
-    line( "rapidgzip_serve_cache_hits", cache.hits );
-    line( "rapidgzip_serve_cache_misses", cache.misses );
-    line( "rapidgzip_serve_cache_insertions", cache.insertions );
-    line( "rapidgzip_serve_cache_evictions", cache.evictions );
-    line( "rapidgzip_serve_cache_bytes", cache.currentBytes );
-    line( "rapidgzip_serve_cache_capacity_bytes", cache.capacityBytes );
-    out += "rapidgzip_serve_cache_hit_rate ";
-    out += std::to_string( cache.hitRate() );
-    out += '\n';
+    const auto counter = [&out] ( const char* name, const char* help, std::size_t value ) {
+        out += "# HELP " + std::string( name ) + " " + help + "\n";
+        out += "# TYPE " + std::string( name ) + " counter\n";
+        out += std::string( name ) + " " + std::to_string( value ) + "\n";
+    };
+
+    gauge( "rapidgzip_serve_open_archives", "Archives currently open in the bounded registry.",
+           openArchives );
+    counter( "rapidgzip_serve_cache_hits_total", "Shared chunk cache hits.", cache.hits );
+    counter( "rapidgzip_serve_cache_misses_total", "Shared chunk cache misses.", cache.misses );
+    counter( "rapidgzip_serve_cache_insertions_total", "Chunks inserted into the shared cache.",
+             cache.insertions );
+    counter( "rapidgzip_serve_cache_evictions_total", "Chunks evicted from the shared cache.",
+             cache.evictions );
+    gauge( "rapidgzip_serve_cache_bytes", "Decoded bytes resident in the shared cache.",
+           cache.currentBytes );
+    gauge( "rapidgzip_serve_cache_capacity_bytes", "Shared cache byte capacity.",
+           cache.capacityBytes );
+    out += "# HELP rapidgzip_serve_cache_hit_rate Shared cache hit fraction in [0, 1].\n";
+    out += "# TYPE rapidgzip_serve_cache_hit_rate gauge\n";
+    out += "rapidgzip_serve_cache_hit_rate " + telemetry::formatDouble( cache.hitRate() ) + "\n";
     return out;
 }
 

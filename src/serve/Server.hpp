@@ -23,6 +23,8 @@
 #include "../common/Error.hpp"
 #include "../common/ThreadPool.hpp"
 #include "../common/Util.hpp"
+#include "../telemetry/Telemetry.hpp"
+#include "../telemetry/Trace.hpp"
 #include "ArchiveRegistry.hpp"
 #include "Http.hpp"
 #include "Metrics.hpp"
@@ -72,7 +74,11 @@ public:
         m_registry( m_configuration.rootDirectory, m_configuration.maxArchives,
                     m_sharedCache, m_configuration.readerConfiguration ),
         m_workers( std::max<std::size_t>( 1, m_configuration.workerCount ) )
-    {}
+    {
+        /* A daemon wants its pipeline counters live in /metrics; the
+         * library-internal hooks are the useful part of that endpoint. */
+        telemetry::setMetricsEnabled( true );
+    }
 
     ~Server()
     {
@@ -292,7 +298,7 @@ private:
             Connection connection;
             connection.fd = fd;
             connection.id = ++m_nextConnectionId;
-            m_metrics.connectionsAccepted.fetch_add( 1, std::memory_order_relaxed );
+            m_metrics.connectionsAccepted.addUnchecked( 1 );
             m_connections.emplace( connection.id, std::move( connection ) );
         }
     }
@@ -346,13 +352,18 @@ private:
         HttpRequest request;
         if ( connection.parser.next( request ) ) {
             connection.awaitingResponse = true;
-            m_metrics.requestsTotal.fetch_add( 1, std::memory_order_relaxed );
+            m_metrics.requestsTotal.addUnchecked( 1 );
             const auto id = connection.id;
             (void)m_workers.submit( [this, id, request = std::move( request )] () {
                 Completion completion;
                 completion.connectionId = id;
                 completion.keepAlive = request.keepAlive();
-                completion.response = handleRequest( request, completion.keepAlive );
+                const auto beginNs = telemetry::nowNs();
+                {
+                    telemetry::Span requestSpan{ "serve", "serve.request" };
+                    completion.response = handleRequest( request, completion.keepAlive );
+                }
+                m_metrics.requestLatency.recordUnchecked( telemetry::nowNs() - beginNs );
                 {
                     const std::lock_guard<std::mutex> lock( m_completionMutex );
                     m_completions.push_back( std::move( completion ) );
@@ -363,7 +374,7 @@ private:
         }
         if ( connection.parser.failed() ) {
             const auto status = connection.parser.failureStatus();
-            m_metrics.requestsTotal.fetch_add( 1, std::memory_order_relaxed );
+            m_metrics.requestsTotal.addUnchecked( 1 );
             m_metrics.countStatus( status );
             connection.outbox = buildResponse( status, {}, reasonPhrase( status ),
                                                /* keepAlive */ false );
@@ -479,6 +490,7 @@ private:
         }
 
         auto lease = m_registry.open( target );
+        m_metrics.countArchiveRequest( target );
         auto& decompressor = lease.decompressor();
         const auto totalSize = decompressor.size();
 
@@ -504,7 +516,7 @@ private:
             return errorResponse( 500, "Decoded range came up short", keepAlive );
         }
 
-        m_metrics.bytesServed.fetch_add( length, std::memory_order_relaxed );
+        m_metrics.bytesServed.addUnchecked( length );
         if ( range.outcome == RangeOutcome::RANGE ) {
             m_metrics.countStatus( 206 );
             const auto contentRange = "Content-Range: bytes " + std::to_string( first ) + "-"

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace rapidgzip::telemetry {
+
+/**
+ * Process-wide runtime gates for the observability layer.
+ *
+ * Every instrumentation hook in the library is compiled in unconditionally
+ * and guarded by ONE relaxed atomic load on this bitmask. The mask is an
+ * inline constant-initialized atomic, so the check never pays a
+ * static-initialization guard and never takes a lock:
+ *
+ *     if ( metricsEnabled() ) { ... slow path: resolve handle, count ... }
+ *
+ * Bit 0 gates metrics (counters / gauges / histograms in the Registry),
+ * bit 1 gates tracing (per-thread span rings). Both default to off; the
+ * disabled cost budget — one relaxed load plus a predictable branch per
+ * hook — is enforced by the `telemetry_overhead` guard in
+ * bench/components_hotpath.cpp.
+ */
+
+inline constexpr std::uint32_t METRICS_BIT = 1U << 0U;
+inline constexpr std::uint32_t TRACE_BIT = 1U << 1U;
+
+inline std::atomic<std::uint32_t> g_activeBits{ 0 };
+
+[[nodiscard]] inline bool
+metricsEnabled() noexcept
+{
+    return ( g_activeBits.load( std::memory_order_relaxed ) & METRICS_BIT ) != 0;
+}
+
+[[nodiscard]] inline bool
+traceEnabled() noexcept
+{
+    return ( g_activeBits.load( std::memory_order_relaxed ) & TRACE_BIT ) != 0;
+}
+
+inline void
+setMetricsEnabled( bool enabled ) noexcept
+{
+    if ( enabled ) {
+        g_activeBits.fetch_or( METRICS_BIT, std::memory_order_relaxed );
+    } else {
+        g_activeBits.fetch_and( ~METRICS_BIT, std::memory_order_relaxed );
+    }
+}
+
+inline void
+setTraceEnabled( bool enabled ) noexcept
+{
+    if ( enabled ) {
+        g_activeBits.fetch_or( TRACE_BIT, std::memory_order_relaxed );
+    } else {
+        g_activeBits.fetch_and( ~TRACE_BIT, std::memory_order_relaxed );
+    }
+}
+
+/** Monotonic nanoseconds. All span timestamps and latency samples use this clock. */
+[[nodiscard]] inline std::uint64_t
+nowNs() noexcept
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch() ).count() );
+}
+
+/**
+ * Stable small integer for the calling thread, used to pick a counter shard.
+ * Assigned round-robin on first use per thread; the thread_local is a
+ * trivially-destructible unsigned, so after the first call the cost is one
+ * TLS load. Hooks only reach this inside an enabled-gate branch.
+ */
+[[nodiscard]] inline unsigned
+threadShardIndex() noexcept
+{
+    static std::atomic<unsigned> nextShard{ 0 };
+    thread_local unsigned shard = nextShard.fetch_add( 1, std::memory_order_relaxed );
+    return shard;
+}
+
+}  // namespace rapidgzip::telemetry

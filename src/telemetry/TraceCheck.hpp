@@ -1,0 +1,346 @@
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rapidgzip::telemetry {
+
+/**
+ * Minimal strict JSON parser, just enough to validate the trace files this
+ * library emits (and any well-formed JSON a CI artifact check throws at it).
+ * Shared by tools/rapidgzip_trace_check.cpp and tests/testTelemetry.cpp —
+ * intentionally not the emitter's code, so round-trip tests cross-check two
+ * independent implementations.
+ */
+
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Boolean,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type{ Type::Null };
+    bool boolean{ false };
+    double number{ 0 };
+    std::string string;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    [[nodiscard]] bool isObject() const noexcept { return type == Type::Object; }
+    [[nodiscard]] bool isArray() const noexcept { return type == Type::Array; }
+    [[nodiscard]] bool isString() const noexcept { return type == Type::String; }
+    [[nodiscard]] bool isNumber() const noexcept { return type == Type::Number; }
+
+    [[nodiscard]] const JsonValue*
+    find( const std::string& key ) const
+    {
+        if ( type != Type::Object ) {
+            return nullptr;
+        }
+        const auto match = object.find( key );
+        return match == object.end() ? nullptr : &match->second;
+    }
+};
+
+
+class JsonParser
+{
+public:
+    explicit JsonParser( const std::string& text ) :
+        m_text( text )
+    {}
+
+    [[nodiscard]] JsonValue
+    parse()
+    {
+        auto value = parseValue();
+        skipWhitespace();
+        if ( m_position != m_text.size() ) {
+            throw std::runtime_error( "Trailing characters after JSON document at offset "
+                                      + std::to_string( m_position ) );
+        }
+        return value;
+    }
+
+private:
+    void
+    skipWhitespace() noexcept
+    {
+        while ( ( m_position < m_text.size() )
+                && ( std::isspace( static_cast<unsigned char>( m_text[m_position] ) ) != 0 ) ) {
+            ++m_position;
+        }
+    }
+
+    [[nodiscard]] char
+    peek()
+    {
+        if ( m_position >= m_text.size() ) {
+            throw std::runtime_error( "Unexpected end of JSON input" );
+        }
+        return m_text[m_position];
+    }
+
+    void
+    expect( char c )
+    {
+        if ( peek() != c ) {
+            throw std::runtime_error( std::string( "Expected '" ) + c + "' at offset "
+                                      + std::to_string( m_position ) + ", got '" + peek() + "'" );
+        }
+        ++m_position;
+    }
+
+    [[nodiscard]] JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        switch ( peek() ) {
+        case '{': return parseObject();
+        case '[': return parseArray();
+        case '"': return parseString();
+        case 't':
+        case 'f': return parseBoolean();
+        case 'n': return parseNull();
+        default: return parseNumber();
+        }
+    }
+
+    [[nodiscard]] JsonValue
+    parseObject()
+    {
+        expect( '{' );
+        JsonValue value;
+        value.type = JsonValue::Type::Object;
+        skipWhitespace();
+        if ( peek() == '}' ) {
+            ++m_position;
+            return value;
+        }
+        while ( true ) {
+            skipWhitespace();
+            auto key = parseString();
+            skipWhitespace();
+            expect( ':' );
+            value.object.emplace( std::move( key.string ), parseValue() );
+            skipWhitespace();
+            if ( peek() == ',' ) {
+                ++m_position;
+                continue;
+            }
+            expect( '}' );
+            return value;
+        }
+    }
+
+    [[nodiscard]] JsonValue
+    parseArray()
+    {
+        expect( '[' );
+        JsonValue value;
+        value.type = JsonValue::Type::Array;
+        skipWhitespace();
+        if ( peek() == ']' ) {
+            ++m_position;
+            return value;
+        }
+        while ( true ) {
+            value.array.push_back( parseValue() );
+            skipWhitespace();
+            if ( peek() == ',' ) {
+                ++m_position;
+                continue;
+            }
+            expect( ']' );
+            return value;
+        }
+    }
+
+    [[nodiscard]] JsonValue
+    parseString()
+    {
+        expect( '"' );
+        JsonValue value;
+        value.type = JsonValue::Type::String;
+        while ( true ) {
+            const auto c = peek();
+            ++m_position;
+            if ( c == '"' ) {
+                return value;
+            }
+            if ( c == '\\' ) {
+                const auto escaped = peek();
+                ++m_position;
+                switch ( escaped ) {
+                case '"': value.string += '"'; break;
+                case '\\': value.string += '\\'; break;
+                case '/': value.string += '/'; break;
+                case 'b': value.string += '\b'; break;
+                case 'f': value.string += '\f'; break;
+                case 'n': value.string += '\n'; break;
+                case 'r': value.string += '\r'; break;
+                case 't': value.string += '\t'; break;
+                case 'u': {
+                    if ( m_position + 4 > m_text.size() ) {
+                        throw std::runtime_error( "Truncated \\u escape" );
+                    }
+                    /* Validation only — decode to '?' instead of UTF-8; the
+                     * emitter never writes \u escapes. */
+                    for ( int i = 0; i < 4; ++i ) {
+                        if ( std::isxdigit( static_cast<unsigned char>( m_text[m_position] ) ) == 0 ) {
+                            throw std::runtime_error( "Invalid \\u escape" );
+                        }
+                        ++m_position;
+                    }
+                    value.string += '?';
+                    break;
+                }
+                default:
+                    throw std::runtime_error( std::string( "Invalid escape character '" ) + escaped + "'" );
+                }
+                continue;
+            }
+            if ( static_cast<unsigned char>( c ) < 0x20 ) {
+                throw std::runtime_error( "Unescaped control character in JSON string" );
+            }
+            value.string += c;
+        }
+    }
+
+    [[nodiscard]] JsonValue
+    parseBoolean()
+    {
+        JsonValue value;
+        value.type = JsonValue::Type::Boolean;
+        if ( m_text.compare( m_position, 4, "true" ) == 0 ) {
+            value.boolean = true;
+            m_position += 4;
+        } else if ( m_text.compare( m_position, 5, "false" ) == 0 ) {
+            value.boolean = false;
+            m_position += 5;
+        } else {
+            throw std::runtime_error( "Invalid literal at offset " + std::to_string( m_position ) );
+        }
+        return value;
+    }
+
+    [[nodiscard]] JsonValue
+    parseNull()
+    {
+        if ( m_text.compare( m_position, 4, "null" ) != 0 ) {
+            throw std::runtime_error( "Invalid literal at offset " + std::to_string( m_position ) );
+        }
+        m_position += 4;
+        return {};
+    }
+
+    [[nodiscard]] JsonValue
+    parseNumber()
+    {
+        const auto begin = m_position;
+        if ( peek() == '-' ) {
+            ++m_position;
+        }
+        while ( ( m_position < m_text.size() )
+                && ( ( std::isdigit( static_cast<unsigned char>( m_text[m_position] ) ) != 0 )
+                     || ( m_text[m_position] == '.' ) || ( m_text[m_position] == 'e' )
+                     || ( m_text[m_position] == 'E' ) || ( m_text[m_position] == '+' )
+                     || ( m_text[m_position] == '-' ) ) ) {
+            ++m_position;
+        }
+        if ( m_position == begin ) {
+            throw std::runtime_error( "Invalid JSON value at offset " + std::to_string( begin ) );
+        }
+        JsonValue value;
+        value.type = JsonValue::Type::Number;
+        try {
+            value.number = std::stod( m_text.substr( begin, m_position - begin ) );
+        } catch ( const std::exception& ) {
+            throw std::runtime_error( "Invalid number at offset " + std::to_string( begin ) );
+        }
+        return value;
+    }
+
+    const std::string& m_text;
+    std::size_t m_position{ 0 };
+};
+
+
+/**
+ * Validate a Chrome trace-event document: top-level object with a
+ * traceEvents array whose complete events each carry name/cat/ph/ts/dur/
+ * pid/tid with sane values. Returns the number of events; throws
+ * std::runtime_error with a diagnostic on the first violation.
+ */
+[[nodiscard]] inline std::size_t
+validateTraceDocument( const JsonValue& document )
+{
+    if ( !document.isObject() ) {
+        throw std::runtime_error( "Trace document is not a JSON object" );
+    }
+    const auto* const events = document.find( "traceEvents" );
+    if ( ( events == nullptr ) || !events->isArray() ) {
+        throw std::runtime_error( "Trace document has no traceEvents array" );
+    }
+    std::size_t index{ 0 };
+    for ( const auto& event : events->array ) {
+        const auto context = "traceEvents[" + std::to_string( index ) + "]";
+        if ( !event.isObject() ) {
+            throw std::runtime_error( context + " is not an object" );
+        }
+        for ( const auto* key : { "name", "cat", "ph" } ) {
+            const auto* const field = event.find( key );
+            if ( ( field == nullptr ) || !field->isString() || field->string.empty() ) {
+                throw std::runtime_error( context + " lacks a non-empty string '" + key + "'" );
+            }
+        }
+        for ( const auto* key : { "ts", "pid", "tid" } ) {
+            const auto* const field = event.find( key );
+            if ( ( field == nullptr ) || !field->isNumber() ) {
+                throw std::runtime_error( context + " lacks a numeric '" + key + "'" );
+            }
+        }
+        if ( event.find( "ph" )->string == "X" ) {
+            const auto* const duration = event.find( "dur" );
+            if ( ( duration == nullptr ) || !duration->isNumber() || ( duration->number < 0 ) ) {
+                throw std::runtime_error( context + " is a complete event without a non-negative 'dur'" );
+            }
+        }
+        if ( event.find( "ts" )->number < 0 ) {
+            throw std::runtime_error( context + " has a negative timestamp" );
+        }
+        ++index;
+    }
+    return index;
+}
+
+/** Count events whose "name" equals @p name. */
+[[nodiscard]] inline std::size_t
+countTraceEvents( const JsonValue& document, const std::string& name )
+{
+    const auto* const events = document.find( "traceEvents" );
+    if ( ( events == nullptr ) || !events->isArray() ) {
+        return 0;
+    }
+    std::size_t count{ 0 };
+    for ( const auto& event : events->array ) {
+        const auto* const eventName = event.find( "name" );
+        if ( ( eventName != nullptr ) && eventName->isString() && ( eventName->string == name ) ) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+}  // namespace rapidgzip::telemetry

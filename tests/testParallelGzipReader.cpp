@@ -12,6 +12,7 @@
 #include "core/ParallelGzipReader.hpp"
 #include "gzip/ZlibCompressor.hpp"
 #include "io/MemoryFileReader.hpp"
+#include "telemetry/Registry.hpp"
 #include "workloads/DataGenerators.hpp"
 
 #include "TestHelpers.hpp"
@@ -81,15 +82,23 @@ main()
         std::vector<std::uint8_t> parallel;
         MemoryFileReader file( plain );
         const auto deflateStart = parseGzipHeader( { plain.data(), plain.size() } );
+        telemetry::setMetricsEnabled( true );
+        const auto redecodesBefore =
+            telemetry::Registry::instance().counterTotal( "rapidgzip_chunk_redecodes_total" );
         const auto member = GzipChunkFetcher::decompressMember( file, deflateStart,
                                                                 /* parallelism */ 4,
                                                                 /* chunk size */ 1 * MiB,
                                                                 &parallel );
+        telemetry::setMetricsEnabled( false );
         REQUIRE( member.chunkCount > 1 );
         /* Most chunks must come from the SPECULATIVE guessed-offset decode —
          * if the block finders regressed, every chunk would silently fall
          * back to the sequential re-decode and parallelism would be dead. */
         REQUIRE( member.redecodedChunks < member.chunkCount / 2 );
+        /* The mis-stitch telemetry counter must agree with the member's own
+         * tally — the live counter is what /metrics and dashboards see. */
+        REQUIRE( telemetry::Registry::instance().counterTotal( "rapidgzip_chunk_redecodes_total" )
+                 == redecodesBefore + member.redecodedChunks );
         REQUIRE( parallel == serial );
         REQUIRE( parallel == data );
 
@@ -100,6 +109,23 @@ main()
         ParallelGzipReader corruptedReader( std::make_unique<MemoryFileReader>( corrupted ),
                                             config( 4, 1 * MiB ) );
         REQUIRE_THROWS_AS( (void)corruptedReader.decompressAll(), RapidgzipError );
+    }
+
+    /* Full-flush archives decode every chunk at an EXACT known offset, so
+     * the mis-stitch re-decode path must never trigger: its telemetry
+     * counter has to stay flat across a complete read. A drift here means
+     * the chunk table or the stitcher regressed into speculative fallbacks
+     * on the easy case. */
+    {
+        telemetry::setMetricsEnabled( true );
+        const auto redecodesBefore =
+            telemetry::Registry::instance().counterTotal( "rapidgzip_chunk_redecodes_total" );
+        ParallelGzipReader reader( std::make_unique<MemoryFileReader>( compressed ),
+                                   config( 4, 256 * 1024 ) );
+        REQUIRE( reader.decompressAll() == data.size() );
+        telemetry::setMetricsEnabled( false );
+        REQUIRE( telemetry::Registry::instance().counterTotal( "rapidgzip_chunk_redecodes_total" )
+                 == redecodesBefore );
     }
 
     /* Random access: seek + read against the reference data. */

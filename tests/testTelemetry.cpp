@@ -1,0 +1,325 @@
+/**
+ * Telemetry layer tests: sharded counter merge under contention, histogram
+ * bucket math and quantiles, trace-ring wraparound, the JSON drain
+ * round-tripped through the independent TraceCheck parser, Prometheus
+ * exposition shape, and the disabled-mode zero-allocation guarantee (the
+ * structural half of the "one relaxed load per disabled hook" invariant —
+ * the perf half lives in bench/components_hotpath.cpp).
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/Registry.hpp"
+#include "telemetry/Trace.hpp"
+#include "telemetry/TraceCheck.hpp"
+
+#include "TestHelpers.hpp"
+
+/* Count every global allocation in this binary so the disabled-mode test can
+ * assert that hooks allocate NOTHING. Counting is the only change: the
+ * replacements forward to malloc/free per the usual replacement recipe. */
+namespace {
+std::atomic<std::size_t> g_allocationCount{ 0 };
+}  // namespace
+
+void*
+operator new( std::size_t size )
+{
+    g_allocationCount.fetch_add( 1, std::memory_order_relaxed );
+    if ( void* pointer = std::malloc( size > 0 ? size : 1 ) ) {
+        return pointer;
+    }
+    throw std::bad_alloc();
+}
+
+void*
+operator new[]( std::size_t size )
+{
+    return ::operator new( size );
+}
+
+void operator delete( void* pointer ) noexcept { std::free( pointer ); }
+void operator delete( void* pointer, std::size_t ) noexcept { std::free( pointer ); }
+void operator delete[]( void* pointer ) noexcept { std::free( pointer ); }
+void operator delete[]( void* pointer, std::size_t ) noexcept { std::free( pointer ); }
+
+using namespace rapidgzip;
+
+namespace {
+
+void
+testCounterConcurrentMerge()
+{
+    telemetry::setMetricsEnabled( true );
+    auto& counter = telemetry::Registry::instance().counter(
+        "test_concurrent_total", "Concurrency test counter." );
+
+    constexpr std::size_t THREADS = 8;
+    constexpr std::size_t INCREMENTS = 100'000;
+    std::vector<std::thread> threads;
+    threads.reserve( THREADS );
+    for ( std::size_t t = 0; t < THREADS; ++t ) {
+        threads.emplace_back( [&counter] () {
+            for ( std::size_t i = 0; i < INCREMENTS; ++i ) {
+                counter.addUnchecked( 1 );
+            }
+        } );
+    }
+    for ( auto& thread : threads ) {
+        thread.join();
+    }
+
+    REQUIRE( counter.total() == THREADS * INCREMENTS );
+    REQUIRE( telemetry::Registry::instance().counterTotal( "test_concurrent_total" )
+             == THREADS * INCREMENTS );
+
+    /* Labeled series of one family sum in counterTotal. */
+    auto& labeled = telemetry::Registry::instance().counter(
+        "test_labeled_total", "Labeled series.", "kind=\"a\"" );
+    labeled.addUnchecked( 5 );
+    auto& labeledB = telemetry::Registry::instance().counter(
+        "test_labeled_total", "Labeled series.", "kind=\"b\"" );
+    labeledB.addUnchecked( 7 );
+    REQUIRE( telemetry::Registry::instance().counterTotal( "test_labeled_total" ) == 12 );
+
+    telemetry::setMetricsEnabled( false );
+}
+
+void
+testHistogramBuckets()
+{
+    using Histogram = telemetry::Histogram;
+
+    /* bucketLowerBound must be the left inverse of bucketIndex on every
+     * bucket boundary, and bucketIndex must be monotone with bounded
+     * relative error (one sub-bucket width = 12.5%). */
+    for ( std::size_t index = 0; index < Histogram::BUCKET_COUNT; ++index ) {
+        const auto lower = Histogram::bucketLowerBound( index );
+        REQUIRE( Histogram::bucketIndex( lower ) == index );
+        if ( lower > 0 ) {
+            REQUIRE( Histogram::bucketIndex( lower - 1 ) == index - 1 );
+        }
+    }
+    for ( const std::uint64_t value : { std::uint64_t( 0 ), std::uint64_t( 7 ), std::uint64_t( 8 ),
+                                        std::uint64_t( 1000 ), std::uint64_t( 123'456'789 ),
+                                        ~std::uint64_t( 0 ) } ) {
+        const auto index = Histogram::bucketIndex( value );
+        REQUIRE( index < Histogram::BUCKET_COUNT );
+        REQUIRE( Histogram::bucketLowerBound( index ) <= value );
+        if ( index + 1 < Histogram::BUCKET_COUNT ) {
+            REQUIRE( value < Histogram::bucketLowerBound( index + 1 ) );
+        }
+    }
+
+    /* Quantiles: 1..1000 recorded once each — p50 must land within one
+     * bucket width (12.5%) of 500, p99 within one width of 990. */
+    telemetry::setMetricsEnabled( true );
+    auto& histogram = telemetry::Registry::instance().histogram(
+        "test_latency_seconds", "Quantile test histogram.", 1.0 );
+    for ( std::uint64_t value = 1; value <= 1000; ++value ) {
+        histogram.recordUnchecked( value );
+    }
+    const auto snapshot = histogram.snapshot();
+    REQUIRE( snapshot.count == 1000 );
+    REQUIRE( snapshot.sum == 1000 * 1001 / 2 );
+    const auto p50 = snapshot.quantile( 0.5 );
+    const auto p99 = snapshot.quantile( 0.99 );
+    REQUIRE( ( p50 >= 500 * 7 / 8 ) && ( p50 <= 500 * 9 / 8 ) );
+    REQUIRE( ( p99 >= 990 * 7 / 8 ) && ( p99 <= 990 * 9 / 8 ) );
+    REQUIRE( snapshot.quantile( 0.0 ) <= 2 );
+    telemetry::setMetricsEnabled( false );
+
+    /* Empty histogram: quantile is 0, not a crash or garbage. */
+    REQUIRE( Histogram::Snapshot{}.quantile( 0.5 ) == 0 );
+}
+
+void
+testTraceRingWraparound()
+{
+    telemetry::TraceRing ring{ 42 };
+    constexpr std::size_t OVERFLOW_COUNT = 100;
+    const auto total = telemetry::TraceRing::CAPACITY + OVERFLOW_COUNT;
+    for ( std::size_t i = 0; i < total; ++i ) {
+        ring.push( { "span", "test", /* beginNs */ i, /* endNs */ i + 1 } );
+    }
+
+    REQUIRE( ring.written() == total );
+    REQUIRE( ring.dropped() == OVERFLOW_COUNT );
+
+    const auto spans = ring.snapshot();
+    REQUIRE( spans.size() == telemetry::TraceRing::CAPACITY );
+    /* Most-recent-window semantics: the oldest retained span is the one
+     * right after the dropped prefix, and order is preserved. */
+    REQUIRE( spans.front().beginNs == OVERFLOW_COUNT );
+    REQUIRE( spans.back().beginNs == total - 1 );
+    for ( std::size_t i = 1; i < spans.size(); ++i ) {
+        REQUIRE( spans[i].beginNs == spans[i - 1].beginNs + 1 );
+    }
+}
+
+void
+testTraceJsonRoundTrip()
+{
+    telemetry::setTraceEnabled( true );
+
+    /* Nested spans on this thread plus spans on a second thread: the drain
+     * must produce valid trace-event JSON whose inner span nests inside the
+     * outer one (children complete first, but intervals must contain). */
+    {
+        telemetry::Span outer{ "test", "outer.span" };
+        {
+            telemetry::Span inner{ "test", "inner.span" };
+        }
+    }
+    std::thread( [] () {
+        telemetry::Span span{ "test", "worker.span" };
+    } ).join();
+
+    telemetry::setTraceEnabled( false );
+
+    std::ostringstream stream;
+    telemetry::TraceCollector::instance().drainJson( stream );
+    const auto json = stream.str();
+
+    telemetry::JsonParser parser( json );
+    const auto document = parser.parse();
+    const auto eventCount = telemetry::validateTraceDocument( document );
+    REQUIRE( eventCount >= 3 );
+    REQUIRE( telemetry::countTraceEvents( document, "outer.span" ) == 1 );
+    REQUIRE( telemetry::countTraceEvents( document, "inner.span" ) == 1 );
+    REQUIRE( telemetry::countTraceEvents( document, "worker.span" ) == 1 );
+
+    const auto* const events = document.find( "traceEvents" );
+    const telemetry::JsonValue* outerEvent = nullptr;
+    const telemetry::JsonValue* innerEvent = nullptr;
+    const telemetry::JsonValue* workerEvent = nullptr;
+    for ( const auto& event : events->array ) {
+        const auto& name = event.find( "name" )->string;
+        if ( name == "outer.span" ) { outerEvent = &event; }
+        if ( name == "inner.span" ) { innerEvent = &event; }
+        if ( name == "worker.span" ) { workerEvent = &event; }
+    }
+    REQUIRE( ( outerEvent != nullptr ) && ( innerEvent != nullptr ) && ( workerEvent != nullptr ) );
+
+    const auto begin = [] ( const telemetry::JsonValue* event ) {
+        return event->find( "ts" )->number;
+    };
+    const auto end = [] ( const telemetry::JsonValue* event ) {
+        return event->find( "ts" )->number + event->find( "dur" )->number;
+    };
+    REQUIRE( begin( outerEvent ) <= begin( innerEvent ) );
+    REQUIRE( end( innerEvent ) <= end( outerEvent ) );
+    /* Same thread -> same tid; the worker ran on its own ring. */
+    REQUIRE( outerEvent->find( "tid" )->number == innerEvent->find( "tid" )->number );
+    REQUIRE( workerEvent->find( "tid" )->number != outerEvent->find( "tid" )->number );
+
+    REQUIRE( document.find( "otherData" )->find( "droppedSpans" )->isNumber() );
+}
+
+void
+testDisabledModeAllocatesNothing()
+{
+    REQUIRE( !telemetry::metricsEnabled() );
+    REQUIRE( !telemetry::traceEnabled() );
+
+    /* Warm the thread-shard index outside the measured window (first call
+     * bumps a thread_local, which is not heap allocation, but keep the
+     * window strictly about the hooks). */
+    (void)telemetry::threadShardIndex();
+
+    const auto allocationsBefore = g_allocationCount.load( std::memory_order_relaxed );
+    for ( std::size_t i = 0; i < 10'000; ++i ) {
+        RAPIDGZIP_TELEMETRY_COUNT( "test_disabled_total", "Never registered.", 1 );
+        telemetry::Span span{ "test", "disabled.span" };
+    }
+    const auto allocationsAfter = g_allocationCount.load( std::memory_order_relaxed );
+    REQUIRE( allocationsAfter == allocationsBefore );
+
+    /* The disabled counter must never have reached the registry. */
+    REQUIRE( telemetry::Registry::instance().counterTotal( "test_disabled_total" ) == 0 );
+}
+
+void
+testPrometheusExposition()
+{
+    telemetry::setMetricsEnabled( true );
+    auto& counter = telemetry::Registry::instance().counter(
+        "test_expo_total", "Exposition test counter." );
+    counter.addUnchecked( 3 );
+    auto& gauge = telemetry::Registry::instance().gauge( "test_expo_gauge", "Exposition test gauge." );
+    gauge.set( -4 );
+    auto& histogram = telemetry::Registry::instance().histogram(
+        "test_expo_seconds", "Exposition test histogram.", 1e-9 );
+    histogram.recordUnchecked( 1'000'000 );  /* 1 ms */
+    telemetry::setMetricsEnabled( false );
+
+    const auto text = telemetry::Registry::instance().renderPrometheus();
+    REQUIRE( text.find( "# HELP test_expo_total Exposition test counter.\n" ) != std::string::npos );
+    REQUIRE( text.find( "# TYPE test_expo_total counter\n" ) != std::string::npos );
+    REQUIRE( text.find( "test_expo_total 3\n" ) != std::string::npos );
+    REQUIRE( text.find( "# TYPE test_expo_gauge gauge\n" ) != std::string::npos );
+    REQUIRE( text.find( "test_expo_gauge -4\n" ) != std::string::npos );
+    REQUIRE( text.find( "# TYPE test_expo_seconds summary\n" ) != std::string::npos );
+    REQUIRE( text.find( "test_expo_seconds{quantile=\"0.50\"} 0.001" ) != std::string::npos );
+    REQUIRE( text.find( "test_expo_seconds_count 1\n" ) != std::string::npos );
+    /* Labeled series from the concurrency test render with their labels. */
+    REQUIRE( text.find( "test_labeled_total{kind=\"a\"} 5\n" ) != std::string::npos );
+    REQUIRE( text.find( "test_labeled_total{kind=\"b\"} 7\n" ) != std::string::npos );
+
+    /* formatDouble is fixed-precision and locale-independent. */
+    REQUIRE( telemetry::formatDouble( 0.5, 2 ) == "0.50" );
+    REQUIRE( telemetry::formatDouble( 1.0 / 3.0 ) == "0.333333" );
+
+    REQUIRE( telemetry::escapeLabelValue( "a\"b\\c\nd" ) == "a\\\"b\\\\c\\nd" );
+}
+
+void
+testTraceCheckRejectsMalformed()
+{
+    const auto parse = [] ( const std::string& text ) {
+        telemetry::JsonParser parser( text );
+        return parser.parse();
+    };
+    REQUIRE_THROWS_AS( (void)parse( "{\"truncated\":" ), std::runtime_error );
+    REQUIRE_THROWS_AS( (void)parse( "{} trailing" ), std::runtime_error );
+    REQUIRE_THROWS_AS( (void)telemetry::validateTraceDocument( parse( "[]" ) ), std::runtime_error );
+    REQUIRE_THROWS_AS( (void)telemetry::validateTraceDocument( parse( "{\"traceEvents\":[{}]}" ) ),
+                       std::runtime_error );
+    /* A complete event without "dur" must be rejected. */
+    REQUIRE_THROWS_AS(
+        (void)telemetry::validateTraceDocument( parse(
+            "{\"traceEvents\":[{\"name\":\"a\",\"cat\":\"b\",\"ph\":\"X\",\"ts\":0,"
+            "\"pid\":1,\"tid\":1}]}" ) ),
+        std::runtime_error );
+}
+
+}  // namespace
+
+int
+main()
+{
+    /* The suite toggles the gates itself; a stray RAPIDGZIP_TRACE would
+     * both pre-enable them and atexit-drain, confusing the assertions. */
+    if ( std::getenv( "RAPIDGZIP_TRACE" ) != nullptr ) {
+        std::fprintf( stderr, "testTelemetry must run without RAPIDGZIP_TRACE set\n" );
+        return 1;
+    }
+    telemetry::setMetricsEnabled( false );
+    telemetry::setTraceEnabled( false );
+
+    testCounterConcurrentMerge();
+    testHistogramBuckets();
+    testTraceRingWraparound();
+    testTraceJsonRoundTrip();
+    testDisabledModeAllocatesNothing();
+    testPrometheusExposition();
+    testTraceCheckRejectsMalformed();
+
+    return rapidgzip::test::finish( "testTelemetry" );
+}

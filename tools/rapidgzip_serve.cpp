@@ -21,6 +21,7 @@
 
 #include <serve/Server.hpp>
 #include <simd/Dispatch.hpp>
+#include <telemetry/Trace.hpp>
 
 namespace {
 
@@ -75,6 +76,7 @@ printUsage( const char* program )
         "  --max-archives N  open-archive LRU bound (default 64)\n"
         "  --workers N       request worker threads (default 4)\n"
         "  --parallelism N   decode threads per archive reader (default 2)\n"
+        "  --trace FILE      record spans, write Chrome trace-event JSON on shutdown\n"
         "  --help            this text\n"
         "\n"
         "Endpoints: GET /<archive> (Range honored), HEAD /<archive>, GET /metrics\n",
@@ -90,6 +92,7 @@ main( int argc, char** argv )
     configuration.port = 8080;
     configuration.readerConfiguration.parallelism = 2;
     std::string rootDirectory;
+    std::string tracePath;
 
     for ( int i = 1; i < argc; ++i ) {
         const std::string argument = argv[i];
@@ -120,6 +123,8 @@ main( int argc, char** argv )
         } else if ( argument == "--parallelism" ) {
             configuration.readerConfiguration.parallelism =
                 static_cast<std::size_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--trace" ) {
+            tracePath = nextValue();
         } else if ( !argument.empty() && ( argument.front() == '-' ) ) {
             std::fprintf( stderr, "Unknown option: %s\n", argument.c_str() );
             printUsage( argv[0] );
@@ -141,6 +146,12 @@ main( int argc, char** argv )
         rootDirectory.pop_back();
     }
     configuration.rootDirectory = rootDirectory;
+
+    if ( !tracePath.empty() ) {
+        /* Enable now so archive opens are captured; drain on clean shutdown
+         * AND via atexit so a SIGTERM'd daemon still leaves a trace file. */
+        rapidgzip::telemetry::traceToFileAtExit( tracePath );
+    }
 
     try {
         const auto bindAddress = configuration.bindAddress;

@@ -1,0 +1,66 @@
+/**
+ * rapidgzip-trace-check — validate a Chrome trace-event JSON artifact.
+ *
+ *     rapidgzip-trace-check trace.json [required-span-name ...]
+ *
+ * Parses the file with the strict JSON parser (an implementation independent
+ * of the emitter, so this is a real round-trip check), validates the
+ * trace-event schema of every event, and — when span names are given —
+ * requires at least one complete event with each name. Exit 0 on success,
+ * 1 with a diagnostic otherwise. CI runs this on the serve-smoke --trace
+ * artifact so a silently-empty or malformed trace fails the build.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <telemetry/TraceCheck.hpp>
+
+int
+main( int argc, char** argv )
+{
+    if ( argc < 2 ) {
+        std::fprintf( stderr, "Usage: %s <trace.json> [required-span-name ...]\n", argv[0] );
+        return 2;
+    }
+
+    std::ifstream file( argv[1], std::ios::binary );
+    if ( !file ) {
+        std::fprintf( stderr, "rapidgzip-trace-check: cannot open %s\n", argv[1] );
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const auto text = buffer.str();
+
+    try {
+        rapidgzip::telemetry::JsonParser parser( text );
+        const auto document = parser.parse();
+        const auto eventCount = rapidgzip::telemetry::validateTraceDocument( document );
+        if ( eventCount == 0 ) {
+            std::fprintf( stderr, "rapidgzip-trace-check: %s contains no trace events\n", argv[1] );
+            return 1;
+        }
+        std::printf( "%s: %zu valid trace events\n", argv[1], eventCount );
+
+        bool missing = false;
+        for ( int i = 2; i < argc; ++i ) {
+            const auto count = rapidgzip::telemetry::countTraceEvents( document, argv[i] );
+            std::printf( "  %-24s %zu\n", argv[i], count );
+            if ( count == 0 ) {
+                std::fprintf( stderr, "rapidgzip-trace-check: required span '%s' absent\n",
+                              argv[i] );
+                missing = true;
+            }
+        }
+        if ( missing ) {
+            return 1;
+        }
+    } catch ( const std::exception& exception ) {
+        std::fprintf( stderr, "rapidgzip-trace-check: %s: %s\n", argv[1], exception.what() );
+        return 1;
+    }
+    return 0;
+}
