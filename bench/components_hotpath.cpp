@@ -42,15 +42,18 @@
  * timed — a diverging component aborts the benchmark.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "blockfinder/DynamicBlockFinderNaive.hpp"
 #include "common/Util.hpp"
 #include "deflate/definitions.hpp"
+#include "failsafe/FaultInjection.hpp"
 #include "gzip/GzipHeader.hpp"
 #include "gzip/ZlibCompressor.hpp"
 #include "simd/Crc32.hpp"
@@ -347,17 +350,67 @@ telemetrySweepWithoutHook( const std::uint8_t* data, std::size_t size, std::size
     return crc;
 }
 
-void
-benchmarkTelemetryOverhead( std::size_t repeats )
-{
-    const auto data = workloads::randomData( 4 * KiB, 0x7E1E );
-    const auto iterations = bench::scaledSize( 64 * 1024 );
-    volatile std::uint32_t sink = 0;
+/* The overhead guards compare two numbers expected to be EQUAL, unlike the
+ * figure benches which measure a speedup: a single tiny smoke-scale sample
+ * turns scheduler noise straight into phantom "overhead". Floor the work
+ * and the repeat count independently of RAPIDGZIP_BENCH_SCALE — a guard
+ * sweep is a few milliseconds, so even the floored repeats stay cheap. */
+constexpr std::size_t GUARD_MIN_ITERATIONS = 16 * 1024;  /* x 4 KiB = 64 MiB per sweep */
+constexpr std::size_t GUARD_MIN_REPEATS = 7;
 
-    /* Measure the DISABLED state — that is the invariant this guard protects
-     * (library users who never opt in must not pay for the hooks) — but
-     * restore whatever the process had, so RAPIDGZIP_TRACE runs still trace. */
-    const auto savedBits = telemetry::g_activeBits.exchange( 0, std::memory_order_relaxed );
+/* Sanitizers instrument the gate's relaxed load itself, so under ASan/TSan
+ * the guards measure instrumentation, not the production invariant: report
+ * the number but do not enforce the budget there. */
+#if defined( __SANITIZE_ADDRESS__ ) || defined( __SANITIZE_THREAD__ )
+constexpr bool GUARD_ENFORCED = false;
+#elif defined( __has_feature )
+    #if __has_feature( address_sanitizer ) || __has_feature( thread_sanitizer )
+constexpr bool GUARD_ENFORCED = false;
+    #else
+constexpr bool GUARD_ENFORCED = true;
+    #endif
+#else
+constexpr bool GUARD_ENFORCED = true;
+#endif
+
+/* interleaved() always samples before-then-after, which is fine for the
+ * figure benches but biases an EQUALITY guard: on a machine whose clock is
+ * decaying (turbo falling off right after the rest of the suite), the
+ * second position in every pair is systematically slower, and max-of-N
+ * then charges that bias to one side as phantom overhead. Alternate the
+ * order within pairs so clock drift hits both sides equally. */
+template<typename MeasureA, typename MeasureB>
+[[nodiscard]] std::pair<double, double>
+interleavedBalanced( std::size_t repeats, const MeasureA& a, const MeasureB& b )
+{
+    double bestA = 0;
+    double bestB = 0;
+    for ( std::size_t i = 0; i < repeats; ++i ) {
+        if ( i % 2 == 0 ) {
+            bestA = std::max( bestA, a() );
+            bestB = std::max( bestB, b() );
+        } else {
+            bestB = std::max( bestB, b() );
+            bestA = std::max( bestA, a() );
+        }
+    }
+    return { bestA, bestB };
+}
+
+/** Shared body of the two gate-overhead guards: best-of order-balanced
+ * plain-vs-gated bandwidth, re-measured on a breach. A genuinely regressed
+ * gate (work before the relaxed load) is over budget on EVERY attempt; a
+ * scheduler hiccup on a busy host is not, so only a breach on all attempts
+ * fails. The first attempt's numbers go into the committed JSON row. */
+template<typename PlainSweep, typename GatedSweep>
+void
+runOverheadGuard( const char* rowName, const char* gateLabel, const char* failureTag,
+                  const char* thresholdEnv, std::uint64_t dataSeed, std::size_t repeats,
+                  const PlainSweep& plainSweep, const GatedSweep& gatedSweep )
+{
+    const auto data = workloads::randomData( 4 * KiB, dataSeed );
+    const auto iterations = std::max( bench::scaledSize( 64 * 1024 ), GUARD_MIN_ITERATIONS );
+    volatile std::uint32_t sink = 0;
 
     const auto measure = [&] ( auto&& sweep ) {
         Stopwatch stopwatch;
@@ -365,34 +418,112 @@ benchmarkTelemetryOverhead( std::size_t repeats )
         const auto seconds = stopwatch.elapsed();
         return static_cast<double>( iterations * data.size() ) / std::max( seconds, 1e-12 );
     };
-    const auto [plain, hooked] = interleaved(
-        repeats,
-        [&] () { return measure( telemetrySweepWithoutHook ); },
-        [&] () { return measure( telemetrySweepWithHook ); } );
 
-    telemetry::g_activeBits.store( savedBits, std::memory_order_relaxed );
+    /* Warm up both code paths (page-in, branch history, frequency) before
+     * any sample counts. */
+    sink = sink + plainSweep( data.data(), data.size(), iterations );
+    sink = sink + gatedSweep( data.data(), data.size(), iterations );
 
-    /* Row semantics match the others: before = no hook, after = with the
-     * disabled hook; "speedup" ~1.0 is the pass condition, printed so the
-     * committed JSON carries the overhead number, not just pass/fail. */
-    addRow( "telemetry_overhead", "crc32_4KiB", "MB/s", plain / 1e6, hooked / 1e6 );
-
-    const auto overheadPercent = ( plain / std::max( hooked, 1.0 ) - 1.0 ) * 100.0;
     double threshold = 2.0;
-    if ( const char* env = std::getenv( "RAPIDGZIP_TELEMETRY_OVERHEAD_PCT" );
+    if ( const char* env = std::getenv( thresholdEnv );
          ( env != nullptr ) && ( env[0] != '\0' ) )
     {
         threshold = std::atof( env );
     }
-    std::printf( "  telemetry-disabled hook overhead: %.2f%% (budget %.1f%%)\n",
-                 std::max( overheadPercent, 0.0 ), threshold );
-    if ( overheadPercent > threshold ) {
+
+    constexpr int ATTEMPTS = 5;
+    double overheadPercent = 0;
+    for ( int attempt = 0; attempt < ATTEMPTS; ++attempt ) {
+        if ( attempt > 0 ) {
+            /* Let a transient host-load spike pass before re-measuring;
+             * escalate so a multi-second grind still gets a clean window. */
+            std::this_thread::sleep_for( std::chrono::milliseconds( 100 * attempt ) );
+        }
+        const auto [plain, gated] = interleavedBalanced(
+            std::max( repeats, GUARD_MIN_REPEATS ),
+            [&] () { return measure( plainSweep ); },
+            [&] () { return measure( gatedSweep ); } );
+        if ( attempt == 0 ) {
+            /* Row semantics match the others: before = plain, after = with
+             * the disabled gate; "speedup" ~1.0 is the pass condition,
+             * printed so the committed JSON carries the overhead number,
+             * not just pass/fail. */
+            addRow( rowName, "crc32_4KiB", "MB/s", plain / 1e6, gated / 1e6 );
+        }
+        overheadPercent = ( plain / std::max( gated, 1.0 ) - 1.0 ) * 100.0;
+        if ( !GUARD_ENFORCED || ( overheadPercent <= threshold ) ) {
+            break;
+        }
+        std::printf( "  %s overhead %.2f%% > %.1f%% on attempt %d/%d, re-measuring\n",
+                     gateLabel, overheadPercent, threshold, attempt + 1, ATTEMPTS );
+    }
+
+    std::printf( "  %s overhead: %.2f%% (budget %.1f%%%s)\n",
+                 gateLabel, std::max( overheadPercent, 0.0 ), threshold,
+                 GUARD_ENFORCED ? "" : ", not enforced under sanitizers" );
+    if ( GUARD_ENFORCED && ( overheadPercent > threshold ) ) {
         std::fprintf( stderr,
-                      "TELEMETRY OVERHEAD FAILURE: disabled hooks cost %.2f%% > %.1f%% "
-                      "on the crc32 sweep — a hook is doing work before checking the gate\n",
-                      overheadPercent, threshold );
+                      "%s OVERHEAD FAILURE: disabled gates cost %.2f%% > %.1f%% on every "
+                      "attempt of the crc32 sweep — a %s is doing work before checking "
+                      "the gate\n",
+                      failureTag, overheadPercent, threshold, gateLabel );
         std::exit( 1 );
     }
+}
+
+void
+benchmarkTelemetryOverhead( std::size_t repeats )
+{
+    /* Measure the DISABLED state — that is the invariant this guard protects
+     * (library users who never opt in must not pay for the hooks) — but
+     * restore whatever the process had, so RAPIDGZIP_TRACE runs still trace. */
+    const auto savedBits = telemetry::g_activeBits.exchange( 0, std::memory_order_relaxed );
+
+    runOverheadGuard( "telemetry_overhead", "telemetry-disabled hook", "TELEMETRY",
+                      "RAPIDGZIP_TELEMETRY_OVERHEAD_PCT", 0x7E1E, repeats,
+                      telemetrySweepWithoutHook, telemetrySweepWithHook );
+
+    telemetry::g_activeBits.store( savedBits, std::memory_order_relaxed );
+}
+
+/* --- failsafe overhead guard (PR 9) ------------------------------------- */
+
+/* Same contract as the telemetry guard: a DISABLED fault probe must cost one
+ * relaxed load and nothing else. The sweep interleaves a shouldInject()
+ * probe with the same 4 KiB CRC unit of work; [[gnu::noinline]] keeps the
+ * compiler from specializing on the statically-disarmed mask. */
+
+[[gnu::noinline]] std::uint32_t
+failsafeSweepWithProbe( const std::uint8_t* data, std::size_t size, std::size_t iterations )
+{
+    std::uint32_t crc = 0;
+    for ( std::size_t i = 0; i < iterations; ++i ) {
+        if ( failsafe::shouldInject( failsafe::FaultPoint::CHUNK_DECODE ) ) {
+            ++crc;  /* unreachable while disarmed; defeats dead-probe elision */
+        }
+        crc = simd::crc32( crc, data, size );
+    }
+    return crc;
+}
+
+[[gnu::noinline]] std::uint32_t
+failsafeSweepWithoutProbe( const std::uint8_t* data, std::size_t size, std::size_t iterations )
+{
+    std::uint32_t crc = 0;
+    for ( std::size_t i = 0; i < iterations; ++i ) {
+        crc = simd::crc32( crc, data, size );
+    }
+    return crc;
+}
+
+void
+benchmarkFailsafeOverhead( std::size_t repeats )
+{
+    failsafe::disarmAll();  /* price the production state: no faults armed */
+
+    runOverheadGuard( "failsafe_overhead", "failsafe-disarmed probe", "FAILSAFE",
+                      "RAPIDGZIP_FAILSAFE_OVERHEAD_PCT", 0xFA17, repeats,
+                      failsafeSweepWithoutProbe, failsafeSweepWithProbe );
 }
 
 void
@@ -442,6 +573,7 @@ main()
     benchmarkPipeline( "base64", base64, repeats );
     benchmarkPipeline( "silesia", silesia, repeats );
     benchmarkTelemetryOverhead( repeats );
+    benchmarkFailsafeOverhead( repeats );
 
     const char* jsonPath = std::getenv( "RAPIDGZIP_BENCH_JSON" );
     writeJson( ( jsonPath != nullptr ) && ( jsonPath[0] != '\0' ) ? jsonPath

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <csignal>
@@ -145,7 +146,13 @@ public:
         std::size_t sent = 0;
         while ( sent < raw.size() ) {
             const auto got = ::send( m_fd, raw.data() + sent, raw.size() - sent, MSG_NOSIGNAL );
-            if ( got <= 0 ) {
+            if ( got < 0 ) {
+                if ( errno == EINTR ) {
+                    continue;  /* progress-neutral: retry the same span */
+                }
+                return false;
+            }
+            if ( got == 0 ) {
                 return false;
             }
             sent += static_cast<std::size_t>( got );
@@ -192,12 +199,20 @@ private:
     fill()
     {
         char chunk[32 * 1024];
-        const auto got = ::recv( m_fd, chunk, sizeof( chunk ), 0 );
-        if ( got <= 0 ) {
-            return false;
+        while ( true ) {
+            const auto got = ::recv( m_fd, chunk, sizeof( chunk ), 0 );
+            if ( got < 0 ) {
+                if ( errno == EINTR ) {
+                    continue;
+                }
+                return false;
+            }
+            if ( got == 0 ) {
+                return false;  /* peer closed */
+            }
+            m_buffer.append( chunk, static_cast<std::size_t>( got ) );
+            return true;
         }
-        m_buffer.append( chunk, static_cast<std::size_t>( got ) );
-        return true;
     }
 
     int m_fd{ -1 };

@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "../failsafe/FaultInjection.hpp"
 #include "../telemetry/Registry.hpp"
 #include "../telemetry/Trace.hpp"
 
@@ -119,6 +120,11 @@ private:
                 task = std::move( m_tasks.front() );
                 m_tasks.pop_front();
             }
+            /* pool.task probe: a firing draw sleeps the configured latency,
+             * jittering task start order to shake out scheduling and
+             * timeout assumptions. Latency is its only effect — a throw
+             * here would escape the packaged_task and kill the worker. */
+            (void)failsafe::shouldInject( failsafe::FaultPoint::POOL_TASK );
             if ( task.enqueueNs != 0 ) {
                 if ( telemetry::metricsEnabled() ) {
                     queueDepthGauge().add( -1 );

@@ -15,6 +15,7 @@
 
 #include "../common/ThreadPool.hpp"
 #include "../common/Util.hpp"
+#include "../failsafe/FaultInjection.hpp"
 #include "../io/FileReader.hpp"
 #include "../telemetry/Registry.hpp"
 #include "../telemetry/Trace.hpp"
@@ -73,6 +74,14 @@ struct ChunkFetcherConfiguration
      * never collide. Ignored without @ref sharedCache.
      */
     std::uint64_t cacheIdentity{ 0 };
+    /**
+     * Transient-failure retries per chunk decode (beyond the first attempt)
+     * before the failure propagates to consumers. Covers FileIoError,
+     * bad_alloc, and injected faults; each retry backs off exponentially.
+     * A failure that survives the budget is permanent for that get() — the
+     * poisoned future is evicted so a later access re-decodes from scratch.
+     */
+    unsigned decodeRetryCount{ 2 };
 };
 
 struct FetcherStatistics
@@ -199,7 +208,23 @@ public:
             evictStaleEntries( index );
         }
         telemetry::Span waitSpan{ "pipeline", "chunk.wait" };
-        return future.get();
+        try {
+            return future.get();
+        } catch ( ... ) {
+            /* Evict the poisoned future so a later access re-decodes
+             * instead of replaying the cached failure forever. The entry
+             * may already be gone (shared-tier drop, eviction); erasing a
+             * ready entry that was concurrently re-decoded only drops a
+             * per-reader bridge entry, never shared-tier residency. */
+            const std::lock_guard<std::mutex> lock( m_mutex );
+            if ( const auto match = m_cache.find( index );
+                 ( match != m_cache.end() )
+                 && ( match->second.future.wait_for( std::chrono::seconds( 0 ) )
+                      == std::future_status::ready ) ) {
+                m_cache.erase( match );
+            }
+            throw;
+        }
     }
 
     /**
@@ -244,6 +269,13 @@ private:
                ^ mixHash( configuration.chunkSizeBytes + 3 * configuration.checkpointSpacingBytes );
     }
 
+    static void
+    countDecodeFailure()
+    {
+        RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_decode_failures_total",
+                                   "Chunk decodes that failed permanently (post-retry).", 1 );
+    }
+
     /** Caller must hold m_mutex. */
     std::shared_future<ChunkDataPtr>
     insertDecodeTask( std::size_t index, bool prefetched )
@@ -261,6 +293,36 @@ private:
                                            boundary.compressedEnd ) );
             };
         }
+        /* Bounded transient-retry around the decode itself (inside the
+         * shared-cache single-flight wrapper below, so waiters of one
+         * in-flight decode benefit from its retries too). Transient =
+         * I/O errors, allocation failure, injected faults; genuine data
+         * corruption fails identically every time, so it propagates on
+         * the first attempt instead of burning two more decodes. */
+        decode = [inner = std::move( decode ),
+                  retries = m_configuration.decodeRetryCount] () -> ChunkDataPtr {
+            for ( unsigned attempt = 0; ; ++attempt ) {
+                try {
+                    failsafe::maybeFailAllocation();
+                    if ( failsafe::shouldInject( failsafe::FaultPoint::CHUNK_DECODE ) ) {
+                        throw failsafe::FaultInjectedError( "chunk decode" );
+                    }
+                    return inner();
+                } catch ( const failsafe::FaultInjectedError& ) {
+                    if ( attempt >= retries ) { countDecodeFailure(); throw; }
+                } catch ( const FileIoError& ) {
+                    if ( attempt >= retries ) { countDecodeFailure(); throw; }
+                } catch ( const std::bad_alloc& ) {
+                    if ( attempt >= retries ) { countDecodeFailure(); throw; }
+                } catch ( ... ) {
+                    countDecodeFailure();
+                    throw;  /* deterministic (corruption etc.) — retries cannot help */
+                }
+                RAPIDGZIP_TELEMETRY_COUNT( "rapidgzip_chunk_decode_retries_total",
+                                           "Transient chunk-decode failures retried in place.", 1 );
+                io::transientBackoff( attempt );
+            }
+        };
         if ( m_configuration.sharedCache ) {
             decode = [cache = m_configuration.sharedCache,
                       key = ChunkCacheKey{ m_cacheToken, index },

@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <future>
 #include <limits>
 #include <memory>
@@ -147,6 +148,67 @@ public:
             recordChunkSizes( sizes );
             return total;
         }
+    }
+
+    /**
+     * Verified streaming decompression: run the footer-verified sweep
+     * first (throwing on real corruption exactly like the sink-less
+     * overload), THEN stream the bytes through @p sink. The sweep's chunks
+     * stay in the fetcher cache, so the streaming pass mostly re-reads
+     * instead of re-decoding. When the chunked state cannot serve the
+     * stream the verification sweep just proved decodable (footer mismatch
+     * poisoned it, or a false restart boundary could not be merged away),
+     * the serial zlib authority streams it instead — the consumer never
+     * sees unverified bytes and never loses a stream the serial decoder
+     * can handle.
+     */
+    [[nodiscard]] std::size_t
+    decompressAll( const std::function<void( BufferView )>& sink )
+    {
+        if ( !sink ) {
+            return decompressAll();
+        }
+
+        static_cast<void>( decompressAll() );  /* throws on real corruption */
+
+        std::size_t emitted = 0;
+        if ( !m_parallelResultUntrusted ) {
+            try {
+                seek( 0 );
+                std::vector<std::uint8_t> buffer( 4 * MiB );
+                while ( true ) {
+                    const auto got = read( buffer.data(), buffer.size() );
+                    if ( got == 0 ) {
+                        break;
+                    }
+                    sink( { buffer.data(), got } );
+                    emitted += got;
+                }
+                return emitted;
+            } catch ( const RapidgzipError& ) {
+                /* The chunked state cannot replay what the verification
+                 * sweep answered serially; fall through to the authority.
+                 * Bytes already emitted came from footer-verified chunks,
+                 * so the serial stream below resumes AFTER them — decoding
+                 * is deterministic and both paths verified the same file. */
+            }
+        }
+
+        GzipReader serial( m_file->clone() );
+        std::vector<std::uint8_t> buffer( 1 * MiB );
+        std::size_t position = 0;
+        while ( true ) {
+            const auto got = serial.read( buffer.data(), buffer.size() );
+            if ( got == 0 ) {
+                break;
+            }
+            if ( position + got > emitted ) {
+                const auto skip = position < emitted ? emitted - position : 0;
+                sink( { buffer.data() + skip, got - skip } );
+            }
+            position += got;
+        }
+        return std::max( position, emitted );
     }
 
     /* --- random access interface ------------------------------------ */

@@ -1,0 +1,357 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "../common/Error.hpp"
+
+namespace rapidgzip::failsafe {
+
+/**
+ * Process-wide runtime-gated fault injection.
+ *
+ * Mirrors the telemetry gate (src/telemetry/Telemetry.hpp): every probe in
+ * the library is compiled in unconditionally and guarded by ONE relaxed
+ * atomic load on an armed-points bitmask. The mask is an inline
+ * constant-initialized atomic, so a disabled probe pays one load plus a
+ * predictable branch — the budget is enforced by the `failsafe_overhead`
+ * guard in bench/components_hotpath.cpp, same ≤2% bar as telemetry.
+ *
+ * Armed points draw from a per-thread xorshift64* stream (deterministic for
+ * a fixed seed and single-threaded call order) and fire with the configured
+ * probability. What "fire" means is decided at the probe site: the io layer
+ * replays syscall errors (EINTR/EAGAIN/EIO/short read), the decode layer
+ * throws FaultInjectedError, the serve layer truncates writes or sleeps.
+ *
+ * Configuration: programmatic (configure()/disarm()) for tests, or
+ * RAPIDGZIP_FAULTS for whole-process campaigns:
+ *
+ *     RAPIDGZIP_FAULTS=io.read:0.05,chunk.decode:0.02:1234,pool.task:0.1:7:500
+ *
+ * i.e. comma-separated `<point>:<rate>[:<seed>[:<latency-us>]]`. Tools call
+ * configureFromEnvironment() from main(); the library itself never reads
+ * the environment.
+ */
+
+enum class FaultPoint : std::uint8_t
+{
+    IO_READ = 0,      /**< StandardFileReader::pread — EINTR/EAGAIN/EIO/short reads */
+    CHUNK_DECODE,     /**< ChunkFetcher decode task — throws FaultInjectedError */
+    POOL_TASK,        /**< ThreadPool task wrapper — injected latency (jitter) */
+    SERVE_WRITE,      /**< Server response flush — partial writes + latency */
+    ALLOC,            /**< chunk buffer allocation — throws std::bad_alloc */
+    COUNT_,
+};
+
+inline constexpr std::size_t FAULT_POINT_COUNT = static_cast<std::size_t>( FaultPoint::COUNT_ );
+
+inline constexpr const char* FAULT_POINT_NAMES[FAULT_POINT_COUNT] = {
+    "io.read", "chunk.decode", "pool.task", "serve.write", "alloc",
+};
+
+/** Thrown by probes that inject a decode/allocation failure, so tests can
+ * tell an injected fault from a genuine defect. Transient by construction:
+ * each retry re-draws, so bounded retries almost always clear it. */
+class FaultInjectedError : public RapidgzipError
+{
+public:
+    explicit FaultInjectedError( const std::string& message ) :
+        RapidgzipError( "injected fault: " + message )
+    {}
+};
+
+[[nodiscard]] inline const char*
+toString( FaultPoint point ) noexcept
+{
+    return FAULT_POINT_NAMES[static_cast<std::size_t>( point )];
+}
+
+[[nodiscard]] inline std::optional<FaultPoint>
+parseFaultPoint( std::string_view name ) noexcept
+{
+    for ( std::size_t i = 0; i < FAULT_POINT_COUNT; ++i ) {
+        if ( name == FAULT_POINT_NAMES[i] ) {
+            return static_cast<FaultPoint>( i );
+        }
+    }
+    return std::nullopt;
+}
+
+/** Bit per point; a probe is live iff its bit is set. One relaxed load. */
+inline std::atomic<std::uint32_t> g_armedMask{ 0 };
+
+[[nodiscard]] inline bool
+armed( FaultPoint point ) noexcept
+{
+    return ( g_armedMask.load( std::memory_order_relaxed )
+             & ( 1U << static_cast<unsigned>( point ) ) ) != 0;
+}
+
+[[nodiscard]] inline bool
+anyArmed() noexcept
+{
+    return g_armedMask.load( std::memory_order_relaxed ) != 0;
+}
+
+namespace detail {
+
+/** All cold-path state for one failure point. Only touched behind armed(). */
+struct PointState
+{
+    /** P(fire) = threshold / 2^32; UINT32_MAX means "always". */
+    std::atomic<std::uint32_t> threshold{ 0 };
+    std::atomic<std::uint64_t> seed{ 0 };
+    /** Incremented on every (re)configure so per-thread RNG streams restart. */
+    std::atomic<std::uint32_t> epoch{ 0 };
+    std::atomic<std::uint32_t> latencyMicroseconds{ 0 };
+    std::atomic<std::uint64_t> probes{ 0 };
+    std::atomic<std::uint64_t> injected{ 0 };
+};
+
+inline PointState g_points[FAULT_POINT_COUNT]{};
+
+[[nodiscard]] inline PointState&
+state( FaultPoint point ) noexcept
+{
+    return g_points[static_cast<std::size_t>( point )];
+}
+
+[[nodiscard]] inline constexpr std::uint64_t
+splitmix64( std::uint64_t x ) noexcept
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = ( x ^ ( x >> 30U ) ) * 0xBF58476D1CE4E5B9ULL;
+    x = ( x ^ ( x >> 27U ) ) * 0x94D049BB133111EBULL;
+    return x ^ ( x >> 31U );
+}
+
+/** Per-thread, per-point xorshift64* stream, reseeded when the point's
+ * epoch changes so programmatic reconfiguration is deterministic. */
+[[nodiscard]] inline std::uint64_t
+nextDraw( FaultPoint point ) noexcept
+{
+    struct Stream
+    {
+        std::uint64_t state{ 0 };
+        std::uint32_t epoch{ 0xFFFFFFFFU };
+    };
+    thread_local Stream streams[FAULT_POINT_COUNT];
+    thread_local const std::uint64_t threadSalt =
+        splitmix64( std::hash<std::thread::id>{}( std::this_thread::get_id() ) );
+
+    auto& stream = streams[static_cast<std::size_t>( point )];
+    const auto& pointState = state( point );
+    const auto epoch = pointState.epoch.load( std::memory_order_relaxed );
+    if ( stream.epoch != epoch ) {
+        stream.epoch = epoch;
+        stream.state = splitmix64( pointState.seed.load( std::memory_order_relaxed ) ^ threadSalt );
+        if ( stream.state == 0 ) {
+            stream.state = 0x2545F4914F6CDD1DULL;
+        }
+    }
+    auto x = stream.state;
+    x ^= x >> 12U;
+    x ^= x << 25U;
+    x ^= x >> 27U;
+    stream.state = x;
+    return x * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace detail
+
+/**
+ * Arm @p point: probes fire with probability @p rate (clamped to [0, 1]).
+ * @p latencyMicroseconds additionally makes every firing probe sleep that
+ * long before applying its effect (the pool.task point uses latency as its
+ * only effect). Rate 0 with latency > 0 is disarmed — nothing would fire.
+ */
+inline void
+configure( FaultPoint point,
+           double rate,
+           std::uint64_t seed = 0,
+           std::uint32_t latencyMicroseconds = 0 )
+{
+    auto& pointState = detail::state( point );
+    const auto clamped = rate < 0.0 ? 0.0 : ( rate > 1.0 ? 1.0 : rate );
+    const auto threshold = clamped >= 1.0
+                           ? std::uint32_t( 0xFFFFFFFFU )
+                           : static_cast<std::uint32_t>( clamped * 4294967296.0 );
+    pointState.threshold.store( threshold, std::memory_order_relaxed );
+    pointState.seed.store( seed, std::memory_order_relaxed );
+    pointState.latencyMicroseconds.store( latencyMicroseconds, std::memory_order_relaxed );
+    pointState.epoch.fetch_add( 1, std::memory_order_relaxed );
+    if ( threshold > 0 ) {
+        g_armedMask.fetch_or( 1U << static_cast<unsigned>( point ), std::memory_order_relaxed );
+    } else {
+        g_armedMask.fetch_and( ~( 1U << static_cast<unsigned>( point ) ), std::memory_order_relaxed );
+    }
+}
+
+inline void
+disarm( FaultPoint point )
+{
+    auto& pointState = detail::state( point );
+    pointState.threshold.store( 0, std::memory_order_relaxed );
+    pointState.latencyMicroseconds.store( 0, std::memory_order_relaxed );
+    pointState.epoch.fetch_add( 1, std::memory_order_relaxed );
+    g_armedMask.fetch_and( ~( 1U << static_cast<unsigned>( point ) ), std::memory_order_relaxed );
+}
+
+inline void
+disarmAll()
+{
+    for ( std::size_t i = 0; i < FAULT_POINT_COUNT; ++i ) {
+        disarm( static_cast<FaultPoint>( i ) );
+    }
+}
+
+/** Probes drawn while armed (cold-path bookkeeping; 0 when never armed). */
+[[nodiscard]] inline std::uint64_t
+probeCount( FaultPoint point ) noexcept
+{
+    return detail::state( point ).probes.load( std::memory_order_relaxed );
+}
+
+/** Probes that actually fired. Tests assert this is > 0 to prove coverage. */
+[[nodiscard]] inline std::uint64_t
+injectionCount( FaultPoint point ) noexcept
+{
+    return detail::state( point ).injected.load( std::memory_order_relaxed );
+}
+
+/** Cold path: draw, count, and sleep the configured latency when firing. */
+[[nodiscard]] inline bool
+shouldInjectSlow( FaultPoint point ) noexcept
+{
+    auto& pointState = detail::state( point );
+    pointState.probes.fetch_add( 1, std::memory_order_relaxed );
+    const auto threshold = pointState.threshold.load( std::memory_order_relaxed );
+    if ( threshold == 0 ) {
+        return false;
+    }
+    const auto draw = static_cast<std::uint32_t>( detail::nextDraw( point ) >> 32U );
+    const bool fire = ( threshold == 0xFFFFFFFFU ) || ( draw < threshold );
+    if ( !fire ) {
+        return false;
+    }
+    pointState.injected.fetch_add( 1, std::memory_order_relaxed );
+    const auto latency = pointState.latencyMicroseconds.load( std::memory_order_relaxed );
+    if ( latency > 0 ) {
+        std::this_thread::sleep_for( std::chrono::microseconds( latency ) );
+    }
+    return true;
+}
+
+/** THE probe gate: one relaxed load when the point is disarmed. */
+[[nodiscard]] inline bool
+shouldInject( FaultPoint point ) noexcept
+{
+    if ( !armed( point ) ) {
+        return false;
+    }
+    return shouldInjectSlow( point );
+}
+
+/** Uniform draw in [0, bound) from the point's stream — probe sites use
+ * this to pick among effect variants (which errno, how short a read). */
+[[nodiscard]] inline std::uint64_t
+drawBelow( FaultPoint point, std::uint64_t bound ) noexcept
+{
+    return bound <= 1 ? 0 : detail::nextDraw( point ) % bound;
+}
+
+/** Throw std::bad_alloc with the configured probability. Placed where a
+ * chunk-sized buffer is about to be allocated; callers treat it exactly
+ * like a real allocation failure (bounded retry, then propagate). */
+inline void
+maybeFailAllocation()
+{
+    if ( shouldInject( FaultPoint::ALLOC ) ) {
+        throw std::bad_alloc();
+    }
+}
+
+/**
+ * Parse `<point>:<rate>[:<seed>[:<latency-us>]]` comma-separated spec.
+ * Returns false (and arms nothing further) on the first malformed entry.
+ */
+inline bool
+configureFromSpec( std::string_view spec )
+{
+    std::size_t begin = 0;
+    while ( begin <= spec.size() ) {
+        auto end = spec.find( ',', begin );
+        if ( end == std::string_view::npos ) {
+            end = spec.size();
+        }
+        const auto entry = spec.substr( begin, end - begin );
+        begin = end + 1;
+        if ( entry.empty() ) {
+            if ( end == spec.size() ) {
+                break;
+            }
+            continue;
+        }
+
+        const auto colon = entry.find( ':' );
+        if ( colon == std::string_view::npos ) {
+            return false;
+        }
+        const auto point = parseFaultPoint( entry.substr( 0, colon ) );
+        if ( !point ) {
+            return false;
+        }
+
+        const std::string rest( entry.substr( colon + 1 ) );
+        char* cursor = nullptr;
+        const auto rate = std::strtod( rest.c_str(), &cursor );
+        if ( cursor == rest.c_str() ) {
+            return false;
+        }
+        std::uint64_t seed = 0;
+        std::uint32_t latency = 0;
+        if ( *cursor == ':' ) {
+            const char* seedBegin = cursor + 1;
+            seed = std::strtoull( seedBegin, &cursor, 10 );
+            if ( cursor == seedBegin ) {
+                return false;
+            }
+            if ( *cursor == ':' ) {
+                const char* latencyBegin = cursor + 1;
+                latency = static_cast<std::uint32_t>( std::strtoul( latencyBegin, &cursor, 10 ) );
+                if ( cursor == latencyBegin ) {
+                    return false;
+                }
+            }
+        }
+        if ( *cursor != '\0' ) {
+            return false;
+        }
+        configure( *point, rate, seed, latency );
+        if ( end == spec.size() ) {
+            break;
+        }
+    }
+    return true;
+}
+
+/** Tool entry point: arm from RAPIDGZIP_FAULTS if set. Returns false when
+ * the variable exists but is malformed (tools should report and exit). */
+inline bool
+configureFromEnvironment()
+{
+    const char* spec = std::getenv( "RAPIDGZIP_FAULTS" );
+    if ( ( spec == nullptr ) || ( *spec == '\0' ) ) {
+        return true;
+    }
+    return configureFromSpec( spec );
+}
+
+}  // namespace rapidgzip::failsafe

@@ -49,23 +49,12 @@ public:
     std::size_t
     decompress( const Sink& sink ) override
     {
-        if ( !sink ) {
-            return m_reader.decompressAll();  /* verified, output discarded */
-        }
-        /* read() until exhaustion — no separate size() pass needed; the
-         * reader's offset discovery runs once inside the first read(). */
-        std::vector<std::uint8_t> buffer( 4 * MiB );
-        m_reader.seek( 0 );
-        std::size_t produced = 0;
-        while ( true ) {
-            const auto got = m_reader.read( buffer.data(), buffer.size() );
-            if ( got == 0 ) {
-                break;
-            }
-            sink( { buffer.data(), got } );
-            produced += got;
-        }
-        return produced;
+        /* The sink overload runs the footer-verified sweep BEFORE streaming
+         * (and escalates to the serial zlib authority when the chunked
+         * state cannot serve a stream verification proved decodable), so a
+         * member whose Deflate stream decodes structurally but to wrong
+         * bytes throws instead of streaming garbage. */
+        return m_reader.decompressAll( sink );
     }
 
     [[nodiscard]] std::size_t

@@ -1,0 +1,716 @@
+#pragma once
+
+#include <zlib.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "../common/Error.hpp"
+#include "../common/Util.hpp"
+#include "../io/FileReader.hpp"
+#include "../io/MemoryFileReader.hpp"
+#include "Bzip2Decompressor.hpp"
+#include "Format.hpp"
+#include "Lz4Codec.hpp"
+#include "Lz4Writer.hpp"
+#include "VendorBzip2.hpp"
+#include "VendorZstd.hpp"
+#include "XxHash32.hpp"
+
+namespace rapidgzip::formats {
+
+/**
+ * Salvage decode: best-effort recovery from corrupted archives. Where the
+ * normal decode path throws on the first damaged byte, salvage decodes
+ * every VERIFIABLE unit it can find — gzip member, zstd frame, lz4 frame,
+ * bzip2 block — and reports the byte ranges it had to skip as holes
+ * instead of aborting the whole archive. A unit only counts as recovered
+ * when its own integrity check passes (gzip CRC32+ISIZE, lz4 block/content
+ * xxhash, bzip2 block CRC, zstd frame checksum inside the vendor decoder),
+ * so emitted output is never unverified guesswork; the uncertainty lives
+ * entirely in the holes.
+ *
+ * Salvage buffers one unit at a time in memory and only hands it to the
+ * sink AFTER verification — a deliberately different trade-off from the
+ * streaming fast path, where a checksum mismatch can surface after bytes
+ * already left the process.
+ */
+struct SalvageHole
+{
+    std::size_t compressedBegin{ 0 };  /**< first byte NOT covered by a verified unit */
+    std::size_t compressedEnd{ 0 };    /**< one past the last skipped byte */
+
+    [[nodiscard]] std::size_t
+    size() const noexcept
+    {
+        return compressedEnd - compressedBegin;
+    }
+};
+
+struct SalvageReport
+{
+    Format format{ Format::UNKNOWN };
+    std::vector<SalvageHole> holes;
+    std::size_t recoveredUnits{ 0 };   /**< members / frames / blocks decoded and verified */
+    std::size_t recoveredBytes{ 0 };   /**< decompressed bytes emitted */
+
+    /** True when the whole input decoded without skips — salvage of an
+     * intact archive must report clean() and match the normal decode. */
+    [[nodiscard]] bool
+    clean() const noexcept
+    {
+        return holes.empty();
+    }
+
+    [[nodiscard]] std::size_t
+    missingCompressedBytes() const noexcept
+    {
+        std::size_t total = 0;
+        for ( const auto& hole : holes ) {
+            total += hole.size();
+        }
+        return total;
+    }
+};
+
+/** Receives each verified unit's decompressed bytes, in compressed-offset
+ * order. The view is only valid during the call. */
+using SalvageSink = std::function<void( BufferView )>;
+
+namespace salvage_detail {
+
+inline constexpr std::size_t NOT_FOUND = static_cast<std::size_t>( -1 );
+
+/**
+ * Tracks the high-water mark of verified coverage and turns gaps into
+ * holes. Units are visited in ascending compressed order, so a unit
+ * beginning past the water mark proves the bytes in between belong to no
+ * verifiable unit.
+ */
+class HoleTracker
+{
+public:
+    explicit HoleTracker( SalvageReport& report ) :
+        m_report( report )
+    {}
+
+    void
+    markGood( std::size_t begin, std::size_t end )
+    {
+        if ( begin > m_lastGoodEnd ) {
+            m_report.holes.push_back( { m_lastGoodEnd, begin } );
+        }
+        m_lastGoodEnd = std::max( m_lastGoodEnd, end );
+    }
+
+    void
+    finish( std::size_t fileSize )
+    {
+        if ( m_lastGoodEnd < fileSize ) {
+            m_report.holes.push_back( { m_lastGoodEnd, fileSize } );
+        }
+    }
+
+    [[nodiscard]] std::size_t
+    lastGoodEnd() const noexcept
+    {
+        return m_lastGoodEnd;
+    }
+
+private:
+    SalvageReport& m_report;
+    std::size_t m_lastGoodEnd{ 0 };
+};
+
+inline void
+emitUnit( const SalvageSink& sink,
+          SalvageReport& report,
+          const std::vector<std::uint8_t>& unit )
+{
+    report.recoveredUnits += 1;
+    report.recoveredBytes += unit.size();
+    if ( sink ) {
+        sink( { unit.data(), unit.size() } );
+    }
+}
+
+/* --------------------------------- gzip --------------------------------- */
+
+/** Next plausible member start: 1F 8B (magic) 08 (deflate method). */
+[[nodiscard]] inline std::size_t
+findGzipCandidate( BufferView data, std::size_t from )
+{
+    for ( auto pos = from; pos + 3 <= data.size(); ++pos ) {
+        if ( ( data[pos] == 0x1FU ) && ( data[pos + 1] == 0x8BU ) && ( data[pos + 2] == 0x08U ) ) {
+            return pos;
+        }
+    }
+    return NOT_FOUND;
+}
+
+/**
+ * Decode exactly ONE gzip member starting at @p begin, appending its
+ * output to @p out. zlib verifies the CRC32 + ISIZE footer before
+ * reporting Z_STREAM_END, so success implies a verified unit. Returns the
+ * compressed bytes consumed. Throws on any malformed or truncated input.
+ */
+[[nodiscard]] inline std::size_t
+decodeOneGzipMember( BufferView data,
+                     std::size_t begin,
+                     std::vector<std::uint8_t>& out )
+{
+    z_stream stream{};
+    if ( inflateInit2( &stream, 15 + 16 /* gzip wrapper only */ ) != Z_OK ) {
+        throw RapidgzipError( "inflateInit2 failed" );
+    }
+    struct StreamGuard
+    {
+        z_stream* stream;
+        ~StreamGuard() { inflateEnd( stream ); }
+    } guard{ &stream };
+
+    const std::uint8_t* input = data.data() + begin;
+    std::size_t remaining = data.size() - begin;
+    std::size_t fed = 0;
+    std::vector<std::uint8_t> buffer( 256 * KiB );
+
+    while ( true ) {
+        if ( ( stream.avail_in == 0 ) && ( remaining > 0 ) ) {
+            /* avail_in is 32-bit; feed bounded slices so >4 GiB inputs work. */
+            const auto feed = std::min<std::size_t>( remaining, 64 * MiB );
+            stream.next_in = const_cast<Bytef*>( input );
+            stream.avail_in = static_cast<uInt>( feed );
+            input += feed;
+            remaining -= feed;
+            fed += feed;
+        }
+        stream.next_out = buffer.data();
+        stream.avail_out = static_cast<uInt>( buffer.size() );
+        const auto result = ::inflate( &stream, Z_NO_FLUSH );
+        out.insert( out.end(), buffer.data(), buffer.data() + ( buffer.size() - stream.avail_out ) );
+        if ( result == Z_STREAM_END ) {
+            return fed - stream.avail_in;
+        }
+        if ( ( result != Z_OK ) && ( result != Z_BUF_ERROR ) ) {
+            throw InvalidGzipStreamError( "damaged gzip member" );
+        }
+        if ( ( stream.avail_in == 0 ) && ( remaining == 0 ) ) {
+            throw InvalidGzipStreamError( "truncated gzip member" );
+        }
+    }
+}
+
+[[nodiscard]] inline SalvageReport
+salvageGzip( BufferView data, const SalvageSink& sink )
+{
+    SalvageReport report;
+    report.format = Format::GZIP;
+    HoleTracker tracker( report );
+    std::vector<std::uint8_t> unit;
+
+    std::size_t pos = 0;
+    while ( true ) {
+        const auto candidate = findGzipCandidate( data, pos );
+        if ( candidate == NOT_FOUND ) {
+            break;
+        }
+        unit.clear();
+        try {
+            const auto consumed = decodeOneGzipMember( data, candidate, unit );
+            tracker.markGood( candidate, candidate + consumed );
+            emitUnit( sink, report, unit );
+            pos = candidate + consumed;
+        } catch ( const RapidgzipError& ) {
+            pos = candidate + 1;
+        }
+    }
+    tracker.finish( data.size() );
+    return report;
+}
+
+/* --------------------------------- zstd --------------------------------- */
+
+[[nodiscard]] inline std::size_t
+findZstdCandidate( BufferView data, std::size_t from )
+{
+    for ( auto pos = from; pos + 4 <= data.size(); ++pos ) {
+        const auto magic = readLE32( data.data() + pos );
+        if ( ( magic == ZSTD_FRAME_MAGIC )
+             || ( ( magic & ZSTD_SKIPPABLE_MAGIC_MASK ) == ZSTD_SKIPPABLE_MAGIC_BASE ) ) {
+            return pos;
+        }
+    }
+    return NOT_FOUND;
+}
+
+/**
+ * Frame end from pure header arithmetic (buffer twin of
+ * ZstdDecompressor::walkDataFrame): frame header size from the descriptor,
+ * then 3-byte block headers until the last-block flag, plus the optional
+ * 4-byte checksum. Throws on truncation or reserved fields.
+ */
+[[nodiscard]] inline std::size_t
+walkZstdDataFrame( BufferView data, std::size_t begin )
+{
+    const auto fileSize = data.size();
+    if ( begin + 4 + 1 > fileSize ) {
+        throw RapidgzipError( "Truncated zstd frame header" );
+    }
+    const auto descriptor = data[begin + 4];
+    const auto fcsFlag = descriptor >> 6U;
+    const bool singleSegment = ( descriptor & 0x20U ) != 0;
+    const bool hasChecksum = ( descriptor & 0x04U ) != 0;
+    const auto dictIDFlag = descriptor & 0x03U;
+    if ( ( descriptor & 0x08U ) != 0 ) {
+        throw RapidgzipError( "Reserved bit set in zstd frame descriptor" );
+    }
+
+    static constexpr std::size_t DICT_ID_SIZES[4] = { 0, 1, 2, 4 };
+    const auto windowSize = singleSegment ? std::size_t( 0 ) : std::size_t( 1 );
+    std::size_t fcsSize = 0;
+    switch ( fcsFlag ) {
+    case 0: fcsSize = singleSegment ? 1 : 0; break;
+    case 1: fcsSize = 2; break;
+    case 2: fcsSize = 4; break;
+    default: fcsSize = 8; break;
+    }
+
+    auto position = begin + 4 + 1 + windowSize + DICT_ID_SIZES[dictIDFlag] + fcsSize;
+    if ( position > fileSize ) {
+        throw RapidgzipError( "Truncated zstd frame header" );
+    }
+
+    while ( true ) {
+        if ( position + 3 > fileSize ) {
+            throw RapidgzipError( "Truncated zstd frame (block header)" );
+        }
+        const auto header = static_cast<std::uint32_t>( data[position] )
+                            | ( static_cast<std::uint32_t>( data[position + 1] ) << 8U )
+                            | ( static_cast<std::uint32_t>( data[position + 2] ) << 16U );
+        position += 3;
+        const bool lastBlock = ( header & 1U ) != 0;
+        const auto blockType = ( header >> 1U ) & 3U;
+        const auto blockSize = header >> 3U;
+        if ( blockType == 3 ) {
+            throw RapidgzipError( "Reserved zstd block type" );
+        }
+        /* RLE blocks store ONE byte regardless of their decoded size. */
+        position += blockType == 1 ? 1 : blockSize;
+        if ( position > fileSize ) {
+            throw RapidgzipError( "Truncated zstd block" );
+        }
+        if ( lastBlock ) {
+            break;
+        }
+    }
+    if ( hasChecksum ) {
+        position += 4;
+        if ( position > fileSize ) {
+            throw RapidgzipError( "Truncated zstd frame (checksum)" );
+        }
+    }
+    return position;
+}
+
+[[nodiscard]] inline SalvageReport
+salvageZstd( BufferView data, const SalvageSink& sink )
+{
+#if defined( RAPIDGZIP_HAVE_VENDOR_ZSTD )
+    SalvageReport report;
+    report.format = Format::ZSTD;
+    HoleTracker tracker( report );
+
+    std::size_t pos = 0;
+    while ( true ) {
+        const auto candidate = findZstdCandidate( data, pos );
+        if ( candidate == NOT_FOUND ) {
+            break;
+        }
+        const auto magic = readLE32( data.data() + candidate );
+        if ( ( magic & ZSTD_SKIPPABLE_MAGIC_MASK ) == ZSTD_SKIPPABLE_MAGIC_BASE ) {
+            /* Skippable frames carry no content: consume them (they extend
+             * verified coverage when intact) but count no unit. */
+            if ( candidate + 8 > data.size() ) {
+                pos = candidate + 1;
+                continue;
+            }
+            const auto payload = readLE32( data.data() + candidate + 4 );
+            const auto end = candidate + 8 + payload;
+            if ( ( end < candidate ) || ( end > data.size() ) ) {
+                pos = candidate + 1;
+                continue;
+            }
+            tracker.markGood( candidate, end );
+            pos = end;
+            continue;
+        }
+        try {
+            const auto end = walkZstdDataFrame( data, candidate );
+            /* The vendor decoder re-verifies everything including the frame
+             * checksum when present. */
+            const auto unit = vendorZstdDecompressAll( { data.data() + candidate,
+                                                         end - candidate } );
+            tracker.markGood( candidate, end );
+            emitUnit( sink, report, unit );
+            pos = end;
+        } catch ( const std::exception& ) {
+            pos = candidate + 1;
+        }
+    }
+    tracker.finish( data.size() );
+    return report;
+#else
+    (void)data;
+    (void)sink;
+    throw UnsupportedDataError( "zstd salvage requires the zstd backend (libzstd not found at build time)" );
+#endif
+}
+
+/* ---------------------------------- lz4 ---------------------------------- */
+
+[[nodiscard]] inline std::size_t
+findLz4Candidate( BufferView data, std::size_t from )
+{
+    for ( auto pos = from; pos + 4 <= data.size(); ++pos ) {
+        if ( readLE32( data.data() + pos ) == LZ4_FRAME_MAGIC ) {
+            return pos;
+        }
+    }
+    return NOT_FOUND;
+}
+
+/**
+ * Decode and verify ONE lz4 frame at @p begin, appending its output to
+ * @p out. All integrity material the frame carries is checked: the header
+ * checksum byte, per-block xxhash32 when present, and the whole-content
+ * xxhash32 when present. Returns the compressed bytes consumed.
+ */
+[[nodiscard]] inline std::size_t
+decodeOneLz4Frame( BufferView data,
+                   std::size_t begin,
+                   std::vector<std::uint8_t>& out )
+{
+    const auto fileSize = data.size();
+    if ( begin + 4 + 3 > fileSize ) {
+        throw RapidgzipError( "Truncated LZ4 frame header" );
+    }
+    const auto flg = data[begin + 4];
+    const auto bd = data[begin + 5];
+    if ( ( flg >> 6U ) != 1 ) {
+        throw RapidgzipError( "Unsupported LZ4 frame version" );
+    }
+    if ( ( flg & 0x01U ) != 0 ) {
+        throw UnsupportedDataError( "LZ4 frames with dictionary IDs are not supported" );
+    }
+    const bool independentBlocks = ( flg & 0x20U ) != 0;
+    const bool blockChecksums = ( flg & 0x10U ) != 0;
+    const bool contentSizePresent = ( flg & 0x08U ) != 0;
+    const bool hasContentChecksum = ( flg & 0x04U ) != 0;
+
+    const auto blockMaxCode = ( bd >> 4U ) & 0x7U;
+    if ( blockMaxCode < 4 ) {
+        throw RapidgzipError( "Invalid LZ4 block max-size code" );
+    }
+    const auto blockMaxSize = Lz4Writer::blockMaxSizeBytes(
+        static_cast<Lz4Writer::BlockMaxSize>( blockMaxCode ) );
+
+    const auto descriptorSize = std::size_t( 2 ) + ( contentSizePresent ? 8 : 0 );
+    if ( begin + 4 + descriptorSize + 1 > fileSize ) {
+        throw RapidgzipError( "Truncated LZ4 frame header" );
+    }
+    const auto* descriptor = data.data() + begin + 4;
+    const auto expectedHC = descriptor[descriptorSize];
+    const auto actualHC = static_cast<std::uint8_t>(
+        ( xxhash32( descriptor, descriptorSize ) >> 8U ) & 0xFFU );
+    if ( expectedHC != actualHC ) {
+        throw ChecksumError( "LZ4 frame header checksum mismatch" );
+    }
+    std::uint64_t contentSize = 0;
+    if ( contentSizePresent ) {
+        for ( unsigned i = 0; i < 8; ++i ) {
+            contentSize |= static_cast<std::uint64_t>( descriptor[2 + i] ) << ( 8U * i );
+        }
+    }
+
+    const auto outBase = out.size();
+    auto position = begin + 4 + descriptorSize + 1;
+    while ( true ) {
+        if ( position + 4 > fileSize ) {
+            throw RapidgzipError( "Truncated LZ4 frame (missing EndMark)" );
+        }
+        const auto blockHeader = readLE32( data.data() + position );
+        position += 4;
+        if ( blockHeader == 0 ) {
+            break;  /* EndMark */
+        }
+        const bool storedUncompressed = ( blockHeader & 0x80000000U ) != 0;
+        const std::size_t dataSize = blockHeader & 0x7FFFFFFFU;
+        if ( dataSize > blockMaxSize ) {
+            throw RapidgzipError( "LZ4 block exceeds the frame's max block size" );
+        }
+        if ( position + dataSize + ( blockChecksums ? 4 : 0 ) > fileSize ) {
+            throw RapidgzipError( "Truncated LZ4 block" );
+        }
+        const auto* blockData = data.data() + position;
+        if ( blockChecksums
+             && ( xxhash32( blockData, dataSize ) != readLE32( blockData + dataSize ) ) ) {
+            throw ChecksumError( "LZ4 block checksum mismatch" );
+        }
+        if ( storedUncompressed ) {
+            out.insert( out.end(), blockData, blockData + dataSize );
+        } else {
+            const auto history = independentBlocks
+                                 ? std::size_t( 0 )
+                                 : std::min<std::size_t>( out.size() - outBase, 64 * KiB );
+            lz4DecompressBlock( { blockData, dataSize }, out, history, blockMaxSize );
+        }
+        position += dataSize + ( blockChecksums ? 4 : 0 );
+    }
+    if ( contentSizePresent && ( out.size() - outBase != contentSize ) ) {
+        throw RapidgzipError( "LZ4 frame decoded to a different size than its header records" );
+    }
+    if ( hasContentChecksum ) {
+        if ( position + 4 > fileSize ) {
+            throw RapidgzipError( "Truncated LZ4 frame (missing content checksum)" );
+        }
+        if ( xxhash32( out.data() + outBase, out.size() - outBase )
+             != readLE32( data.data() + position ) ) {
+            throw ChecksumError( "LZ4 content checksum mismatch" );
+        }
+        position += 4;
+    }
+    return position - begin;
+}
+
+[[nodiscard]] inline SalvageReport
+salvageLz4( BufferView data, const SalvageSink& sink )
+{
+    SalvageReport report;
+    report.format = Format::LZ4;
+    HoleTracker tracker( report );
+    std::vector<std::uint8_t> unit;
+
+    std::size_t pos = 0;
+    while ( true ) {
+        const auto candidate = findLz4Candidate( data, pos );
+        if ( candidate == NOT_FOUND ) {
+            break;
+        }
+        unit.clear();
+        try {
+            const auto consumed = decodeOneLz4Frame( data, candidate, unit );
+            tracker.markGood( candidate, candidate + consumed );
+            emitUnit( sink, report, unit );
+            pos = candidate + consumed;
+        } catch ( const RapidgzipError& ) {
+            pos = candidate + 1;
+        }
+    }
+    tracker.finish( data.size() );
+    return report;
+}
+
+/* --------------------------------- bzip2 --------------------------------- */
+
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+/**
+ * Bzip2 salvage works at BIT granularity: a sliding 48-bit window scan
+ * finds every block and end-of-stream magic (the same technique the
+ * parallel reader's scanBlocks uses), then each candidate block is lifted
+ * into a synthetic single-block stream ("BZh9" + block bits + EOS + the
+ * block's own CRC) and decoded by the vendor library, which verifies the
+ * CRC. Holes are reported rounded to bytes.
+ */
+[[nodiscard]] inline SalvageReport
+salvageBzip2Impl( BufferView data, const SalvageSink& sink )
+{
+    SalvageReport report;
+    report.format = Format::BZIP2;
+    HoleTracker tracker( report );
+
+    /* (beginBit, isEos) of every 48-bit magic in the stream. */
+    std::vector<std::pair<std::size_t, bool> > magics;
+    {
+        std::uint64_t reg = 0;
+        std::size_t absoluteBit = 0;
+        for ( std::size_t i = 0; i < data.size(); ++i ) {
+            const auto byte = data[i];
+            for ( int bit = 7; bit >= 0; --bit ) {
+                reg = ( reg << 1U ) | ( ( byte >> bit ) & 1U );
+                ++absoluteBit;
+                if ( absoluteBit < 48 ) {
+                    continue;
+                }
+                const auto window = reg & Bzip2Decompressor::MAGIC_MASK;
+                if ( window == Bzip2Decompressor::BLOCK_MAGIC ) {
+                    magics.emplace_back( absoluteBit - 48, false );
+                } else if ( window == Bzip2Decompressor::EOS_MAGIC ) {
+                    magics.emplace_back( absoluteBit - 48, true );
+                }
+            }
+        }
+    }
+
+    /* A valid stream header directly in front of the first verified block
+     * belongs to the good region; same for each follow-up stream of a
+     * concatenated (pbzip2-style) file. */
+    const auto headerBefore = [&data] ( std::size_t blockBeginBits ) -> std::size_t {
+        if ( ( blockBeginBits % 8 == 0 ) && ( blockBeginBits >= 32 ) ) {
+            const auto headerByte = blockBeginBits / 8 - 4;
+            if ( ( data[headerByte] == 'B' ) && ( data[headerByte + 1] == 'Z' )
+                 && ( data[headerByte + 2] == 'h' )
+                 && ( data[headerByte + 3] >= '1' ) && ( data[headerByte + 3] <= '9' ) ) {
+                return headerByte;
+            }
+        }
+        return NOT_FOUND;
+    };
+
+    const MemoryFileReader file{ data };
+    std::size_t lastGoodBitEnd = NOT_FOUND;  /* exact bit end of the last verified block */
+    for ( std::size_t i = 0; i < magics.size(); ++i ) {
+        const auto [ bit, isEos ] = magics[i];
+        if ( isEos ) {
+            /* An EOS directly after a verified block closes its stream: the
+             * 48-bit magic, 32-bit combined CRC, and padding to the byte
+             * boundary are all accounted for. An orphaned EOS (no verified
+             * block ends exactly here) stays inside a hole. */
+            if ( ( lastGoodBitEnd != NOT_FOUND ) && ( bit == lastGoodBitEnd ) ) {
+                tracker.markGood( bit / 8, std::min( ceilDiv<std::size_t>( bit + 48 + 32, 8 ),
+                                                     data.size() ) );
+            }
+            lastGoodBitEnd = NOT_FOUND;
+            continue;
+        }
+        const auto endBits = i + 1 < magics.size() ? magics[i + 1].first : data.size() * 8;
+        if ( endBits <= bit + 48 + 32 ) {
+            continue;
+        }
+        try {
+            const auto synthetic = Bzip2Decompressor::buildSingleBlockStream( file, bit, endBits );
+            const auto unit = vendorBzip2DecompressAll( { synthetic.data(), synthetic.size() } );
+            auto goodBegin = bit / 8;
+            const auto header = headerBefore( bit );
+            if ( header != NOT_FOUND ) {
+                goodBegin = header;
+            }
+            tracker.markGood( goodBegin, ceilDiv<std::size_t>( endBits, 8 ) );
+            emitUnit( sink, report, unit );
+            lastGoodBitEnd = endBits;
+        } catch ( const std::exception& ) {
+            lastGoodBitEnd = NOT_FOUND;
+        }
+    }
+    tracker.finish( data.size() );
+    return report;
+}
+#endif  /* RAPIDGZIP_HAVE_VENDOR_BZIP2 */
+
+[[nodiscard]] inline SalvageReport
+salvageBzip2( BufferView data, const SalvageSink& sink )
+{
+#if defined( RAPIDGZIP_HAVE_VENDOR_BZIP2 )
+    return salvageBzip2Impl( data, sink );
+#else
+    (void)data;
+    (void)sink;
+    throw UnsupportedDataError( "bzip2 salvage requires the bzip2 backend (libbz2 not found at build time)" );
+#endif
+}
+
+/**
+ * Format detection for salvage: the normal magic probe first, then — the
+ * head may be exactly what is corrupted — the EARLIEST occurrence of any
+ * known unit magic anywhere in the buffer.
+ */
+[[nodiscard]] inline Format
+detectFormatForSalvage( BufferView data )
+{
+    const auto direct = detectFormat( data );
+    if ( direct != Format::UNKNOWN ) {
+        return direct;
+    }
+    auto best = Format::UNKNOWN;
+    auto bestPos = NOT_FOUND;
+    const auto consider = [&best, &bestPos] ( std::size_t pos, Format format ) {
+        if ( pos < bestPos ) {
+            bestPos = pos;
+            best = format;
+        }
+    };
+    consider( findGzipCandidate( data, 0 ), Format::GZIP );
+    consider( findZstdCandidate( data, 0 ), Format::ZSTD );
+    consider( findLz4Candidate( data, 0 ), Format::LZ4 );
+    /* bzip2: byte-aligned "BZh1".."BZh9" stream header anywhere. The block
+     * magic itself is rarely byte-aligned; the bit-level scan inside
+     * salvageBzip2 handles that, but FINDING bzip2 data in an unknown
+     * buffer keys off the header. */
+    for ( std::size_t pos = 0; pos + 4 <= data.size() && pos < bestPos; ++pos ) {
+        if ( ( data[pos] == 'B' ) && ( data[pos + 1] == 'Z' ) && ( data[pos + 2] == 'h' )
+             && ( data[pos + 3] >= '1' ) && ( data[pos + 3] <= '9' ) ) {
+            consider( pos, Format::BZIP2 );
+            break;
+        }
+    }
+    return best;
+}
+
+}  // namespace salvage_detail
+
+/**
+ * Salvage-decode @p data as @p format, streaming each verified unit's
+ * output through @p sink and reporting skipped byte ranges as holes. An
+ * intact archive yields a clean() report whose output matches the normal
+ * decode byte for byte.
+ */
+[[nodiscard]] inline SalvageReport
+salvageDecompress( BufferView data,
+                   Format format,
+                   const SalvageSink& sink = {} )
+{
+    switch ( format ) {
+    case Format::GZIP:
+        return salvage_detail::salvageGzip( data, sink );
+    case Format::ZSTD:
+        return salvage_detail::salvageZstd( data, sink );
+    case Format::LZ4:
+        return salvage_detail::salvageLz4( data, sink );
+    case Format::BZIP2:
+        return salvage_detail::salvageBzip2( data, sink );
+    case Format::UNKNOWN:
+        break;
+    }
+    /* Nothing recognizable anywhere: one hole covering the whole input. */
+    SalvageReport report;
+    if ( !data.empty() ) {
+        report.holes.push_back( { 0, data.size() } );
+    }
+    return report;
+}
+
+/** Format-probing overload: dispatches on the magic bytes, falling back to
+ * an anywhere-in-the-buffer magic scan when the head itself is damaged. */
+[[nodiscard]] inline SalvageReport
+salvageDecompress( BufferView data, const SalvageSink& sink = {} )
+{
+    return salvageDecompress( data, salvage_detail::detectFormatForSalvage( data ), sink );
+}
+
+/** FileReader convenience: salvage runs over an in-memory image of the
+ * file (recovery is an offline operation; simplicity and verified-before-
+ * emit semantics beat streaming here). */
+[[nodiscard]] inline SalvageReport
+salvageDecompress( const FileReader& file, const SalvageSink& sink = {} )
+{
+    std::vector<std::uint8_t> data( file.size() );
+    preadExactly( file, data.data(), data.size(), 0 );
+    return salvageDecompress( BufferView{ data.data(), data.size() }, sink );
+}
+
+}  // namespace rapidgzip::formats

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "FileReader.hpp"
+
+namespace rapidgzip {
+
+/**
+ * Deterministic fault-injecting decorator over any FileReader.
+ *
+ * Where the failsafe probes (src/failsafe/) inject faults probabilistically
+ * at fixed library sites, this decorator injects them at the FileReader
+ * seam on an exact schedule — "every 3rd pread fails", "every 5th pread is
+ * short" — which is what unit tests need to pin down retry and isolation
+ * behavior without randomness. Clones share the schedule counters, so a
+ * parallel reader pulling through many clones sees one global fault
+ * schedule, the same shape a flaky device presents.
+ */
+class FaultyFileReader final : public FileReader
+{
+public:
+    struct Behavior
+    {
+        /** Every Nth pread() call throws FileIoError (0 = never). */
+        std::size_t failEveryN{ 0 };
+        /** Every Nth pread() call returns at most half the requested bytes (0 = never). */
+        std::size_t shortReadEveryN{ 0 };
+        /** Stop injecting after this many faults — models a device that heals. */
+        std::size_t maxFaults{ static_cast<std::size_t>( -1 ) };
+    };
+
+    FaultyFileReader( std::unique_ptr<FileReader> inner, Behavior behavior ) :
+        m_inner( std::move( inner ) ),
+        m_state( std::make_shared<State>() )
+    {
+        m_state->behavior = behavior;
+    }
+
+    [[nodiscard]] std::size_t
+    read( void* buffer, std::size_t size ) override
+    {
+        const auto result = pread( buffer, size, m_offset );
+        m_offset += result;
+        return result;
+    }
+
+    [[nodiscard]] std::size_t
+    pread( void* buffer, std::size_t size, std::size_t offset ) const override
+    {
+        const auto call = m_state->calls.fetch_add( 1, std::memory_order_relaxed ) + 1;
+        const auto& behavior = m_state->behavior;
+        if ( ( behavior.failEveryN > 0 ) && ( call % behavior.failEveryN == 0 )
+             && takeFaultBudget() ) {
+            throw FileIoError( "FaultyFileReader: scheduled failure on pread #"
+                               + std::to_string( call ) );
+        }
+        if ( ( behavior.shortReadEveryN > 0 ) && ( call % behavior.shortReadEveryN == 0 )
+             && ( size > 1 ) && takeFaultBudget() ) {
+            return m_inner->pread( buffer, size / 2, offset );
+        }
+        return m_inner->pread( buffer, size, offset );
+    }
+
+    void
+    seek( std::size_t offset ) override
+    {
+        m_offset = std::min( offset, m_inner->size() );
+    }
+
+    [[nodiscard]] std::size_t
+    tell() const override
+    {
+        return m_offset;
+    }
+
+    [[nodiscard]] std::size_t
+    size() const override
+    {
+        return m_inner->size();
+    }
+
+    [[nodiscard]] bool
+    supportsParallelPread() const noexcept override
+    {
+        return m_inner->supportsParallelPread();
+    }
+
+    [[nodiscard]] std::unique_ptr<FileReader>
+    clone() const override
+    {
+        return std::unique_ptr<FileReader>(
+            new FaultyFileReader( m_inner->clone(), m_state ) );
+    }
+
+    /** Total pread() calls observed across this reader and all clones. */
+    [[nodiscard]] std::size_t
+    callCount() const noexcept
+    {
+        return m_state->calls.load( std::memory_order_relaxed );
+    }
+
+    /** Faults actually injected across this reader and all clones. */
+    [[nodiscard]] std::size_t
+    faultCount() const noexcept
+    {
+        return m_state->faults.load( std::memory_order_relaxed );
+    }
+
+private:
+    struct State
+    {
+        Behavior behavior;
+        std::atomic<std::size_t> calls{ 0 };
+        std::atomic<std::size_t> faults{ 0 };
+    };
+
+    FaultyFileReader( std::unique_ptr<FileReader> inner, std::shared_ptr<State> state ) :
+        m_inner( std::move( inner ) ),
+        m_state( std::move( state ) )
+    {}
+
+    /** Claim one fault from the shared budget; false once maxFaults is spent. */
+    [[nodiscard]] bool
+    takeFaultBudget() const noexcept
+    {
+        auto current = m_state->faults.load( std::memory_order_relaxed );
+        while ( current < m_state->behavior.maxFaults ) {
+            if ( m_state->faults.compare_exchange_weak( current, current + 1,
+                                                        std::memory_order_relaxed ) ) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    std::unique_ptr<FileReader> m_inner;
+    std::shared_ptr<State> m_state;
+    std::size_t m_offset{ 0 };
+};
+
+}  // namespace rapidgzip

@@ -1,12 +1,31 @@
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <thread>
 
 #include "../common/Error.hpp"
 
 namespace rapidgzip {
+
+namespace io {
+
+/** Retry budget for transient I/O failures (EAGAIN, EIO, short reads).
+ * With exponential backoff from 50 µs the whole budget costs ~6 ms — cheap
+ * on the failure path, free on success. */
+inline constexpr unsigned MAX_TRANSIENT_RETRIES = 6;
+
+/** Exponential backoff before transient-retry @p attempt (0-based). */
+inline void
+transientBackoff( unsigned attempt )
+{
+    const auto exponent = attempt < 6U ? attempt : 6U;
+    std::this_thread::sleep_for( std::chrono::microseconds( 50ULL << exponent ) );
+}
+
+}  // namespace io
 
 /**
  * Abstract seekable byte source — the bottom of the rapidgzip I/O stack.
@@ -62,11 +81,22 @@ public:
 
 /** Positioned read of exactly @p size bytes; throws FileIoError on a short
  * read. The contract every fixed-layout parser (gzip headers, index files)
- * wants, without each call site re-checking the returned count. */
+ * wants, without each call site re-checking the returned count. A short
+ * read is retried with bounded backoff before throwing — only the missing
+ * tail is re-read, so flaky sources (network mounts, fault-injecting test
+ * readers) heal transparently while a genuinely truncated file still fails
+ * after the bounded budget. */
 inline void
 preadExactly( const FileReader& file, void* buffer, std::size_t size, std::size_t offset )
 {
-    if ( file.pread( buffer, size, offset ) != size ) {
+    auto* out = static_cast<char*>( buffer );
+    auto total = file.pread( out, size, offset );
+    for ( unsigned attempt = 0; ( total < size ) && ( attempt < io::MAX_TRANSIENT_RETRIES );
+          ++attempt ) {
+        io::transientBackoff( attempt );
+        total += file.pread( out + total, size - total, offset + total );
+    }
+    if ( total != size ) {
         throw FileIoError( "Short read of " + std::to_string( size ) + " bytes at offset "
                            + std::to_string( offset ) );
     }

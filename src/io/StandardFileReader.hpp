@@ -11,6 +11,7 @@
 #include <string>
 #include <utility>
 
+#include "../failsafe/FaultInjection.hpp"
 #include "FileReader.hpp"
 
 namespace rapidgzip {
@@ -55,14 +56,40 @@ public:
     {
         std::size_t total = 0;
         auto* out = static_cast<char*>( buffer );
+        unsigned transientRetries = 0;
         while ( total < size ) {
-            const auto n = ::pread( *m_fd, out + total, size - total,
-                                    static_cast<off_t>( offset + total ) );
+            ssize_t n = 0;
+            int error = 0;
+            /* The io.read fault probe replays syscall outcomes so the retry
+             * machinery below is exercised exactly as a flaky disk would:
+             * EINTR/EAGAIN/EIO as-if ::pread returned -1, or a short read. */
+            if ( failsafe::shouldInject( failsafe::FaultPoint::IO_READ ) ) {
+                switch ( failsafe::drawBelow( failsafe::FaultPoint::IO_READ, 4 ) ) {
+                case 0: n = -1; error = EINTR; break;
+                case 1: n = -1; error = EAGAIN; break;
+                case 2: n = -1; error = EIO; break;
+                default: {
+                    const auto want = std::max<std::size_t>( 1, ( size - total ) / 2 );
+                    n = ::pread( *m_fd, out + total, want, static_cast<off_t>( offset + total ) );
+                    error = errno;
+                    break;
+                }
+                }
+            } else {
+                n = ::pread( *m_fd, out + total, size - total,
+                             static_cast<off_t>( offset + total ) );
+                error = errno;
+            }
             if ( n < 0 ) {
-                if ( errno == EINTR ) {
+                if ( error == EINTR ) {
+                    continue;  /* progress-neutral; retry immediately */
+                }
+                if ( ( ( error == EAGAIN ) || ( error == EWOULDBLOCK ) || ( error == EIO ) )
+                     && ( transientRetries < io::MAX_TRANSIENT_RETRIES ) ) {
+                    io::transientBackoff( transientRetries++ );
                     continue;
                 }
-                throw FileIoError( std::string( "pread failed: " ) + std::strerror( errno ) );
+                throw FileIoError( std::string( "pread failed: " ) + std::strerror( error ) );
             }
             if ( n == 0 ) {
                 break;  /* EOF */

@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <list>
@@ -23,6 +25,25 @@ class ArchiveNotFoundError : public RapidgzipError
 {
 public:
     using RapidgzipError::RapidgzipError;
+};
+
+/** Thrown when an archive's admission semaphore is full — the server maps
+ * it to 503 + Retry-After so one cold sweep cannot starve the pool. */
+class ArchiveBusyError : public RapidgzipError
+{
+public:
+    using RapidgzipError::RapidgzipError;
+};
+
+/** Limits governing the registry's failure behavior. */
+struct RegistryLimits
+{
+    /** Concurrent consumers (holding or waiting on a lease) per archive;
+     * 0 = unlimited. The excess consumer is refused, not queued. */
+    std::size_t maxConsumersPerArchive{ 0 };
+    /** Initial negative-cache hold after a failed open; doubles per repeat
+     * failure (capped at 64×). 0 disables negative caching. */
+    std::uint32_t failedOpenBackoffMs{ 1000 };
 };
 
 /**
@@ -79,11 +100,13 @@ public:
     ArchiveRegistry( std::string rootDirectory,
                      std::size_t maxArchives,
                      std::shared_ptr<ChunkCache> sharedCache,
-                     ChunkFetcherConfiguration readerConfiguration ) :
+                     ChunkFetcherConfiguration readerConfiguration,
+                     RegistryLimits limits = {} ) :
         m_rootDirectory( std::move( rootDirectory ) ),
         m_maxArchives( std::max<std::size_t>( 1, maxArchives ) ),
         m_sharedCache( std::move( sharedCache ) ),
-        m_readerConfiguration( std::move( readerConfiguration ) )
+        m_readerConfiguration( std::move( readerConfiguration ) ),
+        m_limits( limits )
     {}
 
     struct Entry
@@ -92,6 +115,10 @@ public:
         std::unique_ptr<formats::Decompressor> decompressor;
         std::mutex consumerMutex;  /**< serializes the single-consumer reader */
         std::uint64_t lastUse{ 0 };
+        /** Consumers holding or waiting on a lease — the admission
+         * semaphore's count. Incremented before blocking on consumerMutex
+         * so queued waiters count against the archive's budget too. */
+        std::atomic<std::size_t> pendingConsumers{ 0 };
     };
 
     class Lease
@@ -101,6 +128,18 @@ public:
             m_entry( std::move( entry ) ),
             m_lock( std::move( lock ) )
         {}
+
+        Lease( Lease&& ) = default;
+        Lease( const Lease& ) = delete;
+        Lease& operator=( Lease&& ) = delete;
+        Lease& operator=( const Lease& ) = delete;
+
+        ~Lease()
+        {
+            if ( m_entry ) {
+                m_entry->pendingConsumers.fetch_sub( 1, std::memory_order_relaxed );
+            }
+        }
 
         [[nodiscard]] formats::Decompressor&
         decompressor() const noexcept
@@ -129,6 +168,7 @@ public:
         {
             const std::lock_guard<std::mutex> lock( m_mutex );
             ++m_useClock;
+            checkNegativeCache( filePath, identity );
             const auto match = m_entries.find( filePath );
             if ( ( match != m_entries.end() ) && ( match->second->identity == identity ) ) {
                 match->second->lastUse = m_useClock;
@@ -145,6 +185,17 @@ public:
             }
         }
 
+        /* Admission: count this consumer in BEFORE blocking on the
+         * consumer mutex — the semaphore bounds waiters, which is exactly
+         * how one cold 100 GB sweep would otherwise absorb every worker. */
+        const auto pending = entry->pendingConsumers.fetch_add( 1, std::memory_order_relaxed ) + 1;
+        if ( ( m_limits.maxConsumersPerArchive > 0 )
+             && ( pending > m_limits.maxConsumersPerArchive ) ) {
+            entry->pendingConsumers.fetch_sub( 1, std::memory_order_relaxed );
+            throw ArchiveBusyError( "Archive '" + urlPath + "' is at its concurrency limit ("
+                                    + std::to_string( m_limits.maxConsumersPerArchive ) + ")" );
+        }
+
         /* The open itself (possibly a discovery sweep) runs outside the
          * registry lock, under the entry's consumer mutex, so opening one
          * slow archive never blocks requests for others. */
@@ -153,7 +204,14 @@ public:
             auto configuration = m_readerConfiguration;
             configuration.sharedCache = m_sharedCache;
             configuration.cacheIdentity = identity.token();
-            entry->decompressor = formats::openArchive( filePath, configuration );
+            try {
+                entry->decompressor = formats::openArchive( filePath, configuration );
+            } catch ( const std::exception& exception ) {
+                entry->pendingConsumers.fetch_sub( 1, std::memory_order_relaxed );
+                recordFailedOpen( filePath, identity, exception.what() );
+                throw;
+            }
+            clearFailedOpen( filePath );
         }
         return Lease( std::move( entry ), std::move( consumerLock ) );
     }
@@ -203,6 +261,60 @@ private:
         return identity;
     }
 
+    [[nodiscard]] static std::uint64_t
+    nowMilliseconds() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch() ).count() );
+    }
+
+    /** Caller must hold m_mutex. Throws the cached failure while the
+     * backoff window holds; a changed identity (file replaced on disk)
+     * clears the grudge immediately. */
+    void
+    checkNegativeCache( const std::string& filePath, const ArchiveIdentity& identity )
+    {
+        const auto match = m_failedOpens.find( filePath );
+        if ( match == m_failedOpens.end() ) {
+            return;
+        }
+        if ( !( match->second.identity == identity ) ) {
+            m_failedOpens.erase( match );
+            return;
+        }
+        if ( nowMilliseconds() < match->second.retryAtMs ) {
+            throw RapidgzipError( match->second.message + " (cached failure; open backoff active)" );
+        }
+        /* Window expired: let this caller retry; the entry stays so a
+         * repeat failure doubles the backoff instead of restarting it. */
+    }
+
+    void
+    recordFailedOpen( const std::string& filePath,
+                      const ArchiveIdentity& identity,
+                      const std::string& message )
+    {
+        if ( m_limits.failedOpenBackoffMs == 0 ) {
+            return;
+        }
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        auto& failure = m_failedOpens[filePath];
+        failure.identity = identity;
+        failure.message = message;
+        failure.consecutiveFailures = std::min<std::uint32_t>( failure.consecutiveFailures + 1, 7 );
+        const auto backoff = static_cast<std::uint64_t>( m_limits.failedOpenBackoffMs )
+                             << ( failure.consecutiveFailures - 1 );
+        failure.retryAtMs = nowMilliseconds() + backoff;
+    }
+
+    void
+    clearFailedOpen( const std::string& filePath )
+    {
+        const std::lock_guard<std::mutex> lock( m_mutex );
+        m_failedOpens.erase( filePath );
+    }
+
     /** Caller must hold m_mutex. Evicts least-recently-used entries that
      * are not currently leased (shared_ptr keeps leased ones alive either
      * way; skipping them keeps the table honest about what is open). */
@@ -227,13 +339,23 @@ private:
         }
     }
 
+    struct FailedOpen
+    {
+        ArchiveIdentity identity;
+        std::string message;
+        std::uint32_t consecutiveFailures{ 0 };
+        std::uint64_t retryAtMs{ 0 };
+    };
+
     std::string m_rootDirectory;
     std::size_t m_maxArchives;
     std::shared_ptr<ChunkCache> m_sharedCache;
     ChunkFetcherConfiguration m_readerConfiguration;
+    RegistryLimits m_limits;
 
     mutable std::mutex m_mutex;
     std::map<std::string, std::shared_ptr<Entry> > m_entries;
+    std::map<std::string, FailedOpen> m_failedOpens;
     std::uint64_t m_useClock{ 0 };
 };
 

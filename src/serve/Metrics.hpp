@@ -26,6 +26,7 @@ struct ServeMetrics
     telemetry::Counter& responses5xx;
     telemetry::Counter& bytesServed;
     telemetry::Counter& connectionsAccepted;
+    telemetry::Counter& timeoutsTotal;
     telemetry::Histogram& requestLatency;
 
     ServeMetrics() :
@@ -41,6 +42,9 @@ struct ServeMetrics
             "rapidgzip_serve_bytes_served_total", "Response body bytes served from archives." ) ),
         connectionsAccepted( telemetry::Registry::instance().counter(
             "rapidgzip_serve_connections_accepted_total", "Client connections accepted." ) ),
+        timeoutsTotal( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_timeouts_total",
+            "Connections closed by a deadline: slow header read, idle keep-alive, stalled write." ) ),
         requestLatency( telemetry::Registry::instance().histogram(
             "rapidgzip_serve_request_seconds",
             "Request handling latency from parse completion to response ready." ) )
@@ -66,6 +70,23 @@ struct ServeMetrics
             handle = &telemetry::Registry::instance().counter(
                 "rapidgzip_serve_responses_total", HELP,
                 "status=\"" + std::to_string( status ) + "\"" );
+        }
+        handle->addUnchecked( 1 );
+    }
+
+    /** Admission-control refusals by reason — "max_connections" (accept
+     * gate) or "archive_busy" (per-archive semaphore). The reason set is a
+     * small fixed vocabulary, so handles are cached like countStatus. */
+    void
+    countRejected( const char* reason )
+    {
+        static constexpr const char* HELP = "Requests or connections refused by admission control.";
+        thread_local std::map<std::string, telemetry::Counter*> handles;
+        auto& handle = handles[reason];
+        if ( handle == nullptr ) {
+            handle = &telemetry::Registry::instance().counter(
+                "rapidgzip_serve_rejected_total", HELP,
+                "reason=\"" + std::string( reason ) + "\"" );
         }
         handle->addUnchecked( 1 );
     }

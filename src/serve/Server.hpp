@@ -23,6 +23,7 @@
 #include "../common/Error.hpp"
 #include "../common/ThreadPool.hpp"
 #include "../common/Util.hpp"
+#include "../failsafe/FaultInjection.hpp"
 #include "../telemetry/Telemetry.hpp"
 #include "../telemetry/Trace.hpp"
 #include "ArchiveRegistry.hpp"
@@ -43,6 +44,29 @@ struct ServerConfiguration
      * concurrency comes from many archives × many requests; each reader's
      * pool only bounds one chunk decode burst. */
     ChunkFetcherConfiguration readerConfiguration{};
+
+    /* --- robustness limits (0 disables the corresponding guard) -------- */
+
+    /** Accept gate: above this many live connections, new ones get an
+     * immediate 503 + Retry-After and are closed. */
+    std::size_t maxConnections{ 1024 };
+    /** A connection with a partial request buffered must complete the
+     * header block within this window or it is answered 408 and closed —
+     * the slow-loris guard. */
+    std::uint32_t headerReadTimeoutMs{ 10'000 };
+    /** Keep-alive connections with no buffered bytes are silently closed
+     * after this much inactivity. */
+    std::uint32_t idleTimeoutMs{ 60'000 };
+    /** A queued response that makes no write progress for this long means
+     * the peer stopped reading — the connection is dropped. */
+    std::uint32_t writeTimeoutMs{ 30'000 };
+    /** Graceful drain: after beginDrain(), in-flight work gets this long
+     * to finish before remaining connections are dropped. */
+    std::uint32_t drainTimeoutMs{ 10'000 };
+    /** Per-archive admission semaphore (see RegistryLimits). */
+    std::size_t maxConsumersPerArchive{ 0 };
+    /** Failed-open negative-cache base backoff (see RegistryLimits). */
+    std::uint32_t failedOpenBackoffMs{ 1000 };
 };
 
 /**
@@ -72,7 +96,9 @@ public:
         m_configuration( std::move( configuration ) ),
         m_sharedCache( std::make_shared<LruChunkCache>( m_configuration.cacheBytes ) ),
         m_registry( m_configuration.rootDirectory, m_configuration.maxArchives,
-                    m_sharedCache, m_configuration.readerConfiguration ),
+                    m_sharedCache, m_configuration.readerConfiguration,
+                    RegistryLimits{ m_configuration.maxConsumersPerArchive,
+                                    m_configuration.failedOpenBackoffMs } ),
         m_workers( std::max<std::size_t>( 1, m_configuration.workerCount ) )
     {
         /* A daemon wants its pipeline counters live in /metrics; the
@@ -145,6 +171,25 @@ public:
         wake();
     }
 
+    /**
+     * Graceful drain, safe from any thread and from signal handlers
+     * (atomic store + self-pipe write): stop accepting, flip /readyz to
+     * 503, let in-flight requests finish within drainTimeoutMs, then
+     * return from run(). A subsequent stop() still hard-stops.
+     */
+    void
+    beginDrain()
+    {
+        m_drainRequested.store( true );
+        wake();
+    }
+
+    [[nodiscard]] bool
+    draining() const noexcept
+    {
+        return m_drainRequested.load();
+    }
+
     [[nodiscard]] const ServeMetrics&
     metrics() const noexcept
     {
@@ -157,7 +202,7 @@ public:
         return *m_sharedCache;
     }
 
-    /** Blocking event loop; returns after stop(). */
+    /** Blocking event loop; returns after stop() or a completed drain. */
     void
     run()
     {
@@ -167,12 +212,31 @@ public:
         while ( !m_stopRequested.load() ) {
             drainCompletions();
 
+            /* Drain transitions happen here, on the loop thread: stop
+             * accepting (close the listen socket), stamp the deadline,
+             * then below close everything idle and wait out in-flight
+             * work. /readyz flipped to 503 the moment the flag was set. */
+            if ( m_drainRequested.load() && !m_drainActive ) {
+                m_drainActive = true;
+                m_drainDeadlineMs = nowMs() + m_configuration.drainTimeoutMs;
+                closeFd( m_listenFd );
+            }
+            if ( m_drainActive ) {
+                closeIdleForDrain();
+                if ( m_connections.empty() || ( nowMs() >= m_drainDeadlineMs ) ) {
+                    break;
+                }
+            }
+
             pollFds.clear();
             pollIds.clear();
             pollFds.push_back( { m_wakeRead, POLLIN, 0 } );
             pollIds.push_back( 0 );
-            pollFds.push_back( { m_listenFd, POLLIN, 0 } );
-            pollIds.push_back( 0 );
+            const bool hasListen = m_listenFd >= 0;
+            if ( hasListen ) {
+                pollFds.push_back( { m_listenFd, POLLIN, 0 } );
+                pollIds.push_back( 0 );
+            }
             for ( auto& [id, connection] : m_connections ) {
                 short events = 0;
                 /* Backpressure: while a response is being computed or
@@ -189,7 +253,7 @@ public:
                 pollIds.push_back( id );
             }
 
-            if ( ::poll( pollFds.data(), pollFds.size(), 1000 ) < 0 ) {
+            if ( ::poll( pollFds.data(), pollFds.size(), pollTimeoutMs() ) < 0 ) {
                 if ( errno == EINTR ) {
                     continue;
                 }
@@ -202,11 +266,15 @@ public:
             }
             drainCompletions();
 
-            if ( ( pollFds[1].revents & POLLIN ) != 0 ) {
-                acceptNewConnections();
+            std::size_t firstConnectionSlot = 1;
+            if ( hasListen ) {
+                if ( ( pollFds[1].revents & POLLIN ) != 0 ) {
+                    acceptNewConnections();
+                }
+                firstConnectionSlot = 2;
             }
 
-            for ( std::size_t i = 2; i < pollFds.size(); ++i ) {
+            for ( std::size_t i = firstConnectionSlot; i < pollFds.size(); ++i ) {
                 const auto id = pollIds[i];
                 const auto match = m_connections.find( id );
                 if ( match == m_connections.end() ) {
@@ -231,6 +299,8 @@ public:
                     }
                 }
             }
+
+            enforceDeadlines();
         }
 
         /* Shutdown: drop connections; in-flight worker tasks complete into
@@ -252,6 +322,9 @@ private:
         bool closeAfterFlush{ false };
         std::string outbox;
         std::size_t outboxSent{ 0 };
+        /** Last observed progress (accept, read bytes, wrote bytes,
+         * response queued) — the reference point for every deadline. */
+        std::uint64_t lastActivityMs{ 0 };
     };
 
     struct Completion
@@ -260,6 +333,114 @@ private:
         std::string response;
         bool keepAlive{ true };
     };
+
+    [[nodiscard]] static std::uint64_t
+    nowMs() noexcept
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now().time_since_epoch() ).count() );
+    }
+
+    /** Absolute deadline for @p connection, 0 when none applies. While a
+     * worker computes the response no socket deadline runs — the decode
+     * layer bounds that work with its own retry budget. */
+    [[nodiscard]] std::uint64_t
+    connectionDeadlineMs( const Connection& connection ) const
+    {
+        const auto after = [&] ( std::uint32_t timeoutMs ) -> std::uint64_t {
+            return timeoutMs == 0 ? 0 : connection.lastActivityMs + timeoutMs;
+        };
+        if ( connection.awaitingResponse ) {
+            return 0;
+        }
+        if ( !connection.outbox.empty() ) {
+            return after( m_configuration.writeTimeoutMs );
+        }
+        if ( connection.parser.bufferedBytes() > 0 ) {
+            return after( m_configuration.headerReadTimeoutMs );
+        }
+        return after( m_configuration.idleTimeoutMs );
+    }
+
+    /** Poll timeout from the nearest connection (or drain) deadline, capped
+     * at the historic 1 s heartbeat. */
+    [[nodiscard]] int
+    pollTimeoutMs() const
+    {
+        std::uint64_t nearest = UINT64_MAX;
+        for ( const auto& [id, connection] : m_connections ) {
+            if ( const auto deadline = connectionDeadlineMs( connection ); deadline != 0 ) {
+                nearest = std::min( nearest, deadline );
+            }
+        }
+        if ( m_drainActive ) {
+            nearest = std::min( nearest, m_drainDeadlineMs );
+        }
+        if ( nearest == UINT64_MAX ) {
+            return 1000;
+        }
+        const auto now = nowMs();
+        const auto wait = nearest > now ? nearest - now : 0;
+        return static_cast<int>( std::min<std::uint64_t>( wait, 1000 ) );
+    }
+
+    /** Close (or 408) every connection whose deadline has passed. */
+    void
+    enforceDeadlines()
+    {
+        const auto now = nowMs();
+        std::vector<std::uint64_t> expired;
+        for ( const auto& [id, connection] : m_connections ) {
+            const auto deadline = connectionDeadlineMs( connection );
+            if ( ( deadline != 0 ) && ( now >= deadline ) ) {
+                expired.push_back( id );
+            }
+        }
+        for ( const auto id : expired ) {
+            const auto match = m_connections.find( id );
+            if ( match == m_connections.end() ) {
+                continue;
+            }
+            auto& connection = match->second;
+            if ( connection.outbox.empty() && ( connection.parser.bufferedBytes() > 0 ) ) {
+                /* Slow loris: a partial request that never completed. Tell
+                 * the peer (best effort — it may not be reading) and close
+                 * once flushed; the write deadline bounds the flush. */
+                m_metrics.timeoutsTotal.addUnchecked( 1 );
+                m_metrics.countStatus( 408 );
+                connection.outbox = buildResponse( 408, {}, reasonPhrase( 408 ),
+                                                   /* keepAlive */ false );
+                connection.outboxSent = 0;
+                connection.closeAfterFlush = true;
+                connection.lastActivityMs = now;
+                if ( !handleWritable( connection ) ) {
+                    closeConnection( id );
+                }
+            } else if ( !connection.outbox.empty() ) {
+                m_metrics.timeoutsTotal.addUnchecked( 1 );  /* stalled write */
+                closeConnection( id );
+            } else {
+                closeConnection( id );  /* idle keep-alive: silent close */
+            }
+        }
+    }
+
+    /** During drain, a connection with no request in flight has nothing
+     * left to contribute — close it so the loop can wind down. */
+    void
+    closeIdleForDrain()
+    {
+        std::vector<std::uint64_t> idle;
+        for ( const auto& [id, connection] : m_connections ) {
+            if ( !connection.awaitingResponse && connection.outbox.empty() ) {
+                idle.push_back( id );
+            }
+        }
+        for ( const auto id : idle ) {
+            closeConnection( id );
+        }
+    }
 
     static void
     setNonBlocking( int fd )
@@ -290,7 +471,15 @@ private:
         while ( true ) {
             const int fd = ::accept( m_listenFd, nullptr, nullptr );
             if ( fd < 0 ) {
+                if ( errno == EINTR ) {
+                    continue;
+                }
                 break;  /* EAGAIN or transient error: poll again */
+            }
+            if ( ( m_configuration.maxConnections > 0 )
+                 && ( m_connections.size() >= m_configuration.maxConnections ) ) {
+                rejectConnection( fd );
+                continue;
             }
             setNonBlocking( fd );
             const int enable = 1;
@@ -298,9 +487,24 @@ private:
             Connection connection;
             connection.fd = fd;
             connection.id = ++m_nextConnectionId;
+            connection.lastActivityMs = nowMs();
             m_metrics.connectionsAccepted.addUnchecked( 1 );
             m_connections.emplace( connection.id, std::move( connection ) );
         }
+    }
+
+    /** Admission refusal: one best-effort 503 (the socket buffer of a
+     * fresh connection always takes it) and an immediate close. */
+    void
+    rejectConnection( int fd )
+    {
+        m_metrics.countRejected( "max_connections" );
+        m_metrics.countStatus( 503 );
+        const auto response = buildResponse( 503, "Retry-After: 1\r\n",
+                                             "server connection limit reached\n",
+                                             /* keepAlive */ false );
+        (void)!::send( fd, response.data(), response.size(), MSG_NOSIGNAL );
+        ::close( fd );
     }
 
     void
@@ -322,11 +526,15 @@ private:
             const auto got = ::recv( connection.fd, buffer, sizeof( buffer ), 0 );
             if ( got > 0 ) {
                 connection.parser.feed( buffer, static_cast<std::size_t>( got ) );
+                connection.lastActivityMs = nowMs();
                 continue;
             }
             if ( got == 0 ) {
                 connection.peerClosed = true;
                 break;
+            }
+            if ( errno == EINTR ) {
+                continue;  /* interrupted, not an error */
             }
             if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
                 break;
@@ -388,13 +596,26 @@ private:
     handleWritable( Connection& connection )
     {
         while ( connection.outboxSent < connection.outbox.size() ) {
+            auto remaining = connection.outbox.size() - connection.outboxSent;
+            /* serve.write probe: simulate a full socket (wait for POLLOUT)
+             * or a trickling one (truncated send) — never corrupt bytes. */
+            if ( failsafe::shouldInject( failsafe::FaultPoint::SERVE_WRITE ) ) {
+                if ( failsafe::drawBelow( failsafe::FaultPoint::SERVE_WRITE, 2 ) == 0 ) {
+                    return true;  /* as-if EAGAIN: POLLOUT will fire again */
+                }
+                remaining = std::min<std::size_t>( remaining, 1024 );
+            }
             const auto sent = ::send( connection.fd,
                                       connection.outbox.data() + connection.outboxSent,
-                                      connection.outbox.size() - connection.outboxSent,
+                                      remaining,
                                       MSG_NOSIGNAL );
             if ( sent > 0 ) {
                 connection.outboxSent += static_cast<std::size_t>( sent );
+                connection.lastActivityMs = nowMs();
                 continue;
+            }
+            if ( errno == EINTR ) {
+                continue;  /* interrupted, not an error */
             }
             if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
                 return true;  /* socket full: POLLOUT will fire again */
@@ -431,7 +652,10 @@ private:
             connection.awaitingResponse = false;
             connection.outbox = std::move( completion.response );
             connection.outboxSent = 0;
-            connection.closeAfterFlush = !completion.keepAlive;
+            /* During drain every flushed response ends its connection, so
+             * keep-alive clients wind down instead of holding the drain. */
+            connection.closeAfterFlush = !completion.keepAlive || m_drainActive;
+            connection.lastActivityMs = nowMs();
             /* Try to flush immediately — most responses fit the socket
              * buffer, saving a poll round trip. */
             if ( !handleWritable( connection ) ) {
@@ -449,6 +673,11 @@ private:
             return handleRequestChecked( request, keepAlive );
         } catch ( const ArchiveNotFoundError& exception ) {
             return errorResponse( 404, exception.what(), keepAlive );
+        } catch ( const ArchiveBusyError& exception ) {
+            m_metrics.countRejected( "archive_busy" );
+            m_metrics.countStatus( 503 );
+            return buildResponse( 503, "Content-Type: text/plain\r\nRetry-After: 1\r\n",
+                                  std::string( exception.what() ) + "\n", keepAlive );
         } catch ( const std::exception& exception ) {
             /* Unknown format, vendor library missing, corrupt archive, … —
              * the archive's problem, not the server's, but 500 is the
@@ -478,6 +707,23 @@ private:
             target.erase( query );
         }
 
+        if ( target == "/healthz" ) {
+            /* Liveness: the loop and workers are turning over. */
+            m_metrics.countStatus( 200 );
+            return isHead ? buildResponseHead( 200, 3, "Content-Type: text/plain\r\n", keepAlive )
+                          : buildResponse( 200, "Content-Type: text/plain\r\n", "ok\n", keepAlive );
+        }
+        if ( target == "/readyz" ) {
+            /* Readiness: flips to 503 the moment a drain is requested so
+             * load balancers stop routing before the listener closes. */
+            const auto ready = !draining();
+            const auto status = ready ? 200 : 503;
+            const std::string body = ready ? "ready\n" : "draining\n";
+            m_metrics.countStatus( status );
+            return isHead ? buildResponseHead( status, body.size(),
+                                               "Content-Type: text/plain\r\n", keepAlive )
+                          : buildResponse( status, "Content-Type: text/plain\r\n", body, keepAlive );
+        }
         if ( target == "/metrics" ) {
             const auto body = renderMetrics( m_metrics, m_sharedCache->statistics(),
                                              m_registry.openCount() );
@@ -538,6 +784,9 @@ private:
     int m_wakeWrite{ -1 };
     std::atomic<std::uint16_t> m_port{ 0 };
     std::atomic<bool> m_stopRequested{ false };
+    std::atomic<bool> m_drainRequested{ false };
+    bool m_drainActive{ false };              /**< loop-thread mirror of the request */
+    std::uint64_t m_drainDeadlineMs{ 0 };
 
     std::uint64_t m_nextConnectionId{ 0 };
     std::map<std::uint64_t, Connection> m_connections;

@@ -17,6 +17,7 @@
 #include <utime.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -764,6 +765,121 @@ testServeEndToEnd()
     loop.join();
 }
 
+/* --- hardening: health endpoints, deadlines, admission, negative cache -- */
+
+void
+testServeHardening()
+{
+    std::signal( SIGPIPE, SIG_IGN );
+
+    const auto directory = makeTempDirectory();
+    const auto data = workloads::base64Data( 256 * KiB, 21 );
+    writeFile( directory + "/small.gz", compressPigzLike( data, 6, 64 * KiB ) );
+    /* No known magic: openArchive fails, feeding the negative open cache. */
+    writeFile( directory + "/garbage.bin",
+               std::vector<std::uint8_t>( 1024, std::uint8_t( 0x55 ) ) );
+
+    ServerConfiguration configuration;
+    configuration.port = 0;
+    configuration.rootDirectory = directory;
+    configuration.workerCount = 2;
+    configuration.cacheBytes = 16 * MiB;
+    configuration.readerConfiguration.parallelism = 2;
+    configuration.readerConfiguration.chunkSizeBytes = 64 * KiB;
+    configuration.maxConnections = 3;
+    configuration.headerReadTimeoutMs = 200;
+    configuration.idleTimeoutMs = 400;
+    configuration.writeTimeoutMs = 2000;
+    configuration.drainTimeoutMs = 2000;
+    configuration.failedOpenBackoffMs = 60'000;  /* second request surely inside the window */
+
+    Server server( std::move( configuration ) );
+    server.start();
+    const auto port = server.port();
+    std::thread loop( [&server] () { server.run(); } );
+
+    /* Health endpoints. */
+    REQUIRE( simpleRequest( port, "GET", "/healthz" ).status == 200 );
+    REQUIRE( simpleRequest( port, "HEAD", "/healthz" ).status == 200 );
+    const auto ready = simpleRequest( port, "GET", "/readyz" );
+    REQUIRE( ready.status == 200 );
+    REQUIRE( ready.body == "ready\n" );
+
+    /* Slow loris: half a request line, then silence — the header-read
+     * deadline answers 408 and closes instead of pinning the slot open. */
+    {
+        HttpClient slow( port );
+        slow.send( "GET /small.gz HTTP/1.1\r\nHost:" );
+        ClientResponse response;
+        REQUIRE( slow.readResponse( response ) );
+        REQUIRE( response.status == 408 );
+        REQUIRE( response.headers.at( "connection" ) == "close" );
+    }
+
+    /* Admission: with every slot held, the next connection is told 503 with
+     * Retry-After instead of hanging. */
+    {
+        HttpClient first( port );
+        HttpClient second( port );
+        HttpClient third( port );
+        /* Prove the held connections are really established server-side. */
+        first.send( "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" );
+        ClientResponse ok;
+        REQUIRE( first.readResponse( ok ) );
+        REQUIRE( ok.status == 200 );
+
+        HttpClient rejected( port );
+        rejected.send( "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" );
+        ClientResponse refusal;
+        REQUIRE( rejected.readResponse( refusal ) );
+        REQUIRE( refusal.status == 503 );
+        REQUIRE( refusal.headers.at( "retry-after" ) == "1" );
+    }
+
+    /* The held clients just closed; the loop reaps them on its next wake.
+     * Retry until a slot frees, then check the hardening counters. */
+    {
+        ClientResponse metrics;
+        for ( int attempt = 0; attempt < 100; ++attempt ) {
+            HttpClient client( port );
+            client.send( "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n" );
+            if ( client.readResponse( metrics ) && ( metrics.status == 200 ) ) {
+                break;
+            }
+            metrics = ClientResponse{};
+            std::this_thread::sleep_for( std::chrono::milliseconds( 20 ) );
+        }
+        REQUIRE( metrics.status == 200 );
+        REQUIRE( metrics.body.find( "rapidgzip_serve_timeouts_total" ) != std::string::npos );
+        REQUIRE( metrics.body.find( "rapidgzip_serve_rejected_total{reason=\"max_connections\"}" )
+                 != std::string::npos );
+    }
+
+    /* Failed opens are negative-cached: the retry inside the backoff window
+     * is refused from the cache without re-probing the file. */
+    REQUIRE( simpleRequest( port, "GET", "/garbage.bin" ).status == 500 );
+    const auto cached = simpleRequest( port, "GET", "/garbage.bin" );
+    REQUIRE( cached.status == 500 );
+    REQUIRE( cached.body.find( "cached failure" ) != std::string::npos );
+
+    /* Idle keep-alive connections are reaped by the idle deadline. */
+    {
+        HttpClient idle( port );
+        idle.send( "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n" );
+        ClientResponse response;
+        REQUIRE( idle.readResponse( response ) );
+        REQUIRE( response.status == 200 );
+        ClientResponse none;
+        REQUIRE( !idle.readResponse( none ) );  /* server closes, no response */
+    }
+
+    /* Graceful drain: beginDrain() stops accepting and run() returns once
+     * the remaining connections finish (all are closed by now). */
+    server.beginDrain();
+    REQUIRE( server.draining() );
+    loop.join();
+}
+
 }  // namespace
 
 int
@@ -779,5 +895,6 @@ main()
     testSharedCacheAcrossReaders();
     testSidecarAdoption();
     testServeEndToEnd();
+    testServeHardening();
     return rapidgzip::test::finish( "testServe" );
 }

@@ -15,9 +15,14 @@
 #include <thread>
 #include <vector>
 
+#include "failsafe/FaultInjection.hpp"
+#include "formats/Formats.hpp"
+#include "gzip/ZlibCompressor.hpp"
+#include "io/MemoryFileReader.hpp"
 #include "telemetry/Registry.hpp"
 #include "telemetry/Trace.hpp"
 #include "telemetry/TraceCheck.hpp"
+#include "workloads/DataGenerators.hpp"
 
 #include "TestHelpers.hpp"
 
@@ -279,6 +284,61 @@ testPrometheusExposition()
     REQUIRE( telemetry::escapeLabelValue( "a\"b\\c\nd" ) == "a\\\"b\\\\c\\nd" );
 }
 
+/** Unlabeled counter value from a Prometheus rendering; -1 if absent. */
+[[nodiscard]] long long
+counterValue( const std::string& rendered, const std::string& name )
+{
+    const auto position = rendered.find( "\n" + name + " " );
+    if ( position == std::string::npos ) {
+        return -1;
+    }
+    return std::atoll( rendered.c_str() + position + 1 + name.size() + 1 );
+}
+
+/** The decode-pipeline resilience counters register lazily and move when
+ * chunk decodes retry and fail — exercised with a real (injected-fault)
+ * decode, not by poking the registry directly. */
+void
+testChunkDecodeFaultCounters()
+{
+    failsafe::disarmAll();
+
+    const auto data = workloads::base64Data( 256 * KiB, 77 );
+    const auto file = compressPigzLike( { data.data(), data.size() }, 6, 64 * KiB );
+
+    ChunkFetcherConfiguration configuration;
+    configuration.parallelism = 2;
+    configuration.chunkSizeBytes = 64 * KiB;
+
+    const auto before = telemetry::Registry::instance().renderPrometheus();
+    const auto retriesBefore =
+        std::max( 0LL, counterValue( before, "rapidgzip_chunk_decode_retries_total" ) );
+    const auto failuresBefore =
+        std::max( 0LL, counterValue( before, "rapidgzip_chunk_decode_failures_total" ) );
+
+    telemetry::setMetricsEnabled( true );
+    failsafe::configure( failsafe::FaultPoint::CHUNK_DECODE, 1.0, /* seed */ 13 );
+    bool threw = false;
+    try {
+        auto reader = formats::makeDecompressor(
+            std::make_unique<MemoryFileReader>( file ), configuration );
+        std::vector<std::uint8_t> decoded( data.size() );
+        (void)reader->readAt( 0, decoded.data(), decoded.size() );
+    } catch ( const std::exception& ) {
+        threw = true;
+    }
+    failsafe::disarmAll();
+    telemetry::setMetricsEnabled( false );
+    REQUIRE( threw );
+
+    const auto after = telemetry::Registry::instance().renderPrometheus();
+    const auto retriesAfter = counterValue( after, "rapidgzip_chunk_decode_retries_total" );
+    const auto failuresAfter = counterValue( after, "rapidgzip_chunk_decode_failures_total" );
+    /* Every failed decode burned its full retry budget first. */
+    REQUIRE( retriesAfter >= retriesBefore + 2 );
+    REQUIRE( failuresAfter >= failuresBefore + 1 );
+}
+
 void
 testTraceCheckRejectsMalformed()
 {
@@ -319,6 +379,7 @@ main()
     testTraceJsonRoundTrip();
     testDisabledModeAllocatesNothing();
     testPrometheusExposition();
+    testChunkDecodeFaultCounters();
     testTraceCheckRejectsMalformed();
 
     return rapidgzip::test::finish( "testTelemetry" );

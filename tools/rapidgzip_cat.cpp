@@ -1,0 +1,141 @@
+/**
+ * rapidgzip-cat — decompress an archive to stdout.
+ *
+ *     rapidgzip-cat corpus.gz > corpus
+ *     rapidgzip-cat --salvage damaged.gz > partial 2> holes.txt
+ *
+ * The normal mode routes through the format-dispatch layer (gzip, zstd,
+ * lz4, bzip2 by magic bytes) and the parallel chunk pipeline, failing hard
+ * on the first damaged byte like any correct decoder. --salvage switches
+ * to the recovery decoder (src/formats/Salvage.hpp): every verifiable
+ * unit — gzip member, zstd frame, lz4 frame, bzip2 block — is decoded and
+ * emitted, and the byte ranges that could not be attributed to a verified
+ * unit are reported on stderr as holes. Salvage exits 0 when the archive
+ * was clean, 2 when it recovered around holes, 1 on hard errors (nothing
+ * recognizable, I/O failure, unsupported backend).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include <common/Error.hpp>
+#include <failsafe/FaultInjection.hpp>
+#include <formats/Formats.hpp>
+#include <formats/Salvage.hpp>
+#include <io/StandardFileReader.hpp>
+#include <simd/Dispatch.hpp>
+
+namespace {
+
+void
+printUsage( const char* program )
+{
+    std::fprintf(
+        stderr,
+        "Usage: %s [--salvage] <archive>\n"
+        "\n"
+        "Decompress <archive> (gzip/zstd/lz4/bzip2 by magic bytes) to stdout.\n"
+        "\n"
+        "  --salvage   best-effort recovery: decode every verifiable unit, skip\n"
+        "              damaged ranges, and report them as byte-ranged holes on\n"
+        "              stderr instead of aborting. Exit 0 = clean, 2 = holes.\n",
+        program );
+}
+
+bool
+writeAll( const std::uint8_t* data, std::size_t size )
+{
+    while ( size > 0 ) {
+        const auto written = std::fwrite( data, 1, size, stdout );
+        if ( written == 0 ) {
+            return false;
+        }
+        data += written;
+        size -= written;
+    }
+    return true;
+}
+
+int
+runSalvage( const std::string& path )
+{
+    const rapidgzip::StandardFileReader file( path );
+    const auto report = rapidgzip::formats::salvageDecompress(
+        file,
+        [] ( rapidgzip::BufferView unit ) {
+            if ( !writeAll( unit.data(), unit.size() ) ) {
+                throw rapidgzip::FileIoError( "write to stdout failed" );
+            }
+        } );
+
+    std::fprintf( stderr, "salvage: format=%s units=%zu bytes=%zu holes=%zu missing=%zu\n",
+                  rapidgzip::formats::toString( report.format ),
+                  report.recoveredUnits, report.recoveredBytes,
+                  report.holes.size(), report.missingCompressedBytes() );
+    for ( const auto& hole : report.holes ) {
+        std::fprintf( stderr, "salvage: hole bytes %zu-%zu (%zu bytes)\n",
+                      hole.compressedBegin, hole.compressedEnd, hole.size() );
+    }
+    return report.clean() ? 0 : 2;
+}
+
+int
+runNormal( const std::string& path )
+{
+    auto decompressor = rapidgzip::formats::makeDecompressor(
+        std::make_unique<rapidgzip::StandardFileReader>( path ) );
+    decompressor->decompress( [] ( rapidgzip::BufferView chunk ) {
+        if ( !writeAll( chunk.data(), chunk.size() ) ) {
+            throw rapidgzip::FileIoError( "write to stdout failed" );
+        }
+    } );
+    return 0;
+}
+
+}  // namespace
+
+int
+main( int argc, char** argv )
+{
+    bool salvage = false;
+    std::string path;
+    for ( int i = 1; i < argc; ++i ) {
+        const std::string argument = argv[i];
+        if ( ( argument == "-h" ) || ( argument == "--help" ) ) {
+            printUsage( argv[0] );
+            return 0;
+        }
+        if ( argument == "--salvage" ) {
+            salvage = true;
+        } else if ( !argument.empty() && ( argument[0] == '-' ) ) {
+            std::fprintf( stderr, "Unknown option: %s\n", argument.c_str() );
+            printUsage( argv[0] );
+            return 1;
+        } else if ( path.empty() ) {
+            path = argument;
+        } else {
+            std::fprintf( stderr, "Only one archive may be given.\n" );
+            printUsage( argv[0] );
+            return 1;
+        }
+    }
+    if ( path.empty() ) {
+        printUsage( argv[0] );
+        return 1;
+    }
+
+    if ( !rapidgzip::failsafe::configureFromEnvironment() ) {
+        std::fprintf( stderr, "Malformed RAPIDGZIP_FAULTS specification.\n" );
+        return 1;
+    }
+
+    try {
+        return salvage ? runSalvage( path ) : runNormal( path );
+    } catch ( const std::exception& exception ) {
+        std::fprintf( stderr, "%s: %s\n", path.c_str(), exception.what() );
+        return 1;
+    }
+}

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include <failsafe/FaultInjection.hpp>
 #include <serve/Server.hpp>
 #include <simd/Dispatch.hpp>
 #include <telemetry/Trace.hpp>
@@ -32,6 +33,21 @@ handleSignal( int /* signal */ )
 {
     if ( g_server != nullptr ) {
         g_server->stop();  /* atomic store + self-pipe write: signal-safe */
+    }
+}
+
+/** SIGTERM drains: stop accepting, finish in-flight requests, then exit.
+ * A second SIGTERM (or any SIGINT) stops immediately. All signal-safe. */
+void
+handleDrainSignal( int /* signal */ )
+{
+    if ( g_server == nullptr ) {
+        return;
+    }
+    if ( g_server->draining() ) {
+        g_server->stop();
+    } else {
+        g_server->beginDrain();
     }
 }
 
@@ -77,9 +93,22 @@ printUsage( const char* program )
         "  --workers N       request worker threads (default 4)\n"
         "  --parallelism N   decode threads per archive reader (default 2)\n"
         "  --trace FILE      record spans, write Chrome trace-event JSON on shutdown\n"
+        "  --max-connections N        connection admission limit, 0 = off (default 1024)\n"
+        "  --max-consumers-per-archive N  concurrent requests per archive, 0 = off (default 0)\n"
+        "  --header-timeout-ms N      slow-loris header deadline, 0 = off (default 10000)\n"
+        "  --idle-timeout-ms N        keep-alive idle deadline, 0 = off (default 60000)\n"
+        "  --write-timeout-ms N       stalled-write deadline, 0 = off (default 30000)\n"
+        "  --drain-timeout-ms N       graceful-drain deadline on SIGTERM (default 10000)\n"
+        "  --open-backoff-ms N        failed-open negative-cache base backoff, 0 = off (default 1000)\n"
         "  --help            this text\n"
         "\n"
-        "Endpoints: GET /<archive> (Range honored), HEAD /<archive>, GET /metrics\n",
+        "Endpoints: GET /<archive> (Range honored), HEAD /<archive>, GET /metrics,\n"
+        "           GET /healthz, GET /readyz (503 while draining)\n"
+        "Signals:   SIGTERM drains gracefully (finish in-flight, then exit);\n"
+        "           a second SIGTERM or SIGINT stops immediately.\n"
+        "Faults:    RAPIDGZIP_FAULTS=<point>:<rate>[:<seed>[:<latency-us>]][,...]\n"
+        "           arms fault injection (points: io.read chunk.decode pool.task\n"
+        "           serve.write alloc) for resilience testing.\n",
         program );
 }
 
@@ -125,6 +154,22 @@ main( int argc, char** argv )
                 static_cast<std::size_t>( std::atoll( nextValue() ) );
         } else if ( argument == "--trace" ) {
             tracePath = nextValue();
+        } else if ( argument == "--max-connections" ) {
+            configuration.maxConnections = static_cast<std::size_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--max-consumers-per-archive" ) {
+            configuration.maxConsumersPerArchive =
+                static_cast<std::size_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--header-timeout-ms" ) {
+            configuration.headerReadTimeoutMs = static_cast<std::uint32_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--idle-timeout-ms" ) {
+            configuration.idleTimeoutMs = static_cast<std::uint32_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--write-timeout-ms" ) {
+            configuration.writeTimeoutMs = static_cast<std::uint32_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--drain-timeout-ms" ) {
+            configuration.drainTimeoutMs = static_cast<std::uint32_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--open-backoff-ms" ) {
+            configuration.failedOpenBackoffMs =
+                static_cast<std::uint32_t>( std::atoll( nextValue() ) );
         } else if ( !argument.empty() && ( argument.front() == '-' ) ) {
             std::fprintf( stderr, "Unknown option: %s\n", argument.c_str() );
             printUsage( argv[0] );
@@ -147,6 +192,11 @@ main( int argc, char** argv )
     }
     configuration.rootDirectory = rootDirectory;
 
+    if ( !rapidgzip::failsafe::configureFromEnvironment() ) {
+        std::fprintf( stderr, "rapidgzip-serve: malformed RAPIDGZIP_FAULTS specification\n" );
+        return 2;
+    }
+
     if ( !tracePath.empty() ) {
         /* Enable now so archive opens are captured; drain on clean shutdown
          * AND via atexit so a SIGTERM'd daemon still leaves a trace file. */
@@ -159,7 +209,7 @@ main( int argc, char** argv )
         server.start();
         g_server = &server;
         std::signal( SIGINT, handleSignal );
-        std::signal( SIGTERM, handleSignal );
+        std::signal( SIGTERM, handleDrainSignal );
         std::signal( SIGPIPE, SIG_IGN );
 
         std::printf( "rapidgzip-serve listening on %s:%u, serving %s\n",
