@@ -14,6 +14,11 @@
  *   RAPIDGZIP_SERVE_CLIENTS   concurrent connections   (default 256 x scale)
  *   RAPIDGZIP_SERVE_ARCHIVES  archives under the root  (default 4)
  *   RAPIDGZIP_SERVE_SECONDS   measured wall time       (default ~5 x scale)
+ *   RAPIDGZIP_SERVE_THREADS   event-loop shards        (default 1)
+ *
+ * The run also proves the zero-copy response path: every 206 body must be
+ * assembled from borrowed chunk spans, so the range-copy byte counter has
+ * to stay at 0 — a non-zero value fails the bench.
  */
 
 #include <arpa/inet.h>
@@ -280,6 +285,7 @@ main( int argc, char** argv )
         envCount( "RAPIDGZIP_SERVE_CLIENTS",
                   std::max<std::size_t>( 4, static_cast<std::size_t>( 256 * scale ) ) );
     const auto archiveCount = envCount( "RAPIDGZIP_SERVE_ARCHIVES", 4 );
+    const auto threadCount = envCount( "RAPIDGZIP_SERVE_THREADS", 1 );
     const auto seconds = envSeconds( "RAPIDGZIP_SERVE_SECONDS", std::max( 1.0, 5.0 * scale ) );
     const auto archiveSize = bench::scaledSize( 8 * MiB );
     constexpr std::size_t REQUEST_BYTES = 4 * KiB;
@@ -309,6 +315,7 @@ main( int argc, char** argv )
     configuration.port = 0;
     configuration.rootDirectory = directory;
     configuration.workerCount = 8;
+    configuration.shardCount = threadCount;
     configuration.cacheBytes = 512 * MiB;
     configuration.maxArchives = archiveCount;
     configuration.readerConfiguration.parallelism = 2;
@@ -319,8 +326,9 @@ main( int argc, char** argv )
     const auto port = server.port();
     std::thread loop( [&server] () { server.run(); } );
 
-    std::printf( "  %zu clients x Zipf offsets over %zu archives (%zu MiB each), %.1f s\n",
-                 clientCount, archiveCount, archiveSize / MiB, seconds );
+    std::printf( "  %zu clients x Zipf offsets over %zu archives (%zu MiB each), %.1f s, "
+                 "%zu event-loop shard(s)\n",
+                 clientCount, archiveCount, archiveSize / MiB, seconds, server.shardCount() );
     std::fflush( stdout );
 
     /* Drive the load. */
@@ -402,6 +410,14 @@ main( int argc, char** argv )
     std::printf( "  %-22s %12zu\n", "requests", requests );
     std::printf( "  %-22s %12zu\n", "errors", errors );
 
+    /* Zero-copy proof: every body byte must have been lent out of a cached
+     * chunk; a single range-copied byte means the 206 hot path regressed to
+     * copying. */
+    const auto zeroCopyBytes = static_cast<std::size_t>( metrics.zeroCopyBytes.total() );
+    const auto rangeCopyBytes = static_cast<std::size_t>( metrics.rangeCopyBytes.total() );
+    std::printf( "  %-22s %12zu\n", "zero-copy bytes", zeroCopyBytes );
+    std::printf( "  %-22s %12zu\n", "range-copy bytes", rangeCopyBytes );
+
     const char* jsonPath = std::getenv( "RAPIDGZIP_BENCH_JSON" );
     std::FILE* json = std::fopen(
         ( jsonPath != nullptr ) && ( jsonPath[0] != '\0' ) ? jsonPath : "BENCH_serve.json", "w" );
@@ -419,6 +435,7 @@ main( int argc, char** argv )
         "    \"archive_bytes\": %zu,\n"
         "    \"request_bytes\": %zu,\n"
         "    \"duration_seconds\": %.3f,\n"
+        "    \"threads\": %zu,\n"
         "    \"scale\": %.3f\n"
         "  },\n"
         "  \"results\": {\n"
@@ -432,20 +449,31 @@ main( int argc, char** argv )
         "    \"cache_misses\": %zu,\n"
         "    \"cache_insertions\": %zu,\n"
         "    \"cache_evictions\": %zu,\n"
-        "    \"bytes_served\": %zu\n"
+        "    \"bytes_served\": %zu,\n"
+        "    \"zero_copy_bytes\": %zu,\n"
+        "    \"zero_copy_spans\": %zu,\n"
+        "    \"range_copy_bytes\": %zu\n"
         "  }\n"
         "}\n",
-        clientCount, archiveCount, archiveSize, REQUEST_BYTES, wallSeconds, scale,
+        clientCount, archiveCount, archiveSize, REQUEST_BYTES, wallSeconds, threadCount, scale,
         requests, errors, requestsPerSecond, p50, p99,
         cacheStats.hitRate(), cacheStats.hits, cacheStats.misses,
         cacheStats.insertions, cacheStats.evictions,
-        static_cast<std::size_t>( metrics.bytesServed.total() ) );
+        static_cast<std::size_t>( metrics.bytesServed.total() ),
+        zeroCopyBytes,
+        static_cast<std::size_t>( metrics.zeroCopySpans.total() ),
+        rangeCopyBytes );
     std::fclose( json );
 
     if ( ( errors > 0 ) || ( requests == 0 ) ) {
         std::fprintf( stderr, "FAILED: %zu errors across %zu requests\n", errors, requests );
         return 1;
     }
-    std::printf( "  OK: all responses 206 and byte-exact\n" );
+    if ( rangeCopyBytes != 0 ) {
+        std::fprintf( stderr, "FAILED: %zu body bytes were range-copied — "
+                      "the 206 hot path must be zero-copy\n", rangeCopyBytes );
+        return 1;
+    }
+    std::printf( "  OK: all responses 206 and byte-exact, body bytes zero-copy\n" );
     return 0;
 }

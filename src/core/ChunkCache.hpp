@@ -71,6 +71,42 @@ struct ChunkCacheStatistics
 };
 
 /**
+ * A borrowed view into decoded bytes whose lifetime is pinned by @p owner —
+ * the vocabulary type of the zero-copy response path. Spans lent out of
+ * cached chunks stay valid across LRU eviction: eviction only drops the
+ * CACHE's shared_ptr to the DecodedChunk, while every outstanding span
+ * holds its own owner reference, so the bytes are freed exactly when the
+ * last in-flight consumer (e.g. a socket write) releases them.
+ */
+struct OwnedSpan
+{
+    std::shared_ptr<const void> owner;
+    const std::uint8_t* data{ nullptr };
+    std::size_t size{ 0 };
+    /** True when @p data points into memory owned elsewhere (a cached
+     * chunk) rather than a private copy made for this span — the
+     * zero-copy/range-copy accounting bit. */
+    bool borrowed{ false };
+};
+
+/** Lend [offsetInChunk, offsetInChunk + size) of @p chunk as a borrowed
+ * span. The span shares ownership of the whole chunk (aliasing-style), so
+ * the window stays valid for the span's lifetime regardless of cache
+ * eviction. */
+[[nodiscard]] inline OwnedSpan
+lendChunkSpan( std::shared_ptr<const DecodedChunk> chunk,
+               std::size_t offsetInChunk,
+               std::size_t size )
+{
+    OwnedSpan span;
+    span.data = chunk->data.data() + offsetInChunk;
+    span.size = size;
+    span.borrowed = true;
+    span.owner = std::move( chunk );
+    return span;
+}
+
+/**
  * Storage interface for decoded chunks, shared by the per-reader tier and
  * the process-wide tier (serve daemon): ChunkFetcher talks only to this.
  * Implementations must be safe to call from many threads — the fetcher

@@ -228,6 +228,26 @@ public:
     }
 
     /**
+     * Span-lending accessor: fetch chunk @p index (same cache/prefetch path
+     * as get()) and lend [offsetInChunk, offsetInChunk + size) of it as a
+     * refcounted borrowed span. The span pins the whole chunk, so the bytes
+     * survive both per-reader bridge-drop and shared-tier LRU eviction for
+     * as long as the caller holds the span — the primitive under the serve
+     * daemon's zero-copy response path. Throws when @p offsetInChunk lies
+     * beyond the decoded chunk; @p size is clamped to the chunk end.
+     */
+    [[nodiscard]] OwnedSpan
+    lendSpan( std::size_t index, std::size_t offsetInChunk, std::size_t size )
+    {
+        auto chunk = get( index );
+        if ( offsetInChunk >= chunk->data.size() ) {
+            throw RapidgzipError( "Span offset lies beyond the decoded chunk" );
+        }
+        const auto take = std::min( size, chunk->data.size() - offsetInChunk );
+        return lendChunkSpan( std::move( chunk ), offsetInChunk, take );
+    }
+
+    /**
      * Cache-populating decode that bypasses the prefetch strategy and the
      * statistics — used by the offset-discovery sweep so its work is not
      * thrown away and does not skew the strategy ablations. Errors surface

@@ -162,6 +162,35 @@ public:
         return produced;
     }
 
+    /** Zero-copy variant of readAt: lends refcounted spans straight out of
+     * the decoded chunks instead of copying. Each span holds a reference to
+     * its whole chunk, so the bytes outlive any cache eviction for as long
+     * as the caller keeps the span. Returns bytes appended (short at EOF). */
+    [[nodiscard]] std::size_t
+    readSpansAt( std::size_t offset, std::size_t size, std::vector<OwnedSpan>& spans )
+    {
+        ensureOffsetsKnown();
+        const auto totalSize = m_uncompressedOffsets.back();
+        std::size_t produced = 0;
+        while ( ( produced < size ) && ( offset < totalSize ) ) {
+            const auto next = std::upper_bound( m_uncompressedOffsets.begin(),
+                                                m_uncompressedOffsets.end(), offset );
+            const auto chunkIndex = static_cast<std::size_t>(
+                std::distance( m_uncompressedOffsets.begin(), next ) ) - 1U;
+            const auto chunk = m_fetcher->get( chunkIndex );
+            const auto offsetInChunk = offset - m_uncompressedOffsets[chunkIndex];
+            if ( offsetInChunk >= chunk->data.size() ) {
+                throw RapidgzipError( "Chunk size disagrees with the frame table — "
+                                      "corrupt stream or stale offsets" );
+            }
+            const auto take = std::min( size - produced, chunk->data.size() - offsetInChunk );
+            spans.push_back( lendChunkSpan( chunk, offsetInChunk, take ) );
+            produced += take;
+            offset += take;
+        }
+        return produced;
+    }
+
     /** Chunk-granular seek points: (compressed bit offset, uncompressed
      * offset) of every chunk start. */
     [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t> >

@@ -267,6 +267,39 @@ public:
         return produced;
     }
 
+    /** Zero-copy variant of read(): lends refcounted spans straight out of
+     * the decoded chunks instead of copying into a caller buffer. Each span
+     * keeps its whole chunk alive, so the window stays valid past cache
+     * eviction for as long as the caller holds the span. Returns bytes
+     * appended (short at EOF). */
+    [[nodiscard]] std::size_t
+    readSpans( std::size_t size, std::vector<OwnedSpan>& spans )
+    {
+        ensureOffsetsKnown();
+        const auto totalSize = m_uncompressedOffsets.back();
+
+        std::size_t produced = 0;
+        while ( ( produced < size ) && ( m_position < totalSize ) ) {
+            const auto next = std::upper_bound( m_uncompressedOffsets.begin(),
+                                                m_uncompressedOffsets.end(), m_position );
+            const auto chunkIndex = static_cast<std::size_t>(
+                std::distance( m_uncompressedOffsets.begin(), next ) ) - 1U;
+            const auto chunk = m_fetcher->get( chunkIndex );
+            const auto claimedSpan = m_uncompressedOffsets[chunkIndex + 1]
+                                     - m_uncompressedOffsets[chunkIndex];
+            if ( chunk->data.size() != claimedSpan ) {
+                throw RapidgzipError( "Chunk size disagrees with the gzip index — "
+                                      "stale or corrupt index" );
+            }
+            const auto offsetInChunk = m_position - m_uncompressedOffsets[chunkIndex];
+            const auto take = std::min( size - produced, chunk->data.size() - offsetInChunk );
+            spans.push_back( lendChunkSpan( chunk, offsetInChunk, take ) );
+            produced += take;
+            m_position += take;
+        }
+        return produced;
+    }
+
     /* --- index interface --------------------------------------------- */
 
     /**

@@ -123,6 +123,23 @@ public:
             uncompressedOffset, buffer, size );
     }
 
+    [[nodiscard]] std::size_t
+    readSpansAt( std::size_t uncompressedOffset,
+                 std::size_t size,
+                 std::vector<OwnedSpan>& spans ) override
+    {
+        const auto priorSpans = spans.size();
+        if ( m_parallelUsable ) {
+            try {
+                return m_parallel->readSpansAt( uncompressedOffset, size, spans );
+            } catch ( const RapidgzipError& ) {
+                m_parallelUsable = false;
+                spans.resize( priorSpans );  /* drop partial zero-copy progress */
+            }
+        }
+        return Decompressor::readSpansAt( uncompressedOffset, size, spans );
+    }
+
     [[nodiscard]] std::vector<SeekPoint>
     seekPoints() override
     {

@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "../common/Util.hpp"
+#include "../core/ChunkCache.hpp"
 #include "Format.hpp"
 
 namespace rapidgzip::formats {
@@ -65,6 +67,36 @@ public:
      * Returns bytes read (short only at end of stream). */
     [[nodiscard]] virtual std::size_t
     readAt( std::size_t uncompressedOffset, std::uint8_t* buffer, std::size_t size ) = 0;
+
+    /**
+     * Zero-copy random access: append up to @p size bytes at
+     * @p uncompressedOffset to @p spans as refcounted views. Backends with a
+     * chunked parallel reader lend spans straight out of cached decoded
+     * chunks (span.borrowed == true, no byte is copied; the span's owner
+     * reference keeps the chunk alive past LRU eviction for as long as the
+     * caller holds it). This default is the copying fallback: one readAt()
+     * into a private buffer wrapped as a single owned span
+     * (span.borrowed == false), so every backend supports the interface.
+     * Returns bytes appended (short only at end of stream).
+     */
+    [[nodiscard]] virtual std::size_t
+    readSpansAt( std::size_t uncompressedOffset,
+                 std::size_t size,
+                 std::vector<OwnedSpan>& spans )
+    {
+        auto buffer = std::make_shared<std::vector<std::uint8_t> >( size );
+        const auto got = readAt( uncompressedOffset, buffer->data(), size );
+        if ( got == 0 ) {
+            return 0;
+        }
+        OwnedSpan span;
+        span.data = buffer->data();
+        span.size = got;
+        span.borrowed = false;
+        span.owner = std::move( buffer );
+        spans.push_back( std::move( span ) );
+        return got;
+    }
 
     /** Positions decoding can resume from independently; empty when the
      * format exposes none (single-frame streams). */

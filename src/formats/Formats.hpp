@@ -70,6 +70,15 @@ public:
         return m_reader.read( buffer, size );
     }
 
+    [[nodiscard]] std::size_t
+    readSpansAt( std::size_t uncompressedOffset,
+                 std::size_t size,
+                 std::vector<OwnedSpan>& spans ) override
+    {
+        m_reader.seek( uncompressedOffset );
+        return m_reader.readSpans( size, spans );
+    }
+
     [[nodiscard]] std::vector<SeekPoint>
     seekPoints() override
     {

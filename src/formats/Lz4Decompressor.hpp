@@ -140,6 +140,17 @@ public:
             uncompressedOffset, buffer, size );
     }
 
+    [[nodiscard]] std::size_t
+    readSpansAt( std::size_t uncompressedOffset,
+                 std::size_t size,
+                 std::vector<OwnedSpan>& spans ) override
+    {
+        if ( m_allIndependent ) {
+            return m_parallel->readSpansAt( uncompressedOffset, size, spans );
+        }
+        return Decompressor::readSpansAt( uncompressedOffset, size, spans );
+    }
+
     [[nodiscard]] std::vector<SeekPoint>
     seekPoints() override
     {

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -252,19 +253,28 @@ struct ResolvedRange
 
 namespace detail {
 
-/** Strict non-negative decimal; false on empty/overflow/non-digits. */
+/** Strict non-negative decimal; false on empty/overflow/non-digits. The
+ * accumulate is overflow-checked at every step — a digit-count cap alone is
+ * NOT enough because 19-digit values can still exceed SIZE_MAX, and an
+ * unchecked wrap would turn e.g. "18446744073709551617" into 1 and resolve
+ * a Range header into a wrong-but-satisfiable range (RFC 9110 wants such
+ * values ignored, never served as different bytes). */
 [[nodiscard]] inline bool
 parseSize( const std::string& text, std::size_t& result )
 {
-    if ( text.empty() || ( text.size() > 19 ) ) {
-        return false;
+    if ( text.empty() || ( text.size() > 20 ) ) {
+        return false;  /* SIZE_MAX has 20 digits; longer cannot fit */
     }
     std::size_t value = 0;
     for ( const auto character : text ) {
         if ( ( character < '0' ) || ( character > '9' ) ) {
             return false;
         }
-        value = value * 10 + static_cast<std::size_t>( character - '0' );
+        const auto digit = static_cast<std::size_t>( character - '0' );
+        if ( value > ( std::numeric_limits<std::size_t>::max() - digit ) / 10 ) {
+            return false;  /* value * 10 + digit would exceed SIZE_MAX */
+        }
+        value = value * 10 + digit;
     }
     result = value;
     return true;

@@ -25,6 +25,14 @@ struct ServeMetrics
     telemetry::Counter& responses4xx;
     telemetry::Counter& responses5xx;
     telemetry::Counter& bytesServed;
+    /** Body bytes lent straight out of cached decoded chunks (borrowed
+     * spans, no copy) vs. bytes that went through a private range copy
+     * (the serial-fallback path). A healthy 200/206 hot path over chunked
+     * archives keeps rangeCopyBytes at 0 — serve_load asserts exactly
+     * that, and /metrics exposes both so the claim is checkable live. */
+    telemetry::Counter& zeroCopyBytes;
+    telemetry::Counter& rangeCopyBytes;
+    telemetry::Counter& zeroCopySpans;
     telemetry::Counter& connectionsAccepted;
     telemetry::Counter& timeoutsTotal;
     telemetry::Histogram& requestLatency;
@@ -40,6 +48,15 @@ struct ServeMetrics
             "rapidgzip_serve_responses_5xx_total", "Responses sent with a 5xx status." ) ),
         bytesServed( telemetry::Registry::instance().counter(
             "rapidgzip_serve_bytes_served_total", "Response body bytes served from archives." ) ),
+        zeroCopyBytes( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_zero_copy_bytes_total",
+            "Body bytes lent as refcounted spans of cached chunks (never copied)." ) ),
+        rangeCopyBytes( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_range_copy_bytes_total",
+            "Body bytes copied into a private buffer (serial-fallback reads only)." ) ),
+        zeroCopySpans( telemetry::Registry::instance().counter(
+            "rapidgzip_serve_zero_copy_spans_total",
+            "Refcounted chunk spans lent into responses." ) ),
         connectionsAccepted( telemetry::Registry::instance().counter(
             "rapidgzip_serve_connections_accepted_total", "Client connections accepted." ) ),
         timeoutsTotal( telemetry::Registry::instance().counter(

@@ -6,17 +6,21 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -40,6 +44,10 @@ struct ServerConfiguration
     std::size_t workerCount{ 4 };
     std::size_t cacheBytes{ 256 * MiB };
     std::size_t maxArchives{ 64 };
+    /** Event-loop shards (--threads). 0 = one per hardware thread. Each
+     * shard runs its own poll() loop with its own connection table; they
+     * share the registry, chunk cache, worker pool, and metrics. */
+    std::size_t shardCount{ 1 };
     /** Per-archive reader knobs. Keep parallelism modest: the daemon's
      * concurrency comes from many archives × many requests; each reader's
      * pool only bounds one chunk decode burst. */
@@ -47,8 +55,8 @@ struct ServerConfiguration
 
     /* --- robustness limits (0 disables the corresponding guard) -------- */
 
-    /** Accept gate: above this many live connections, new ones get an
-     * immediate 503 + Retry-After and are closed. */
+    /** Accept gate: above this many live connections ACROSS ALL SHARDS,
+     * new ones get an immediate 503 + Retry-After and are closed. */
     std::size_t maxConnections{ 1024 };
     /** A connection with a partial request buffered must complete the
      * header block within this window or it is answered 408 and closed —
@@ -70,24 +78,40 @@ struct ServerConfiguration
 };
 
 /**
- * The rapidgzip-serve daemon core: one event-loop thread multiplexing
- * non-blocking sockets with poll(), HTTP parsing and socket I/O on the
- * loop, decode work on a ThreadPool. Layering (see DESIGN.md "Serve"):
+ * The rapidgzip-serve daemon core: N event-loop shards, each a thread
+ * multiplexing non-blocking sockets with poll(), HTTP parsing and socket
+ * I/O on the shard's loop, decode work on one shared ThreadPool. Layering
+ * (see DESIGN.md "Serve"):
  *
- *   event loop ─ per-connection HTTP/1.1 state machines (keep-alive,
+ *   shard loops ─ per-connection HTTP/1.1 state machines (keep-alive,
  *   pipelining-safe: surplus bytes stay buffered until the in-flight
  *   response is sent, so requests are answered strictly in order)
- *        │ submit(connection id, request)
- *   worker pool ─ ArchiveRegistry lease → Decompressor::readAt
- *        │ completion queue + self-pipe wakeup
- *   event loop ─ write responses, resume parsing
+ *        │ submit(shard, connection id, request)
+ *   worker pool ─ ArchiveRegistry lease → Decompressor::readSpansAt
+ *        │ per-shard completion queue + self-pipe wakeup
+ *   shard loops ─ writev responses, resume parsing
  *
- * Connections are addressed by monotonic ids, never raw fds — a worker
- * completion for a connection that died meanwhile must not reach whoever
- * inherited the fd number.
+ * Incoming connections are distributed by SO_REUSEPORT: every shard binds
+ * its own listener to the same address and the kernel spreads accepts by
+ * 4-tuple hash. Where SO_REUSEPORT is unavailable the server falls back to
+ * accepting on shard 0 only and handing accepted fds round-robin to the
+ * other shards' inboxes (self-pipe wakeup, same as completions).
  *
- * Thread model: construct + start() + run() from one thread; stop() and
- * port() are safe from any thread.
+ * Responses are ZERO-COPY: a response is a small header string plus a body
+ * of refcounted spans lent straight out of cached decoded chunks, flushed
+ * with scatter-gather sendmsg(). Each span shares ownership of its chunk,
+ * so LRU eviction can never free bytes an in-flight write still points at —
+ * the bytes die exactly when the last span drops, at flush or close.
+ *
+ * Connections are addressed by monotonic process-wide ids, never raw fds —
+ * a worker completion for a connection that died meanwhile must not reach
+ * whoever inherited the fd number.
+ *
+ * Thread model: construct + start() + run() from one thread; stop(),
+ * beginDrain(), and port() are safe from any thread. The shared state the
+ * shards touch concurrently — registry, chunk cache, telemetry registry,
+ * worker pool, and the stop/drain/admission atomics — is thread-safe by
+ * construction; everything per-connection is confined to its shard.
  */
 class Server
 {
@@ -106,55 +130,59 @@ public:
         telemetry::setMetricsEnabled( true );
     }
 
-    ~Server()
-    {
-        closeFd( m_listenFd );
-        closeFd( m_wakeRead );
-        closeFd( m_wakeWrite );
-    }
+    ~Server() = default;
 
     Server( const Server& ) = delete;
     Server& operator=( const Server& ) = delete;
 
-    /** Bind + listen; after this, port() reports the actual port. */
+    /** Bind + listen on every shard; after this, port() reports the actual
+     * port. */
     void
     start()
     {
-        int pipeFds[2];
-        if ( ::pipe( pipeFds ) != 0 ) {
-            throw FileIoError( "pipe() failed: " + std::string( std::strerror( errno ) ) );
+        const auto shardCount = m_configuration.shardCount == 0
+                                ? std::max<std::size_t>( 1, std::thread::hardware_concurrency() )
+                                : m_configuration.shardCount;
+        for ( std::size_t i = 0; i < shardCount; ++i ) {
+            m_shards.push_back( std::make_unique<Shard>( this, i ) );
         }
-        m_wakeRead = pipeFds[0];
-        m_wakeWrite = pipeFds[1];
-        setNonBlocking( m_wakeRead );
-        setNonBlocking( m_wakeWrite );
 
-        m_listenFd = ::socket( AF_INET, SOCK_STREAM, 0 );
-        if ( m_listenFd < 0 ) {
-            throw FileIoError( "socket() failed: " + std::string( std::strerror( errno ) ) );
-        }
-        const int enable = 1;
-        ::setsockopt( m_listenFd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof( enable ) );
-
-        sockaddr_in address{};
-        address.sin_family = AF_INET;
-        address.sin_port = htons( m_configuration.port );
-        if ( ::inet_pton( AF_INET, m_configuration.bindAddress.c_str(), &address.sin_addr ) != 1 ) {
-            throw FileIoError( "Invalid bind address: " + m_configuration.bindAddress );
-        }
-        if ( ::bind( m_listenFd, reinterpret_cast<sockaddr*>( &address ), sizeof( address ) ) != 0 ) {
-            throw FileIoError( "bind() failed: " + std::string( std::strerror( errno ) ) );
-        }
-        if ( ::listen( m_listenFd, 256 ) != 0 ) {
-            throw FileIoError( "listen() failed: " + std::string( std::strerror( errno ) ) );
-        }
-        setNonBlocking( m_listenFd );
+        /* Shard 0 binds first (possibly to an ephemeral port) with
+         * SO_REUSEPORT already set when more shards will join — the option
+         * must be on EVERY socket in the group, including the first, before
+         * bind. setsockopt failure just means single-listener fallback. */
+        bool reusePort = shardCount > 1;
+        m_shards[0]->listenFd = openListener( m_configuration.port, reusePort );
 
         sockaddr_in bound{};
         socklen_t boundSize = sizeof( bound );
-        if ( ::getsockname( m_listenFd, reinterpret_cast<sockaddr*>( &bound ), &boundSize ) == 0 ) {
+        if ( ::getsockname( m_shards[0]->listenFd,
+                            reinterpret_cast<sockaddr*>( &bound ), &boundSize ) == 0 ) {
             m_port.store( ntohs( bound.sin_port ) );
         }
+
+        for ( std::size_t i = 1; reusePort && ( i < m_shards.size() ); ++i ) {
+            bool shardReuse = true;
+            int fd = -1;
+            try {
+                fd = openListener( m_port.load(), shardReuse );
+            } catch ( const FileIoError& ) {
+                fd = -1;
+            }
+            if ( ( fd < 0 ) || !shardReuse ) {
+                /* SO_REUSEPORT did not take (old kernel, exotic platform):
+                 * close any extra listeners and fall back to accept-on-
+                 * shard-0 with fd handoff. */
+                closeFd( fd );
+                for ( std::size_t j = 1; j < i; ++j ) {
+                    closeFd( m_shards[j]->listenFd );
+                }
+                reusePort = false;
+                break;
+            }
+            m_shards[i]->listenFd = fd;
+        }
+        m_fdHandoff = !reusePort && ( m_shards.size() > 1 );
     }
 
     [[nodiscard]] std::uint16_t
@@ -163,25 +191,40 @@ public:
         return m_port.load();
     }
 
+    /** Event-loop shards actually running (after start()). */
+    [[nodiscard]] std::size_t
+    shardCount() const noexcept
+    {
+        return m_shards.size();
+    }
+
+    /** True when accepts funnel through shard 0 (no SO_REUSEPORT). */
+    [[nodiscard]] bool
+    usesFdHandoff() const noexcept
+    {
+        return m_fdHandoff;
+    }
+
     /** Safe from any thread (and from within run()'s workers). */
     void
     stop()
     {
         m_stopRequested.store( true );
-        wake();
+        wakeAllShards();
     }
 
     /**
      * Graceful drain, safe from any thread and from signal handlers
-     * (atomic store + self-pipe write): stop accepting, flip /readyz to
-     * 503, let in-flight requests finish within drainTimeoutMs, then
-     * return from run(). A subsequent stop() still hard-stops.
+     * (atomic store + self-pipe writes): every shard stops accepting,
+     * /readyz flips to 503 process-wide, in-flight requests finish within
+     * drainTimeoutMs, then run() returns. A subsequent stop() still
+     * hard-stops.
      */
     void
     beginDrain()
     {
         m_drainRequested.store( true );
-        wake();
+        wakeAllShards();
     }
 
     [[nodiscard]] bool
@@ -202,113 +245,26 @@ public:
         return *m_sharedCache;
     }
 
-    /** Blocking event loop; returns after stop() or a completed drain. */
+    /** Blocking: runs shard 0's loop on the calling thread and one thread
+     * per further shard; returns after stop() or a completed drain. */
     void
     run()
     {
-        std::vector<pollfd> pollFds;
-        std::vector<std::uint64_t> pollIds;  /* connection id per pollFds slot, 0 = special */
-
-        while ( !m_stopRequested.load() ) {
-            drainCompletions();
-
-            /* Drain transitions happen here, on the loop thread: stop
-             * accepting (close the listen socket), stamp the deadline,
-             * then below close everything idle and wait out in-flight
-             * work. /readyz flipped to 503 the moment the flag was set. */
-            if ( m_drainRequested.load() && !m_drainActive ) {
-                m_drainActive = true;
-                m_drainDeadlineMs = nowMs() + m_configuration.drainTimeoutMs;
-                closeFd( m_listenFd );
-            }
-            if ( m_drainActive ) {
-                closeIdleForDrain();
-                if ( m_connections.empty() || ( nowMs() >= m_drainDeadlineMs ) ) {
-                    break;
-                }
-            }
-
-            pollFds.clear();
-            pollIds.clear();
-            pollFds.push_back( { m_wakeRead, POLLIN, 0 } );
-            pollIds.push_back( 0 );
-            const bool hasListen = m_listenFd >= 0;
-            if ( hasListen ) {
-                pollFds.push_back( { m_listenFd, POLLIN, 0 } );
-                pollIds.push_back( 0 );
-            }
-            for ( auto& [id, connection] : m_connections ) {
-                short events = 0;
-                /* Backpressure: while a response is being computed or
-                 * written, stop reading — pipelined bytes already received
-                 * stay in the parser buffer. */
-                if ( !connection.awaitingResponse && connection.outbox.empty()
-                     && !connection.peerClosed ) {
-                    events |= POLLIN;
-                }
-                if ( !connection.outbox.empty() ) {
-                    events |= POLLOUT;
-                }
-                pollFds.push_back( { connection.fd, events, 0 } );
-                pollIds.push_back( id );
-            }
-
-            if ( ::poll( pollFds.data(), pollFds.size(), pollTimeoutMs() ) < 0 ) {
-                if ( errno == EINTR ) {
-                    continue;
-                }
-                break;
-            }
-
-            if ( ( pollFds[0].revents & POLLIN ) != 0 ) {
-                char sink[256];
-                while ( ::read( m_wakeRead, sink, sizeof( sink ) ) > 0 ) {}
-            }
-            drainCompletions();
-
-            std::size_t firstConnectionSlot = 1;
-            if ( hasListen ) {
-                if ( ( pollFds[1].revents & POLLIN ) != 0 ) {
-                    acceptNewConnections();
-                }
-                firstConnectionSlot = 2;
-            }
-
-            for ( std::size_t i = firstConnectionSlot; i < pollFds.size(); ++i ) {
-                const auto id = pollIds[i];
-                const auto match = m_connections.find( id );
-                if ( match == m_connections.end() ) {
-                    continue;  /* closed by an earlier event this round */
-                }
-                auto& connection = match->second;
-                const auto revents = pollFds[i].revents;
-                if ( ( revents & ( POLLERR | POLLNVAL ) ) != 0 ) {
-                    closeConnection( id );
-                    continue;
-                }
-                if ( ( revents & ( POLLIN | POLLHUP ) ) != 0 ) {
-                    if ( !handleReadable( connection ) ) {
-                        closeConnection( id );
-                        continue;
-                    }
-                }
-                if ( ( revents & POLLOUT ) != 0 ) {
-                    if ( !handleWritable( connection ) ) {
-                        closeConnection( id );
-                        continue;
-                    }
-                }
-            }
-
-            enforceDeadlines();
+        std::vector<std::thread> shardThreads;
+        shardThreads.reserve( m_shards.size() > 0 ? m_shards.size() - 1 : 0 );
+        for ( std::size_t i = 1; i < m_shards.size(); ++i ) {
+            shardThreads.emplace_back( [shard = m_shards[i].get()] () { shard->loop(); } );
         }
-
-        /* Shutdown: drop connections; in-flight worker tasks complete into
-         * the queue and are discarded with it. */
-        for ( auto& [id, connection] : m_connections ) {
-            closeFd( connection.fd );
+        if ( !m_shards.empty() ) {
+            m_shards[0]->loop();
         }
-        m_connections.clear();
+        /* Shard 0 finishing (stop or drained) must release the others even
+         * if their own wakeups raced: stop-vs-drain semantics are shared
+         * atomics, so one more wake round is enough. */
+        wakeAllShards();
+        for ( auto& thread : shardThreads ) {
+            thread.join();
+        }
     }
 
 private:
@@ -320,18 +276,38 @@ private:
         bool awaitingResponse{ false };
         bool peerClosed{ false };
         bool closeAfterFlush{ false };
-        std::string outbox;
+        /** Outbox = header bytes + refcounted body spans, flushed with
+         * scatter-gather sendmsg. The spans hold their chunks alive until
+         * the flush completes (or the connection dies). */
+        std::string outboxHead;
+        std::vector<OwnedSpan> outboxBody;
         std::size_t outboxSent{ 0 };
+        std::size_t outboxTotal{ 0 };
         /** Last observed progress (accept, read bytes, wrote bytes,
          * response queued) — the reference point for every deadline. */
         std::uint64_t lastActivityMs{ 0 };
+
+        [[nodiscard]] bool
+        hasOutbox() const noexcept
+        {
+            return outboxTotal > 0;
+        }
+    };
+
+    /** A finished response: small head string (status line + headers, plus
+     * the whole body for error/endpoint responses) and zero-copy spans for
+     * archive bodies. */
+    struct Response
+    {
+        std::string head;
+        std::vector<OwnedSpan> body;
+        bool keepAlive{ true };
     };
 
     struct Completion
     {
         std::uint64_t connectionId{ 0 };
-        std::string response;
-        bool keepAlive{ true };
+        Response response;
     };
 
     [[nodiscard]] static std::uint64_t
@@ -340,106 +316,6 @@ private:
         return static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 std::chrono::steady_clock::now().time_since_epoch() ).count() );
-    }
-
-    /** Absolute deadline for @p connection, 0 when none applies. While a
-     * worker computes the response no socket deadline runs — the decode
-     * layer bounds that work with its own retry budget. */
-    [[nodiscard]] std::uint64_t
-    connectionDeadlineMs( const Connection& connection ) const
-    {
-        const auto after = [&] ( std::uint32_t timeoutMs ) -> std::uint64_t {
-            return timeoutMs == 0 ? 0 : connection.lastActivityMs + timeoutMs;
-        };
-        if ( connection.awaitingResponse ) {
-            return 0;
-        }
-        if ( !connection.outbox.empty() ) {
-            return after( m_configuration.writeTimeoutMs );
-        }
-        if ( connection.parser.bufferedBytes() > 0 ) {
-            return after( m_configuration.headerReadTimeoutMs );
-        }
-        return after( m_configuration.idleTimeoutMs );
-    }
-
-    /** Poll timeout from the nearest connection (or drain) deadline, capped
-     * at the historic 1 s heartbeat. */
-    [[nodiscard]] int
-    pollTimeoutMs() const
-    {
-        std::uint64_t nearest = UINT64_MAX;
-        for ( const auto& [id, connection] : m_connections ) {
-            if ( const auto deadline = connectionDeadlineMs( connection ); deadline != 0 ) {
-                nearest = std::min( nearest, deadline );
-            }
-        }
-        if ( m_drainActive ) {
-            nearest = std::min( nearest, m_drainDeadlineMs );
-        }
-        if ( nearest == UINT64_MAX ) {
-            return 1000;
-        }
-        const auto now = nowMs();
-        const auto wait = nearest > now ? nearest - now : 0;
-        return static_cast<int>( std::min<std::uint64_t>( wait, 1000 ) );
-    }
-
-    /** Close (or 408) every connection whose deadline has passed. */
-    void
-    enforceDeadlines()
-    {
-        const auto now = nowMs();
-        std::vector<std::uint64_t> expired;
-        for ( const auto& [id, connection] : m_connections ) {
-            const auto deadline = connectionDeadlineMs( connection );
-            if ( ( deadline != 0 ) && ( now >= deadline ) ) {
-                expired.push_back( id );
-            }
-        }
-        for ( const auto id : expired ) {
-            const auto match = m_connections.find( id );
-            if ( match == m_connections.end() ) {
-                continue;
-            }
-            auto& connection = match->second;
-            if ( connection.outbox.empty() && ( connection.parser.bufferedBytes() > 0 ) ) {
-                /* Slow loris: a partial request that never completed. Tell
-                 * the peer (best effort — it may not be reading) and close
-                 * once flushed; the write deadline bounds the flush. */
-                m_metrics.timeoutsTotal.addUnchecked( 1 );
-                m_metrics.countStatus( 408 );
-                connection.outbox = buildResponse( 408, {}, reasonPhrase( 408 ),
-                                                   /* keepAlive */ false );
-                connection.outboxSent = 0;
-                connection.closeAfterFlush = true;
-                connection.lastActivityMs = now;
-                if ( !handleWritable( connection ) ) {
-                    closeConnection( id );
-                }
-            } else if ( !connection.outbox.empty() ) {
-                m_metrics.timeoutsTotal.addUnchecked( 1 );  /* stalled write */
-                closeConnection( id );
-            } else {
-                closeConnection( id );  /* idle keep-alive: silent close */
-            }
-        }
-    }
-
-    /** During drain, a connection with no request in flight has nothing
-     * left to contribute — close it so the loop can wind down. */
-    void
-    closeIdleForDrain()
-    {
-        std::vector<std::uint64_t> idle;
-        for ( const auto& [id, connection] : m_connections ) {
-            if ( !connection.awaitingResponse && connection.outbox.empty() ) {
-                idle.push_back( id );
-            }
-        }
-        for ( const auto id : idle ) {
-            closeConnection( id );
-        }
     }
 
     static void
@@ -458,215 +334,664 @@ private:
         }
     }
 
-    void
-    wake()
+    /** Create + bind + listen a non-blocking listener. @p reusePort is
+     * in-out: requests SO_REUSEPORT, cleared when the option did not take
+     * (caller decides on the fd-handoff fallback). Throws on bind/listen
+     * failure. */
+    [[nodiscard]] int
+    openListener( std::uint16_t port, bool& reusePort ) const
     {
-        const char byte = 1;
-        (void)!::write( m_wakeWrite, &byte, 1 );
+        int fd = ::socket( AF_INET, SOCK_STREAM, 0 );
+        if ( fd < 0 ) {
+            throw FileIoError( "socket() failed: " + std::string( std::strerror( errno ) ) );
+        }
+        const int enable = 1;
+        ::setsockopt( fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof( enable ) );
+        if ( reusePort ) {
+#if defined( SO_REUSEPORT )
+            if ( ::setsockopt( fd, SOL_SOCKET, SO_REUSEPORT, &enable, sizeof( enable ) ) != 0 ) {
+                reusePort = false;
+            }
+#else
+            reusePort = false;
+#endif
+        }
+
+        sockaddr_in address{};
+        address.sin_family = AF_INET;
+        address.sin_port = htons( port );
+        if ( ::inet_pton( AF_INET, m_configuration.bindAddress.c_str(), &address.sin_addr ) != 1 ) {
+            ::close( fd );
+            throw FileIoError( "Invalid bind address: " + m_configuration.bindAddress );
+        }
+        if ( ::bind( fd, reinterpret_cast<sockaddr*>( &address ), sizeof( address ) ) != 0 ) {
+            const auto message = std::string( std::strerror( errno ) );
+            ::close( fd );
+            throw FileIoError( "bind() failed: " + message );
+        }
+        if ( ::listen( fd, 256 ) != 0 ) {
+            const auto message = std::string( std::strerror( errno ) );
+            ::close( fd );
+            throw FileIoError( "listen() failed: " + message );
+        }
+        setNonBlocking( fd );
+        return fd;
     }
 
     void
-    acceptNewConnections()
+    wakeAllShards()
     {
-        while ( true ) {
-            const int fd = ::accept( m_listenFd, nullptr, nullptr );
-            if ( fd < 0 ) {
-                if ( errno == EINTR ) {
+        for ( auto& shard : m_shards ) {
+            shard->wake();
+        }
+    }
+
+    /* --- one event-loop shard ------------------------------------------ */
+
+    struct Shard
+    {
+        Shard( Server* owner, std::size_t shardIndex ) :
+            server( owner ),
+            index( shardIndex )
+        {
+            int pipeFds[2];
+            if ( ::pipe( pipeFds ) != 0 ) {
+                throw FileIoError( "pipe() failed: " + std::string( std::strerror( errno ) ) );
+            }
+            wakeRead = pipeFds[0];
+            wakeWrite = pipeFds[1];
+            setNonBlocking( wakeRead );
+            setNonBlocking( wakeWrite );
+        }
+
+        ~Shard()
+        {
+            for ( auto& [id, connection] : connections ) {
+                closeFd( connection.fd );
+                server->m_liveConnections.fetch_sub( 1 );
+            }
+            connections.clear();
+            for ( auto fd : inbox ) {
+                ::close( fd );
+                server->m_liveConnections.fetch_sub( 1 );
+            }
+            inbox.clear();
+            closeFd( listenFd );
+            closeFd( wakeRead );
+            closeFd( wakeWrite );
+        }
+
+        Shard( const Shard& ) = delete;
+        Shard& operator=( const Shard& ) = delete;
+
+        void
+        wake()
+        {
+            const char byte = 1;
+            (void)!::write( wakeWrite, &byte, 1 );
+        }
+
+        /** This shard's poll loop; returns on stop() or completed drain. */
+        void
+        loop()
+        {
+            std::vector<pollfd> pollFds;
+            std::vector<std::uint64_t> pollIds;  /* connection id per slot, 0 = special */
+
+            while ( !server->m_stopRequested.load() ) {
+                drainInbox();
+                drainCompletions();
+
+                /* Drain transitions happen here, on the shard's own thread:
+                 * every shard observes the shared flag, closes ITS listener,
+                 * stamps ITS deadline, and winds down its own connections —
+                 * the sweep covers all shards, not just the one whose thread
+                 * handled the signal. /readyz flipped to 503 process-wide
+                 * the moment the flag was set. */
+                if ( server->m_drainRequested.load() && !drainActive ) {
+                    drainActive = true;
+                    drainDeadlineMs = nowMs() + server->m_configuration.drainTimeoutMs;
+                    closeFd( listenFd );
+                }
+                if ( drainActive ) {
+                    drainInbox();
+                    closeIdleForDrain();
+                    if ( connections.empty() || ( nowMs() >= drainDeadlineMs ) ) {
+                        break;
+                    }
+                }
+
+                pollFds.clear();
+                pollIds.clear();
+                pollFds.push_back( { wakeRead, POLLIN, 0 } );
+                pollIds.push_back( 0 );
+                const bool hasListen = listenFd >= 0;
+                if ( hasListen ) {
+                    pollFds.push_back( { listenFd, POLLIN, 0 } );
+                    pollIds.push_back( 0 );
+                }
+                for ( auto& [id, connection] : connections ) {
+                    short events = 0;
+                    /* Backpressure: while a response is being computed or
+                     * written, stop reading — pipelined bytes already
+                     * received stay in the parser buffer. */
+                    if ( !connection.awaitingResponse && !connection.hasOutbox()
+                         && !connection.peerClosed ) {
+                        events |= POLLIN;
+                    }
+                    if ( connection.hasOutbox() ) {
+                        events |= POLLOUT;
+                    }
+                    pollFds.push_back( { connection.fd, events, 0 } );
+                    pollIds.push_back( id );
+                }
+
+                if ( ::poll( pollFds.data(), pollFds.size(), pollTimeoutMs() ) < 0 ) {
+                    if ( errno == EINTR ) {
+                        continue;
+                    }
+                    break;
+                }
+
+                if ( ( pollFds[0].revents & POLLIN ) != 0 ) {
+                    char sink[256];
+                    while ( ::read( wakeRead, sink, sizeof( sink ) ) > 0 ) {}
+                }
+                drainInbox();
+                drainCompletions();
+
+                std::size_t firstConnectionSlot = 1;
+                if ( hasListen ) {
+                    if ( ( pollFds[1].revents & POLLIN ) != 0 ) {
+                        acceptNewConnections();
+                    }
+                    firstConnectionSlot = 2;
+                }
+
+                for ( std::size_t i = firstConnectionSlot; i < pollFds.size(); ++i ) {
+                    const auto id = pollIds[i];
+                    const auto match = connections.find( id );
+                    if ( match == connections.end() ) {
+                        continue;  /* closed by an earlier event this round */
+                    }
+                    auto& connection = match->second;
+                    const auto revents = pollFds[i].revents;
+                    if ( ( revents & ( POLLERR | POLLNVAL ) ) != 0 ) {
+                        closeConnection( id );
+                        continue;
+                    }
+                    if ( ( revents & ( POLLIN | POLLHUP ) ) != 0 ) {
+                        if ( !handleReadable( connection ) ) {
+                            closeConnection( id );
+                            continue;
+                        }
+                    }
+                    if ( ( revents & POLLOUT ) != 0 ) {
+                        if ( !handleWritable( connection ) ) {
+                            closeConnection( id );
+                            continue;
+                        }
+                    }
+                }
+
+                enforceDeadlines();
+            }
+
+            /* Shutdown: drop connections; in-flight worker tasks complete
+             * into the queue and are discarded with it. */
+            for ( auto& [id, connection] : connections ) {
+                closeFd( connection.fd );
+                server->m_liveConnections.fetch_sub( 1 );
+            }
+            connections.clear();
+        }
+
+        /** Absolute deadline for @p connection, 0 when none applies. While
+         * a worker computes the response no socket deadline runs — the
+         * decode layer bounds that work with its own retry budget. */
+        [[nodiscard]] std::uint64_t
+        connectionDeadlineMs( const Connection& connection ) const
+        {
+            const auto& configuration = server->m_configuration;
+            const auto after = [&] ( std::uint32_t timeoutMs ) -> std::uint64_t {
+                return timeoutMs == 0 ? 0 : connection.lastActivityMs + timeoutMs;
+            };
+            if ( connection.awaitingResponse ) {
+                return 0;
+            }
+            if ( connection.hasOutbox() ) {
+                return after( configuration.writeTimeoutMs );
+            }
+            if ( connection.parser.bufferedBytes() > 0 ) {
+                return after( configuration.headerReadTimeoutMs );
+            }
+            return after( configuration.idleTimeoutMs );
+        }
+
+        /** Poll timeout from the nearest connection (or drain) deadline,
+         * capped at the historic 1 s heartbeat. */
+        [[nodiscard]] int
+        pollTimeoutMs() const
+        {
+            std::uint64_t nearest = UINT64_MAX;
+            for ( const auto& [id, connection] : connections ) {
+                if ( const auto deadline = connectionDeadlineMs( connection ); deadline != 0 ) {
+                    nearest = std::min( nearest, deadline );
+                }
+            }
+            if ( drainActive ) {
+                nearest = std::min( nearest, drainDeadlineMs );
+            }
+            if ( nearest == UINT64_MAX ) {
+                return 1000;
+            }
+            const auto now = nowMs();
+            const auto wait = nearest > now ? nearest - now : 0;
+            return static_cast<int>( std::min<std::uint64_t>( wait, 1000 ) );
+        }
+
+        /** Close (or 408) every connection whose deadline has passed. */
+        void
+        enforceDeadlines()
+        {
+            const auto now = nowMs();
+            std::vector<std::uint64_t> expired;
+            for ( const auto& [id, connection] : connections ) {
+                const auto deadline = connectionDeadlineMs( connection );
+                if ( ( deadline != 0 ) && ( now >= deadline ) ) {
+                    expired.push_back( id );
+                }
+            }
+            for ( const auto id : expired ) {
+                const auto match = connections.find( id );
+                if ( match == connections.end() ) {
                     continue;
                 }
-                break;  /* EAGAIN or transient error: poll again */
+                auto& connection = match->second;
+                if ( !connection.hasOutbox() && ( connection.parser.bufferedBytes() > 0 ) ) {
+                    /* Slow loris: a partial request that never completed.
+                     * Tell the peer (best effort — it may not be reading)
+                     * and close once flushed; the write deadline bounds the
+                     * flush. */
+                    server->m_metrics.timeoutsTotal.addUnchecked( 1 );
+                    server->m_metrics.countStatus( 408 );
+                    queueHeadOnly( connection,
+                                   buildResponse( 408, {}, reasonPhrase( 408 ),
+                                                  /* keepAlive */ false ) );
+                    connection.closeAfterFlush = true;
+                    connection.lastActivityMs = now;
+                    if ( !handleWritable( connection ) ) {
+                        closeConnection( id );
+                    }
+                } else if ( connection.hasOutbox() ) {
+                    server->m_metrics.timeoutsTotal.addUnchecked( 1 );  /* stalled write */
+                    closeConnection( id );
+                } else {
+                    closeConnection( id );  /* idle keep-alive: silent close */
+                }
             }
-            if ( ( m_configuration.maxConnections > 0 )
-                 && ( m_connections.size() >= m_configuration.maxConnections ) ) {
-                rejectConnection( fd );
-                continue;
+        }
+
+        /** During drain, a connection with no request in flight has nothing
+         * left to contribute — close it so the loop can wind down. */
+        void
+        closeIdleForDrain()
+        {
+            std::vector<std::uint64_t> idle;
+            for ( const auto& [id, connection] : connections ) {
+                if ( !connection.awaitingResponse && !connection.hasOutbox() ) {
+                    idle.push_back( id );
+                }
             }
+            for ( const auto id : idle ) {
+                closeConnection( id );
+            }
+        }
+
+        /** Register an already-accepted, already-counted fd with this
+         * shard's connection table. */
+        void
+        adoptConnection( int fd )
+        {
             setNonBlocking( fd );
             const int enable = 1;
             ::setsockopt( fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof( enable ) );
             Connection connection;
             connection.fd = fd;
-            connection.id = ++m_nextConnectionId;
+            connection.id = server->m_nextConnectionId.fetch_add( 1 ) + 1;
             connection.lastActivityMs = nowMs();
-            m_metrics.connectionsAccepted.addUnchecked( 1 );
-            m_connections.emplace( connection.id, std::move( connection ) );
+            server->m_metrics.connectionsAccepted.addUnchecked( 1 );
+            connections.emplace( connection.id, std::move( connection ) );
         }
-    }
 
-    /** Admission refusal: one best-effort 503 (the socket buffer of a
-     * fresh connection always takes it) and an immediate close. */
-    void
-    rejectConnection( int fd )
-    {
-        m_metrics.countRejected( "max_connections" );
-        m_metrics.countStatus( 503 );
-        const auto response = buildResponse( 503, "Retry-After: 1\r\n",
-                                             "server connection limit reached\n",
-                                             /* keepAlive */ false );
-        (void)!::send( fd, response.data(), response.size(), MSG_NOSIGNAL );
-        ::close( fd );
-    }
-
-    void
-    closeConnection( std::uint64_t id )
-    {
-        const auto match = m_connections.find( id );
-        if ( match != m_connections.end() ) {
-            closeFd( match->second.fd );
-            m_connections.erase( match );
-        }
-    }
-
-    /** Returns false when the connection should be closed. */
-    [[nodiscard]] bool
-    handleReadable( Connection& connection )
-    {
-        char buffer[16 * 1024];
-        while ( true ) {
-            const auto got = ::recv( connection.fd, buffer, sizeof( buffer ), 0 );
-            if ( got > 0 ) {
-                connection.parser.feed( buffer, static_cast<std::size_t>( got ) );
-                connection.lastActivityMs = nowMs();
-                continue;
-            }
-            if ( got == 0 ) {
-                connection.peerClosed = true;
-                break;
-            }
-            if ( errno == EINTR ) {
-                continue;  /* interrupted, not an error */
-            }
-            if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
-                break;
-            }
-            return false;  /* hard error */
-        }
-        if ( !tryDispatch( connection ) ) {
-            return false;
-        }
-        /* Peer is gone and nothing is pending: nothing left to do. */
-        return !( connection.peerClosed && !connection.awaitingResponse
-                  && connection.outbox.empty() );
-    }
-
-    /** Parse and dispatch the next buffered request, if any. Returns false
-     * when the connection should be closed immediately. */
-    [[nodiscard]] bool
-    tryDispatch( Connection& connection )
-    {
-        if ( connection.awaitingResponse || !connection.outbox.empty() ) {
-            return true;  /* strictly one response in flight per connection */
-        }
-        HttpRequest request;
-        if ( connection.parser.next( request ) ) {
-            connection.awaitingResponse = true;
-            m_metrics.requestsTotal.addUnchecked( 1 );
-            const auto id = connection.id;
-            (void)m_workers.submit( [this, id, request = std::move( request )] () {
-                Completion completion;
-                completion.connectionId = id;
-                completion.keepAlive = request.keepAlive();
-                const auto beginNs = telemetry::nowNs();
-                {
-                    telemetry::Span requestSpan{ "serve", "serve.request" };
-                    completion.response = handleRequest( request, completion.keepAlive );
+        void
+        acceptNewConnections()
+        {
+            while ( true ) {
+                const int fd = ::accept( listenFd, nullptr, nullptr );
+                if ( fd < 0 ) {
+                    if ( errno == EINTR ) {
+                        continue;
+                    }
+                    break;  /* EAGAIN or transient error: poll again */
                 }
-                m_metrics.requestLatency.recordUnchecked( telemetry::nowNs() - beginNs );
-                {
-                    const std::lock_guard<std::mutex> lock( m_completionMutex );
-                    m_completions.push_back( std::move( completion ) );
+                const auto limit = server->m_configuration.maxConnections;
+                /* The admission count spans all shards (and fds parked in
+                 * handoff inboxes), so the global gate holds no matter
+                 * which listener the kernel picked. */
+                const auto live = server->m_liveConnections.fetch_add( 1 ) + 1;
+                if ( ( limit > 0 ) && ( live > limit ) ) {
+                    server->m_liveConnections.fetch_sub( 1 );
+                    rejectConnection( fd );
+                    continue;
                 }
-                wake();
-            } );
+                if ( server->m_fdHandoff && ( server->m_shards.size() > 1 ) ) {
+                    /* No SO_REUSEPORT: shard 0 owns the only listener and
+                     * deals accepted fds round-robin across all shards. */
+                    const auto target = handoffCursor++ % server->m_shards.size();
+                    if ( target != index ) {
+                        auto& peer = *server->m_shards[target];
+                        {
+                            const std::lock_guard<std::mutex> lock( peer.inboxMutex );
+                            peer.inbox.push_back( fd );
+                        }
+                        peer.wake();
+                        continue;
+                    }
+                }
+                adoptConnection( fd );
+            }
+        }
+
+        /** Adopt fds handed off by the accepting shard. */
+        void
+        drainInbox()
+        {
+            std::vector<int> handed;
+            {
+                const std::lock_guard<std::mutex> lock( inboxMutex );
+                handed.swap( inbox );
+            }
+            for ( const auto fd : handed ) {
+                adoptConnection( fd );
+            }
+        }
+
+        /** Admission refusal: one best-effort 503 (the socket buffer of a
+         * fresh connection always takes it) and an immediate close. The
+         * send result is deliberately not classified — 0, -1, or short,
+         * the very next call closes the socket, so no errno (stale or
+         * otherwise) can change the outcome. */
+        void
+        rejectConnection( int fd )
+        {
+            server->m_metrics.countRejected( "max_connections" );
+            server->m_metrics.countStatus( 503 );
+            const auto response = buildResponse( 503, "Retry-After: 1\r\n",
+                                                 "server connection limit reached\n",
+                                                 /* keepAlive */ false );
+            const auto sent = ::send( fd, response.data(), response.size(), MSG_NOSIGNAL );
+            (void)sent;
+            ::close( fd );
+        }
+
+        void
+        closeConnection( std::uint64_t id )
+        {
+            const auto match = connections.find( id );
+            if ( match != connections.end() ) {
+                closeFd( match->second.fd );
+                connections.erase( match );
+                server->m_liveConnections.fetch_sub( 1 );
+            }
+        }
+
+        /** Queue a fully serialized response (error/endpoint payloads). */
+        static void
+        queueHeadOnly( Connection& connection, std::string serialized )
+        {
+            connection.outboxHead = std::move( serialized );
+            connection.outboxBody.clear();
+            connection.outboxSent = 0;
+            connection.outboxTotal = connection.outboxHead.size();
+        }
+
+        static void
+        queueResponse( Connection& connection, Response&& response )
+        {
+            connection.outboxHead = std::move( response.head );
+            connection.outboxBody = std::move( response.body );
+            connection.outboxSent = 0;
+            connection.outboxTotal = connection.outboxHead.size();
+            for ( const auto& span : connection.outboxBody ) {
+                connection.outboxTotal += span.size;
+            }
+        }
+
+        /** Returns false when the connection should be closed. */
+        [[nodiscard]] bool
+        handleReadable( Connection& connection )
+        {
+            char buffer[16 * 1024];
+            while ( true ) {
+                const auto got = ::recv( connection.fd, buffer, sizeof( buffer ), 0 );
+                if ( got > 0 ) {
+                    connection.parser.feed( buffer, static_cast<std::size_t>( got ) );
+                    connection.lastActivityMs = nowMs();
+                    continue;
+                }
+                if ( got == 0 ) {
+                    connection.peerClosed = true;
+                    break;
+                }
+                if ( errno == EINTR ) {
+                    continue;  /* interrupted, not an error */
+                }
+                if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
+                    break;
+                }
+                return false;  /* hard error */
+            }
+            if ( !tryDispatch( connection ) ) {
+                return false;
+            }
+            /* Peer is gone and nothing is pending: nothing left to do. */
+            return !( connection.peerClosed && !connection.awaitingResponse
+                      && !connection.hasOutbox() );
+        }
+
+        /** Parse and dispatch the next buffered request, if any. Returns
+         * false when the connection should be closed immediately. */
+        [[nodiscard]] bool
+        tryDispatch( Connection& connection )
+        {
+            if ( connection.awaitingResponse || connection.hasOutbox() ) {
+                return true;  /* strictly one response in flight per connection */
+            }
+            HttpRequest request;
+            if ( connection.parser.next( request ) ) {
+                connection.awaitingResponse = true;
+                server->m_metrics.requestsTotal.addUnchecked( 1 );
+                const auto id = connection.id;
+                (void)server->m_workers.submit(
+                    [owner = server, shard = this, id, request = std::move( request )] () {
+                        Completion completion;
+                        completion.connectionId = id;
+                        const auto beginNs = telemetry::nowNs();
+                        {
+                            telemetry::Span requestSpan{ "serve", "serve.request" };
+                            completion.response =
+                                owner->handleRequest( request, request.keepAlive() );
+                        }
+                        owner->m_metrics.requestLatency.recordUnchecked(
+                            telemetry::nowNs() - beginNs );
+                        {
+                            const std::lock_guard<std::mutex> lock( shard->completionMutex );
+                            shard->completions.push_back( std::move( completion ) );
+                        }
+                        shard->wake();
+                    } );
+                return true;
+            }
+            if ( connection.parser.failed() ) {
+                const auto status = connection.parser.failureStatus();
+                server->m_metrics.requestsTotal.addUnchecked( 1 );
+                server->m_metrics.countStatus( status );
+                queueHeadOnly( connection,
+                               buildResponse( status, {}, reasonPhrase( status ),
+                                              /* keepAlive */ false ) );
+                connection.closeAfterFlush = true;
+            }
             return true;
         }
-        if ( connection.parser.failed() ) {
-            const auto status = connection.parser.failureStatus();
-            m_metrics.requestsTotal.addUnchecked( 1 );
-            m_metrics.countStatus( status );
-            connection.outbox = buildResponse( status, {}, reasonPhrase( status ),
-                                               /* keepAlive */ false );
-            connection.outboxSent = 0;
-            connection.closeAfterFlush = true;
-        }
-        return true;
-    }
 
-    [[nodiscard]] bool
-    handleWritable( Connection& connection )
-    {
-        while ( connection.outboxSent < connection.outbox.size() ) {
-            auto remaining = connection.outbox.size() - connection.outboxSent;
-            /* serve.write probe: simulate a full socket (wait for POLLOUT)
-             * or a trickling one (truncated send) — never corrupt bytes. */
-            if ( failsafe::shouldInject( failsafe::FaultPoint::SERVE_WRITE ) ) {
-                if ( failsafe::drawBelow( failsafe::FaultPoint::SERVE_WRITE, 2 ) == 0 ) {
-                    return true;  /* as-if EAGAIN: POLLOUT will fire again */
-                }
-                remaining = std::min<std::size_t>( remaining, 1024 );
-            }
-            const auto sent = ::send( connection.fd,
-                                      connection.outbox.data() + connection.outboxSent,
-                                      remaining,
-                                      MSG_NOSIGNAL );
-            if ( sent > 0 ) {
-                connection.outboxSent += static_cast<std::size_t>( sent );
-                connection.lastActivityMs = nowMs();
-                continue;
-            }
-            if ( errno == EINTR ) {
-                continue;  /* interrupted, not an error */
-            }
-            if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
-                return true;  /* socket full: POLLOUT will fire again */
-            }
-            return false;
-        }
-        connection.outbox.clear();
-        connection.outboxSent = 0;
-        if ( connection.closeAfterFlush ) {
-            return false;
-        }
-        /* Response sent: a pipelined follow-up may already be buffered. */
-        if ( !tryDispatch( connection ) ) {
-            return false;
-        }
-        return !( connection.peerClosed && !connection.awaitingResponse
-                  && connection.outbox.empty() );
-    }
-
-    void
-    drainCompletions()
-    {
-        std::vector<Completion> completions;
+        /** Scatter-gather flush of the outbox: header bytes plus borrowed
+         * chunk spans in one sendmsg() per syscall, no intermediate copy.
+         * Returns false when the connection should be closed. */
+        [[nodiscard]] bool
+        handleWritable( Connection& connection )
         {
-            const std::lock_guard<std::mutex> lock( m_completionMutex );
-            completions.swap( m_completions );
-        }
-        for ( auto& completion : completions ) {
-            const auto match = m_connections.find( completion.connectionId );
-            if ( match == m_connections.end() ) {
-                continue;  /* connection died while the worker was busy */
+            static constexpr std::size_t MAX_IOVECS = 64;
+            while ( connection.outboxSent < connection.outboxTotal ) {
+                /* serve.write probe: simulate a full socket (wait for
+                 * POLLOUT) or a trickling one (truncated send) — never
+                 * corrupt bytes. */
+                std::size_t byteCap = std::numeric_limits<std::size_t>::max();
+                if ( failsafe::shouldInject( failsafe::FaultPoint::SERVE_WRITE ) ) {
+                    if ( failsafe::drawBelow( failsafe::FaultPoint::SERVE_WRITE, 2 ) == 0 ) {
+                        return true;  /* as-if EAGAIN: POLLOUT will fire again */
+                    }
+                    byteCap = 1024;
+                }
+
+                iovec vectors[MAX_IOVECS];
+                std::size_t vectorCount = 0;
+                std::size_t gathered = 0;
+                auto skip = connection.outboxSent;
+                const auto append = [&] ( const std::uint8_t* data, std::size_t size ) {
+                    if ( ( vectorCount == MAX_IOVECS ) || ( gathered >= byteCap ) ) {
+                        return;
+                    }
+                    const auto take = std::min( size, byteCap - gathered );
+                    vectors[vectorCount].iov_base =
+                        const_cast<void*>( static_cast<const void*>( data ) );
+                    vectors[vectorCount].iov_len = take;
+                    ++vectorCount;
+                    gathered += take;
+                };
+                if ( skip < connection.outboxHead.size() ) {
+                    append( reinterpret_cast<const std::uint8_t*>( connection.outboxHead.data() )
+                            + skip,
+                            connection.outboxHead.size() - skip );
+                    skip = 0;
+                } else {
+                    skip -= connection.outboxHead.size();
+                }
+                for ( const auto& span : connection.outboxBody ) {
+                    if ( ( vectorCount == MAX_IOVECS ) || ( gathered >= byteCap ) ) {
+                        break;
+                    }
+                    if ( skip >= span.size ) {
+                        skip -= span.size;
+                        continue;
+                    }
+                    append( span.data + skip, span.size - skip );
+                    skip = 0;
+                }
+
+                msghdr message{};
+                message.msg_iov = vectors;
+                message.msg_iovlen = vectorCount;
+                const auto sent = ::sendmsg( connection.fd, &message, MSG_NOSIGNAL );
+                if ( sent > 0 ) {
+                    connection.outboxSent += static_cast<std::size_t>( sent );
+                    connection.lastActivityMs = nowMs();
+                    continue;
+                }
+                if ( sent == 0 ) {
+                    /* No bytes moved and no error reported: the socket can
+                     * make no progress (peer gone mid-write). errno is
+                     * STALE here — classifying it would mistake this for
+                     * EAGAIN and strand the connection until the idle
+                     * deadline. Close explicitly. */
+                    return false;
+                }
+                if ( errno == EINTR ) {
+                    continue;  /* interrupted, not an error */
+                }
+                if ( ( errno == EAGAIN ) || ( errno == EWOULDBLOCK ) ) {
+                    return true;  /* socket full: POLLOUT will fire again */
+                }
+                return false;
             }
-            auto& connection = match->second;
-            connection.awaitingResponse = false;
-            connection.outbox = std::move( completion.response );
+            /* Flushed: release the span refs — from here on the cache alone
+             * decides how long the chunks stay resident. */
+            connection.outboxHead.clear();
+            connection.outboxBody.clear();
             connection.outboxSent = 0;
-            /* During drain every flushed response ends its connection, so
-             * keep-alive clients wind down instead of holding the drain. */
-            connection.closeAfterFlush = !completion.keepAlive || m_drainActive;
-            connection.lastActivityMs = nowMs();
-            /* Try to flush immediately — most responses fit the socket
-             * buffer, saving a poll round trip. */
-            if ( !handleWritable( connection ) ) {
-                closeConnection( completion.connectionId );
+            connection.outboxTotal = 0;
+            if ( connection.closeAfterFlush ) {
+                return false;
+            }
+            /* Response sent: a pipelined follow-up may already be buffered. */
+            if ( !tryDispatch( connection ) ) {
+                return false;
+            }
+            return !( connection.peerClosed && !connection.awaitingResponse
+                      && !connection.hasOutbox() );
+        }
+
+        void
+        drainCompletions()
+        {
+            std::vector<Completion> finished;
+            {
+                const std::lock_guard<std::mutex> lock( completionMutex );
+                finished.swap( completions );
+            }
+            for ( auto& completion : finished ) {
+                const auto match = connections.find( completion.connectionId );
+                if ( match == connections.end() ) {
+                    continue;  /* connection died while the worker was busy */
+                }
+                auto& connection = match->second;
+                connection.awaitingResponse = false;
+                const auto keepAlive = completion.response.keepAlive;
+                queueResponse( connection, std::move( completion.response ) );
+                /* During drain every flushed response ends its connection,
+                 * so keep-alive clients wind down instead of holding the
+                 * drain. */
+                connection.closeAfterFlush = !keepAlive || drainActive;
+                connection.lastActivityMs = nowMs();
+                /* Try to flush immediately — most responses fit the socket
+                 * buffer, saving a poll round trip. */
+                if ( !handleWritable( connection ) ) {
+                    closeConnection( completion.connectionId );
+                }
             }
         }
-    }
+
+        Server* server;
+        std::size_t index{ 0 };
+        int listenFd{ -1 };
+        int wakeRead{ -1 };
+        int wakeWrite{ -1 };
+        std::map<std::uint64_t, Connection> connections;
+        bool drainActive{ false };          /**< shard-thread mirror of the request */
+        std::uint64_t drainDeadlineMs{ 0 };
+        std::size_t handoffCursor{ 0 };     /**< round-robin dealer (shard 0 only) */
+
+        std::mutex completionMutex;
+        std::vector<Completion> completions;
+
+        /** fds accepted by shard 0 awaiting adoption (handoff mode). */
+        std::mutex inboxMutex;
+        std::vector<int> inbox;
+    };
 
     /* --- request handling (worker threads) ----------------------------- */
 
-    [[nodiscard]] std::string
+    [[nodiscard]] Response
     handleRequest( const HttpRequest& request, bool keepAlive )
     {
         try {
@@ -676,8 +1001,10 @@ private:
         } catch ( const ArchiveBusyError& exception ) {
             m_metrics.countRejected( "archive_busy" );
             m_metrics.countStatus( 503 );
-            return buildResponse( 503, "Content-Type: text/plain\r\nRetry-After: 1\r\n",
-                                  std::string( exception.what() ) + "\n", keepAlive );
+            return stringResponse(
+                buildResponse( 503, "Content-Type: text/plain\r\nRetry-After: 1\r\n",
+                               std::string( exception.what() ) + "\n", keepAlive ),
+                keepAlive );
         } catch ( const std::exception& exception ) {
             /* Unknown format, vendor library missing, corrupt archive, … —
              * the archive's problem, not the server's, but 500 is the
@@ -686,15 +1013,25 @@ private:
         }
     }
 
-    [[nodiscard]] std::string
+    [[nodiscard]] static Response
+    stringResponse( std::string serialized, bool keepAlive )
+    {
+        Response response;
+        response.head = std::move( serialized );
+        response.keepAlive = keepAlive;
+        return response;
+    }
+
+    [[nodiscard]] Response
     errorResponse( int status, const std::string& message, bool keepAlive )
     {
         m_metrics.countStatus( status );
-        return buildResponse( status, "Content-Type: text/plain\r\n",
-                              message + "\n", keepAlive );
+        return stringResponse( buildResponse( status, "Content-Type: text/plain\r\n",
+                                              message + "\n", keepAlive ),
+                               keepAlive );
     }
 
-    [[nodiscard]] std::string
+    [[nodiscard]] Response
     handleRequestChecked( const HttpRequest& request, bool keepAlive )
     {
         const bool isHead = request.method == "HEAD";
@@ -708,31 +1045,37 @@ private:
         }
 
         if ( target == "/healthz" ) {
-            /* Liveness: the loop and workers are turning over. */
+            /* Liveness: the loops and workers are turning over. */
             m_metrics.countStatus( 200 );
-            return isHead ? buildResponseHead( 200, 3, "Content-Type: text/plain\r\n", keepAlive )
-                          : buildResponse( 200, "Content-Type: text/plain\r\n", "ok\n", keepAlive );
+            return stringResponse(
+                isHead ? buildResponseHead( 200, 3, "Content-Type: text/plain\r\n", keepAlive )
+                       : buildResponse( 200, "Content-Type: text/plain\r\n", "ok\n", keepAlive ),
+                keepAlive );
         }
         if ( target == "/readyz" ) {
-            /* Readiness: flips to 503 the moment a drain is requested so
-             * load balancers stop routing before the listener closes. */
+            /* Readiness: flips to 503 PROCESS-WIDE the moment a drain is
+             * requested — the flag is one shared atomic read by every
+             * shard — so load balancers stop routing before any listener
+             * closes. */
             const auto ready = !draining();
             const auto status = ready ? 200 : 503;
             const std::string body = ready ? "ready\n" : "draining\n";
             m_metrics.countStatus( status );
-            return isHead ? buildResponseHead( status, body.size(),
-                                               "Content-Type: text/plain\r\n", keepAlive )
-                          : buildResponse( status, "Content-Type: text/plain\r\n", body, keepAlive );
+            return stringResponse(
+                isHead ? buildResponseHead( status, body.size(),
+                                            "Content-Type: text/plain\r\n", keepAlive )
+                       : buildResponse( status, "Content-Type: text/plain\r\n", body, keepAlive ),
+                keepAlive );
         }
         if ( target == "/metrics" ) {
             const auto body = renderMetrics( m_metrics, m_sharedCache->statistics(),
                                              m_registry.openCount() );
             m_metrics.countStatus( 200 );
-            if ( isHead ) {
-                return buildResponseHead( 200, body.size(),
-                                          "Content-Type: text/plain\r\n", keepAlive );
-            }
-            return buildResponse( 200, "Content-Type: text/plain\r\n", body, keepAlive );
+            return stringResponse(
+                isHead ? buildResponseHead( 200, body.size(),
+                                            "Content-Type: text/plain\r\n", keepAlive )
+                       : buildResponse( 200, "Content-Type: text/plain\r\n", body, keepAlive ),
+                keepAlive );
         }
 
         auto lease = m_registry.open( target );
@@ -742,24 +1085,40 @@ private:
 
         if ( isHead ) {
             m_metrics.countStatus( 200 );
-            return buildResponseHead( 200, totalSize, {}, keepAlive );
+            return stringResponse( buildResponseHead( 200, totalSize, {}, keepAlive ),
+                                   keepAlive );
         }
 
         const auto range = resolveRange( request.header( "range" ), totalSize );
         if ( range.outcome == RangeOutcome::UNSATISFIABLE ) {
             m_metrics.countStatus( 416 );
-            return buildResponse( 416,
-                                  "Content-Range: bytes */" + std::to_string( totalSize ) + "\r\n",
-                                  {}, keepAlive );
+            return stringResponse(
+                buildResponse( 416,
+                               "Content-Range: bytes */" + std::to_string( totalSize ) + "\r\n",
+                               {}, keepAlive ),
+                keepAlive );
         }
 
         const auto first = range.outcome == RangeOutcome::RANGE ? range.first : 0;
         const auto length = range.outcome == RangeOutcome::RANGE ? range.length : totalSize;
-        std::string body( length, '\0' );
-        const auto got = decompressor.readAt(
-            first, reinterpret_cast<std::uint8_t*>( body.data() ), length );
+
+        /* Zero-copy body: refcounted spans lent straight out of cached
+         * decoded chunks. No byte of the range is copied on this path; the
+         * spans keep their chunks alive until the socket flush drops them,
+         * so LRU eviction during the write is harmless. */
+        Response response;
+        response.keepAlive = keepAlive;
+        const auto got = decompressor.readSpansAt( first, length, response.body );
         if ( got != length ) {
             return errorResponse( 500, "Decoded range came up short", keepAlive );
+        }
+        for ( const auto& span : response.body ) {
+            if ( span.borrowed ) {
+                m_metrics.zeroCopyBytes.addUnchecked( span.size );
+                m_metrics.zeroCopySpans.addUnchecked( 1 );
+            } else {
+                m_metrics.rangeCopyBytes.addUnchecked( span.size );
+            }
         }
 
         m_metrics.bytesServed.addUnchecked( length );
@@ -768,10 +1127,12 @@ private:
             const auto contentRange = "Content-Range: bytes " + std::to_string( first ) + "-"
                                       + std::to_string( first + length - 1 ) + "/"
                                       + std::to_string( totalSize ) + "\r\n";
-            return buildResponse( 206, contentRange, body, keepAlive );
+            response.head = buildResponseHead( 206, length, contentRange, keepAlive );
+            return response;
         }
         m_metrics.countStatus( 200 );
-        return buildResponse( 200, {}, body, keepAlive );
+        response.head = buildResponseHead( 200, length, {}, keepAlive );
+        return response;
     }
 
     ServerConfiguration m_configuration;
@@ -779,23 +1140,16 @@ private:
     ArchiveRegistry m_registry;
     ServeMetrics m_metrics;
 
-    int m_listenFd{ -1 };
-    int m_wakeRead{ -1 };
-    int m_wakeWrite{ -1 };
+    std::vector<std::unique_ptr<Shard> > m_shards;
+    bool m_fdHandoff{ false };
     std::atomic<std::uint16_t> m_port{ 0 };
     std::atomic<bool> m_stopRequested{ false };
     std::atomic<bool> m_drainRequested{ false };
-    bool m_drainActive{ false };              /**< loop-thread mirror of the request */
-    std::uint64_t m_drainDeadlineMs{ 0 };
-
-    std::uint64_t m_nextConnectionId{ 0 };
-    std::map<std::uint64_t, Connection> m_connections;
-
-    std::mutex m_completionMutex;
-    std::vector<Completion> m_completions;
+    std::atomic<std::uint64_t> m_nextConnectionId{ 0 };
+    std::atomic<std::size_t> m_liveConnections{ 0 };
 
     /* Pool last: its destructor runs first, joining workers that use the
-     * registry, cache, metrics, and completion queue above. */
+     * registry, cache, metrics, and per-shard completion queues above. */
     ThreadPool m_workers;
 };
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -8,17 +9,18 @@
  * Minimal assertion harness: no external test framework is available in the
  * build image, and ctest only needs exit codes. REQUIRE prints the failing
  * expression with its location and exits non-zero; the final summary line
- * makes ctest logs readable.
+ * makes ctest logs readable. The check counter is atomic: several tests
+ * REQUIRE from concurrent client threads.
  */
 
 namespace rapidgzip::test {
 
-inline int g_checksRun = 0;
+inline std::atomic<int> g_checksRun{ 0 };
 
 inline void
 require( bool condition, const char* expression, const char* file, int line )
 {
-    ++g_checksRun;
+    g_checksRun.fetch_add( 1, std::memory_order_relaxed );
     if ( !condition ) {
         std::fprintf( stderr, "FAILED: %s at %s:%d\n", expression, file, line );
         std::exit( 1 );
@@ -28,7 +30,7 @@ require( bool condition, const char* expression, const char* file, int line )
 inline int
 finish( const char* testName )
 {
-    std::printf( "PASSED %s (%d checks)\n", testName, g_checksRun );
+    std::printf( "PASSED %s (%d checks)\n", testName, g_checksRun.load() );
     return 0;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/ChunkCache.hpp"
+#include "failsafe/FaultInjection.hpp"
 #include "formats/Formats.hpp"
 #include "formats/Lz4Writer.hpp"
 #include "formats/Sidecar.hpp"
@@ -208,6 +209,21 @@ testRangeResolution()
     REQUIRE( single.outcome == RangeOutcome::RANGE );
     REQUIRE( ( single.first == 7 ) && ( single.length == 1 ) );
 
+    /* Unsigned-overflow hardening: a first-byte position just past
+     * 2^64 − 1 must be IGNORED per RFC 9110 (→ full 200 response), not
+     * wrapped modulo 2^64 and served as a bogus "bytes=1-" 206. Same for
+     * overflowing last-byte positions, suffix lengths, and anything longer
+     * than SIZE_MAX's 20 digits. */
+    REQUIRE( resolve( "bytes=18446744073709551617-", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=0-18446744073709551617", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=-18446744073709551617", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=99999999999999999999-", 1000 ).outcome == RangeOutcome::NO_RANGE );
+    REQUIRE( resolve( "bytes=111111111111111111111-", 1000 ).outcome == RangeOutcome::NO_RANGE );
+
+    /* SIZE_MAX itself still parses — it is merely beyond the file. */
+    REQUIRE( resolve( "bytes=18446744073709551615-", 1000 ).outcome
+             == RangeOutcome::UNSATISFIABLE );
+
     REQUIRE( resolve( "bytes=1000-1010", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
     REQUIRE( resolve( "bytes=1000-", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
     REQUIRE( resolve( "bytes=-0", 1000 ).outcome == RangeOutcome::UNSATISFIABLE );
@@ -325,6 +341,41 @@ testLruCacheSingleFlight()
     const auto recovered = cache.getOrDecode( failing, [] () { return makeChunk( 64 ); } );
     REQUIRE( recovered != nullptr );
     REQUIRE( cache.get( failing ) != nullptr );
+}
+
+void
+testSpanLifetimeAcrossEviction()
+{
+    constexpr std::size_t SIZE = 4096;
+    constexpr std::size_t ENTRY = SIZE + LruChunkCache::PER_ENTRY_OVERHEAD;
+    LruChunkCache cache( 2 * ENTRY );
+    const auto key = [] ( std::size_t i ) { return ChunkCacheKey{ 3, i }; };
+
+    auto victim = std::make_shared<DecodedChunk>();
+    victim->data.resize( SIZE );
+    for ( std::size_t i = 0; i < SIZE; ++i ) {
+        victim->data[i] = static_cast<std::uint8_t>( i * 31 + 7 );
+    }
+    const std::vector<std::uint8_t> reference( victim->data );
+    cache.insert( key( 1 ), victim );
+
+    /* Borrow a span of the cached chunk — exactly what a queued response
+     * body holds while sendmsg() drains it. */
+    auto span = lendChunkSpan( cache.get( key( 1 ) ), 100, 1000 );
+    REQUIRE( span.borrowed );
+    REQUIRE( span.size == 1000 );
+    victim.reset();  /* the cache and the span are now the only owners */
+
+    /* Evict it: two more inserts blow the two-entry budget. */
+    cache.insert( key( 2 ), makeChunk( SIZE ) );
+    cache.insert( key( 3 ), makeChunk( SIZE ) );
+    REQUIRE( cache.get( key( 1 ) ) == nullptr );  /* gone from the cache */
+    REQUIRE( cache.statistics().evictions >= 1 );
+
+    /* ...but the span still owns the bytes: eviction only dropped the
+     * cache's reference, so an in-flight write finishes byte-exact. */
+    REQUIRE( std::memcmp( span.data, reference.data() + 100, span.size ) == 0 );
+    span.owner.reset();  /* the write finished; only now does the chunk die */
 }
 
 /* --- shared tier across readers ---------------------------------------- */
@@ -656,6 +707,15 @@ testServeEndToEnd()
     REQUIRE( multi.status == 200 );
     REQUIRE( multi.body.size() == gzipData.size() );
 
+    /* An overflowing first-byte position (2^64 + 1) is IGNORED, not wrapped
+     * to "bytes=1-": the daemon must answer 200 with the FULL file. The
+     * pre-fix parser wrapped it and served a bogus off-by-one 206. */
+    const auto overflow = simpleRequest( port, "GET", "/corpus.gz",
+                                         "Range: bytes=18446744073709551617-\r\n" );
+    REQUIRE( overflow.status == 200 );
+    REQUIRE( overflow.body.size() == gzipData.size() );
+    REQUIRE( std::memcmp( overflow.body.data(), gzipData.data(), gzipData.size() ) == 0 );
+
     /* HEAD announces the decompressed size without a body. */
     const auto head = simpleRequest( port, "HEAD", "/corpus.gz" );
     REQUIRE( head.status == 200 );
@@ -750,6 +810,23 @@ testServeEndToEnd()
         REQUIRE( mismatches.load() == 0 );
     }
 
+    /* Peers that close mid-write (request a large body, then vanish without
+     * reading) must not wedge or kill the server: the flush sees the reset,
+     * the connection is reaped, and unrelated requests keep working. */
+    {
+        for ( int i = 0; i < 4; ++i ) {
+            HttpClient goner( port );
+            goner.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\n\r\n" );
+            /* Destructor closes with ~1 MiB of unread response in flight:
+             * the kernel turns that into an RST for the server's send. */
+        }
+        std::this_thread::sleep_for( std::chrono::milliseconds( 50 ) );
+        const auto survivor = simpleRequest( port, "GET", "/corpus.gz",
+                                             "Range: bytes=5000-5099\r\n" );
+        REQUIRE( survivor.status == 206 );
+        REQUIRE( std::memcmp( survivor.body.data(), gzipData.data() + 5000, 100 ) == 0 );
+    }
+
     /* The shared tier absorbed the repeat traffic. */
     const auto cacheStats = server.sharedCache().statistics();
     REQUIRE( cacheStats.insertions > 0 );
@@ -763,6 +840,172 @@ testServeEndToEnd()
 
     server.stop();
     loop.join();
+}
+
+/* --- multi-shard: SO_REUSEPORT event loops, eviction churn, drain ------- */
+
+void
+testServeMultiShard()
+{
+    std::signal( SIGPIPE, SIG_IGN );
+
+    const auto directory = makeTempDirectory();
+    const auto data = workloads::base64Data( 1 * MiB, 31 );
+    writeFile( directory + "/corpus.gz", compressPigzLike( data, 6, 128 * KiB ) );
+
+    ServerConfiguration configuration;
+    configuration.port = 0;
+    configuration.rootDirectory = directory;
+    configuration.workerCount = 4;
+    configuration.shardCount = 4;
+    /* A budget of ~3 chunks over an 8-chunk archive: eviction churns
+     * CONSTANTLY while responses are in flight. Byte-exact bodies under
+     * this regime prove the refcounted spans pin their chunks across
+     * eviction — the zero-copy lifetime argument, exercised end to end. */
+    configuration.cacheBytes = 3 * ( 128 * KiB + LruChunkCache::PER_ENTRY_OVERHEAD );
+    configuration.readerConfiguration.parallelism = 2;
+    configuration.readerConfiguration.chunkSizeBytes = 128 * KiB;
+
+    Server server( std::move( configuration ) );
+    server.start();
+    const auto port = server.port();
+    REQUIRE( port != 0 );
+    REQUIRE( server.shardCount() == 4 );
+    std::thread loop( [&server] () { server.run(); } );
+
+    const auto zeroCopyBefore = server.metrics().zeroCopyBytes.total();
+
+    /* Concurrent ranged GETs from many keep-alive clients, byte-compared.
+     * With SO_REUSEPORT the kernel spreads these across all four shards. */
+    std::atomic<int> mismatches{ 0 };
+    std::vector<std::thread> clients;
+    for ( std::size_t t = 0; t < 8; ++t ) {
+        clients.emplace_back( [&, t] () {
+            Xorshift64 rng( 500 + t );
+            HttpClient client( port );
+            for ( int i = 0; i < 24; ++i ) {
+                const auto offset = rng.below( data.size() - 4096 );
+                const auto length = 1 + rng.below( 4096 );
+                client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes="
+                             + std::to_string( offset ) + "-"
+                             + std::to_string( offset + length - 1 ) + "\r\n\r\n" );
+                ClientResponse response;
+                if ( !client.readResponse( response )
+                     || ( response.status != 206 )
+                     || ( response.body.size() != length )
+                     || ( std::memcmp( response.body.data(), data.data() + offset,
+                                       length ) != 0 ) ) {
+                    ++mismatches;
+                    return;
+                }
+            }
+        } );
+    }
+    for ( auto& client : clients ) {
+        client.join();
+    }
+    REQUIRE( mismatches.load() == 0 );
+
+    /* The tiny budget really did churn while writes were in flight. */
+    REQUIRE( server.sharedCache().statistics().evictions > 0 );
+
+    /* Keep-alive + pipelining against whichever shard accepted. */
+    {
+        HttpClient client( port );
+        client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes=0-9\r\n\r\n"
+                     "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes=10-19\r\n\r\n" );
+        ClientResponse first;
+        ClientResponse second;
+        REQUIRE( client.readResponse( first ) );
+        REQUIRE( client.readResponse( second ) );
+        REQUIRE( ( first.status == 206 ) && ( second.status == 206 ) );
+        REQUIRE( first.headers.at( "connection" ) == "keep-alive" );
+        REQUIRE( std::memcmp( first.body.data(), data.data(), 10 ) == 0 );
+        REQUIRE( std::memcmp( second.body.data(), data.data() + 10, 10 ) == 0 );
+
+        /* The same connection still serves a third, separate request. */
+        client.send( "GET /corpus.gz HTTP/1.1\r\nHost: t\r\nRange: bytes=20-29\r\n\r\n" );
+        ClientResponse third;
+        REQUIRE( client.readResponse( third ) );
+        REQUIRE( third.status == 206 );
+        REQUIRE( std::memcmp( third.body.data(), data.data() + 20, 10 ) == 0 );
+    }
+
+    /* Bodies were lent out of cached chunks, not copied. */
+    REQUIRE( server.metrics().zeroCopyBytes.total() > zeroCopyBefore );
+
+    server.stop();
+    loop.join();
+}
+
+void
+testServeMultiShardDrain()
+{
+    std::signal( SIGPIPE, SIG_IGN );
+    failsafe::disarmAll();
+
+    const auto directory = makeTempDirectory();
+    const auto data = workloads::base64Data( 256 * KiB, 41 );
+    writeFile( directory + "/small.gz", compressPigzLike( data, 6, 64 * KiB ) );
+
+    ServerConfiguration configuration;
+    configuration.port = 0;
+    configuration.rootDirectory = directory;
+    configuration.workerCount = 2;
+    configuration.shardCount = 3;
+    configuration.cacheBytes = 32 * MiB;
+    configuration.drainTimeoutMs = 5'000;
+    configuration.readerConfiguration.parallelism = 2;
+    configuration.readerConfiguration.chunkSizeBytes = 64 * KiB;
+
+    Server server( std::move( configuration ) );
+    server.start();
+    const auto port = server.port();
+    REQUIRE( port != 0 );
+    REQUIRE( server.shardCount() == 3 );
+    std::thread loop( [&server] () { server.run(); } );
+
+    /* Park every request in the worker pool for 200 ms so drain begins
+     * while they are in flight. With connections spread over three shards,
+     * this proves the drain transition reaches EVERY shard: each parked
+     * request still completes byte-exact, every readiness probe answers
+     * 503 process-wide, and run() returns once the LAST shard's
+     * connection table empties. */
+    failsafe::configure( failsafe::FaultPoint::POOL_TASK, 1.0, /* seed */ 62,
+                         /* latency */ 200'000 );
+
+    std::vector<std::unique_ptr<HttpClient> > probes;
+    std::vector<std::unique_ptr<HttpClient> > inflight;
+    for ( std::size_t i = 0; i < 6; ++i ) {
+        probes.emplace_back( std::make_unique<HttpClient>( port ) );
+        probes.back()->send( "GET /readyz HTTP/1.1\r\nHost: t\r\n\r\n" );
+        inflight.emplace_back( std::make_unique<HttpClient>( port ) );
+        inflight.back()->send( "GET /small.gz HTTP/1.1\r\nHost: t\r\nRange: bytes="
+                               + std::to_string( 1000 * ( i + 1 ) ) + "-"
+                               + std::to_string( 1000 * ( i + 1 ) + 63 ) + "\r\n\r\n" );
+    }
+
+    std::this_thread::sleep_for( std::chrono::milliseconds( 60 ) );
+    server.beginDrain();
+    REQUIRE( server.draining() );
+
+    for ( auto& probe : probes ) {
+        ClientResponse ready;
+        REQUIRE( probe->readResponse( ready ) );
+        REQUIRE( ready.status == 503 );
+        REQUIRE( ready.body == "draining\n" );
+    }
+    for ( std::size_t i = 0; i < inflight.size(); ++i ) {
+        ClientResponse ranged;
+        REQUIRE( inflight[i]->readResponse( ranged ) );
+        REQUIRE( ranged.status == 206 );
+        REQUIRE( ranged.body.size() == 64 );
+        REQUIRE( std::memcmp( ranged.body.data(), data.data() + 1000 * ( i + 1 ), 64 ) == 0 );
+    }
+
+    /* Every shard wound its connections down: run() returns on its own. */
+    loop.join();
+    failsafe::disarmAll();
 }
 
 /* --- hardening: health endpoints, deadlines, admission, negative cache -- */
@@ -892,9 +1135,12 @@ main()
     testLruCacheBudgetInvariant();
     testLruCacheEvictionOrder();
     testLruCacheSingleFlight();
+    testSpanLifetimeAcrossEviction();
     testSharedCacheAcrossReaders();
     testSidecarAdoption();
     testServeEndToEnd();
+    testServeMultiShard();
+    testServeMultiShardDrain();
     testServeHardening();
     return rapidgzip::test::finish( "testServe" );
 }

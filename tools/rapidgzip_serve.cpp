@@ -90,6 +90,8 @@ printUsage( const char* program )
         "  --bind ADDR       bind address (default 127.0.0.1)\n"
         "  --cache-bytes N   shared chunk-cache budget, K/M/G suffixes ok (default 256M)\n"
         "  --max-archives N  open-archive LRU bound (default 64)\n"
+        "  --threads N       event-loop shards, each its own poll() loop and\n"
+        "                    SO_REUSEPORT listener (default 0 = one per core)\n"
         "  --workers N       request worker threads (default 4)\n"
         "  --parallelism N   decode threads per archive reader (default 2)\n"
         "  --trace FILE      record spans, write Chrome trace-event JSON on shutdown\n"
@@ -119,6 +121,7 @@ main( int argc, char** argv )
 {
     rapidgzip::serve::ServerConfiguration configuration;
     configuration.port = 8080;
+    configuration.shardCount = 0;  /* daemon default: one event-loop shard per core */
     configuration.readerConfiguration.parallelism = 2;
     std::string rootDirectory;
     std::string tracePath;
@@ -147,6 +150,8 @@ main( int argc, char** argv )
             }
         } else if ( argument == "--max-archives" ) {
             configuration.maxArchives = static_cast<std::size_t>( std::atoll( nextValue() ) );
+        } else if ( argument == "--threads" ) {
+            configuration.shardCount = static_cast<std::size_t>( std::atoll( nextValue() ) );
         } else if ( argument == "--workers" ) {
             configuration.workerCount = static_cast<std::size_t>( std::atoll( nextValue() ) );
         } else if ( argument == "--parallelism" ) {
@@ -214,6 +219,10 @@ main( int argc, char** argv )
 
         std::printf( "rapidgzip-serve listening on %s:%u, serving %s\n",
                      bindAddress.c_str(), server.port(), rootDirectory.c_str() );
+        std::printf( "rapidgzip-serve event-loop shards: %zu (%s)\n",
+                     server.shardCount(),
+                     server.usesFdHandoff() ? "fd handoff via shard 0"
+                                            : "SO_REUSEPORT listeners" );
         std::printf( "rapidgzip-serve simd dispatch: %s (detected: %s)\n",
                      rapidgzip::simd::toString( rapidgzip::simd::activeLevel() ),
                      rapidgzip::simd::toString( rapidgzip::simd::detectedLevel() ) );
